@@ -1,0 +1,55 @@
+"""Fig. 6: path-length distributions for the Ibex(Mini) structures.
+
+For every structure we histogram, over its wires, the worst
+register-to-register path length through each wire, normalized to the clock
+period.  The paper's qualitative picture: the register file's distribution
+is concentrated at long paths (deep read/write mux trees on every bit),
+while the decoder contains many short control paths.
+"""
+
+import _shared
+from repro.analysis.figures import render_histogram
+from repro.timing.paths import path_length_distribution
+
+
+def _collect():
+    plain = _shared.system(False)
+    ecc = _shared.system(True)
+    dists = {}
+    for name in ("alu", "decoder", "regfile", "lsu", "prefetch"):
+        dists[name] = path_length_distribution(
+            plain.sta, name, plain.structure_wires(name)
+        )
+    dists["regfile_ecc"] = path_length_distribution(
+        ecc.sta, "regfile_ecc", ecc.structure_wires("regfile")
+    )
+    return dists
+
+
+def test_fig6_path_length_distributions(benchmark):
+    dists = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    sections = []
+    for name, dist in dists.items():
+        sections.append(
+            render_histogram(
+                dist.histogram(bins=10),
+                title=(
+                    f"{name}: {len(dist.lengths)} wires, clock period "
+                    f"{dist.clock_period:.0f} ps"
+                ),
+            )
+        )
+    text = (
+        "Fig. 6 — per-wire worst path length distributions "
+        "(fraction of clock period)\n\n" + "\n\n".join(sections)
+    )
+    _shared.save_report("fig6_path_distributions", text)
+
+    # Shape checks: every distribution reaches high fractions for large
+    # delays (statically reachable sets open up, Observation 2)...
+    for name, dist in dists.items():
+        assert dist.fraction_reachable(0.9) > 0.5, name
+        assert dist.fraction_reachable(0.9) >= dist.fraction_reachable(0.5)
+    # ...and almost nothing is reachable at a 10% delay.
+    for name, dist in dists.items():
+        assert dist.fraction_reachable(0.1) < 0.5, name

@@ -1,0 +1,52 @@
+"""Fig. 7: normalized geomean DelayAVF across structures vs delay duration.
+
+Paper (Observation 1): the ALU has the highest DelayAVF (up to ~5× the
+register file), followed by the decoder, then the register file; DelayAVF
+generally grows with the delay duration d.
+"""
+
+import _shared
+from repro.analysis.figures import render_grouped_bars
+from repro.core.results import geometric_mean, normalize
+from repro.workloads.beebs import BENCHMARK_NAMES
+
+STRUCTURES = ("alu", "decoder", "regfile")
+
+
+def _collect():
+    geo = {}
+    for structure in STRUCTURES:
+        geo[structure] = {}
+        for delay in _shared.DELAY_SWEEP:
+            values = [
+                _shared.structure_result(b, structure).by_delay[delay].delay_avf
+                for b in BENCHMARK_NAMES
+            ]
+            geo[structure][f"d={delay:.0%}"] = geometric_mean(values)
+    return geo
+
+
+def test_fig7_structure_delayavf(benchmark):
+    geo = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    peak = max(v for group in geo.values() for v in group.values()) or 1.0
+    normalized = {
+        s: {k: v / peak for k, v in group.items()} for s, group in geo.items()
+    }
+    text = render_grouped_bars(
+        normalized,
+        title=(
+            "Fig. 7 — normalized geomean DelayAVF per structure vs d\n"
+            f"(samples: {_shared.WIRES} wires x {_shared.CYCLES} cycles per "
+            "structure/benchmark; geomean over the 5 Beebs benchmarks)"
+        ),
+    )
+    _shared.save_report("fig7_structure_delayavf", text)
+
+    # Shape: mean-over-d ordering ALU > regfile (paper: ~5x); DelayAVF at
+    # large d exceeds DelayAVF at the smallest d for every structure.
+    mean_over_d = {
+        s: sum(group.values()) / len(group) for s, group in geo.items()
+    }
+    assert mean_over_d["alu"] > mean_over_d["regfile"]
+    for structure, group in geo.items():
+        assert group["d=90%"] >= group["d=10%"], structure

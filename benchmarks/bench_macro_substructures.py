@@ -1,0 +1,64 @@
+"""Macro-level DelayAVF: evaluating sub-structures of the ALU (§V-C).
+
+The paper notes that evaluating sub-structures/macros ("the adder instead of
+the entire ALU") reduces simulation cost, which scales with the number of
+wires examined.  The ALU's elaboration carries per-macro naming scopes, so
+the same campaign machinery runs directly on `core.alu.adder`,
+`core.alu.shift`, etc.  This bench reports wire counts and DelayAVF per
+macro — a finer-grained protection-targeting view than Fig. 7's whole-ALU
+number.
+"""
+
+import _shared
+from repro.analysis.tables import render_table
+
+BENCH = "md5"
+MACROS = [
+    ("adder", "core.alu.adder"),
+    ("cmp", "core.alu.cmp"),
+    ("logic", "core.alu.logic"),
+    ("shift", "core.alu.shift"),
+    ("resmux", "core.alu.resmux"),
+]
+DELAY = 0.9
+
+
+def _collect():
+    engine = _shared.engine(BENCH)
+    rows = []
+    macro_wires = {}
+    for label, scope in MACROS:
+        result = engine.run_structure(scope, delay_fractions=(DELAY,))
+        r = result.by_delay[DELAY]
+        macro_wires[label] = result.wire_count
+        rows.append([
+            label, result.wire_count, result.sampled_wires,
+            f"{r.static_reach_rate:.1%}", f"{r.dynamic_reach_rate:.1%}",
+            f"{r.delay_avf:.4f}",
+        ])
+    whole = engine.run_structure("alu", delay_fractions=(DELAY,))
+    rows.append([
+        "ALU (whole)", whole.wire_count, whole.sampled_wires,
+        f"{whole.by_delay[DELAY].static_reach_rate:.1%}",
+        f"{whole.by_delay[DELAY].dynamic_reach_rate:.1%}",
+        f"{whole.by_delay[DELAY].delay_avf:.4f}",
+    ])
+    return rows, macro_wires, whole.wire_count
+
+
+def test_macro_substructure_delayavf(benchmark):
+    rows, macro_wires, whole_wires = benchmark.pedantic(
+        _collect, rounds=1, iterations=1
+    )
+    text = render_table(
+        ["macro", "wires |E|", "sampled", "static", "dynamic", "DelayAVF"],
+        rows,
+        title=f"ALU macro-level DelayAVF ({BENCH}, d={DELAY:.0%})",
+    )
+    _shared.save_report("macro_substructures", text)
+    # Each macro is a proper subset of the ALU.
+    for label, count in macro_wires.items():
+        assert 0 < count < whole_wires, label
+    # Together the macros cover most of the ALU (shared boundary wires may
+    # be counted in two macros, so the sum can exceed the whole).
+    assert sum(macro_wires.values()) >= 0.8 * whole_wires

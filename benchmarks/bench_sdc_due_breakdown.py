@@ -1,0 +1,51 @@
+"""Extension: SDC vs DUE breakdown of DelayAVF failures.
+
+The original AVF literature splits program-visible failures into silent data
+corruptions (SDC) and detected unrecoverable errors (DUE); the paper adopts
+the same taxonomy (§II-A).  This bench decomposes each structure's measured
+DelayAVF into its SDC and DUE components (reusing the Fig. 7 campaign
+results, so it costs almost nothing extra).
+"""
+
+import _shared
+from repro.analysis.tables import render_table
+from repro.workloads.beebs import BENCHMARK_NAMES
+
+STRUCTURES = ("alu", "decoder", "regfile", "lsu", "prefetch")
+DELAY = 0.9
+
+
+def _collect():
+    rows = []
+    for structure in STRUCTURES:
+        records = [
+            r
+            for b in BENCHMARK_NAMES
+            for r in _shared.structure_result(b, structure).by_delay[DELAY].records
+        ]
+        total = len(records)
+        sdc = sum(1 for r in records if r.outcome.value == "sdc")
+        due = sum(1 for r in records if r.outcome.value == "due")
+        rows.append([
+            structure, total, sdc, due,
+            f"{(sdc + due) / total:.4f}" if total else "0",
+            f"{sdc / (sdc + due):.0%}" if (sdc + due) else "-",
+        ])
+    return rows
+
+
+def test_sdc_due_breakdown(benchmark):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    text = render_table(
+        ["structure", "injections", "SDC", "DUE", "pooled DelayAVF",
+         "SDC share"],
+        rows,
+        title=(
+            f"Extension — SDC vs DUE decomposition of DelayAVF (d={DELAY:.0%},"
+            " pooled over all benchmarks)"
+        ),
+    )
+    _shared.save_report("sdc_due_breakdown", text)
+    for row in rows:
+        _structure, total, sdc, due = row[0], row[1], row[2], row[3]
+        assert 0 <= sdc + due <= total

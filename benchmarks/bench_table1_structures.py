@@ -1,0 +1,51 @@
+"""Table I: statistics about the examined structures (# injected wires).
+
+Paper: ALU 3668, Decoder 1007, Regfile 17816, Regfile (ECC) 19611,
+LSU 2027, Prefetch 3249 — on Ibex (RV32IMC, 32 registers).  IbexMini is
+RV32E (15 stored registers), so the register-file rows are proportionally
+smaller; the logic structures land very close.
+"""
+
+import _shared
+from repro.analysis.tables import render_table
+from repro.netlist.stats import structure_stats
+
+
+def _collect():
+    rows = []
+    plain = _shared.system(False)
+    ecc = _shared.system(True)
+    stats = structure_stats(plain.netlist, plain.structures)
+    ecc_stats = structure_stats(ecc.netlist, ecc.structures)
+    order = ["alu", "decoder", "regfile", "regfile_ecc", "lsu", "prefetch"]
+    measured = {
+        "alu": stats["alu"], "decoder": stats["decoder"],
+        "regfile": stats["regfile"], "regfile_ecc": ecc_stats["regfile"],
+        "lsu": stats["lsu"], "prefetch": stats["prefetch"],
+    }
+    for name in order:
+        s = measured[name]
+        rows.append(
+            [name, s.num_wires, s.num_cells, s.num_state_bits,
+             _shared.PAPER_TABLE1[name]]
+        )
+    return rows
+
+
+def test_table1_structure_statistics(benchmark):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    text = render_table(
+        ["structure", "wires |E| (ours)", "cells", "state bits",
+         "wires (paper, Ibex)"],
+        rows,
+        title="Table I — # injected wires per structure",
+    )
+    _shared.save_report("table1_structures", text)
+    by_name = {row[0]: row[1] for row in rows}
+    # Shape checks: same order of magnitude for the logic structures and the
+    # same orderings the paper's table exhibits.
+    assert 1000 < by_name["alu"] < 10000
+    assert 300 < by_name["decoder"] < 3000
+    assert by_name["alu"] > by_name["decoder"]
+    assert by_name["regfile_ecc"] > by_name["regfile"]
+    assert by_name["regfile"] > by_name["lsu"]

@@ -1,0 +1,35 @@
+"""Table II: number of cycles executed per benchmark.
+
+Paper (Ibex): md5 1720, bubblesort 3829, libstrstr 1051, libfibcall 2448,
+matmult 8903.  Our assembly re-implementations are sized to land in the same
+range on IbexMini.
+"""
+
+import _shared
+from repro.analysis.tables import render_table
+from repro.workloads.beebs import BENCHMARK_NAMES, expected_output, load_benchmark
+
+
+def _collect():
+    rows = []
+    system = _shared.system(False)
+    for name in BENCHMARK_NAMES:
+        result = system.run_program(load_benchmark(name), max_cycles=60_000)
+        assert result.halted and result.observables == expected_output(name)
+        rows.append([name, result.cycles, _shared.PAPER_TABLE2[name]])
+    return rows
+
+
+def test_table2_benchmark_cycles(benchmark):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    text = render_table(
+        ["benchmark", "cycles N (ours)", "cycles (paper, Ibex)"],
+        rows,
+        title="Table II — cycles executed per benchmark",
+    )
+    _shared.save_report("table2_cycles", text)
+    cycles = {name: ours for name, ours, _ in rows}
+    # Same range and the same extremes as the paper's table.
+    assert all(500 <= c <= 10_000 for c in cycles.values())
+    assert max(cycles, key=cycles.get) == "matmult"
+    assert min(cycles, key=cycles.get) == "libstrstr"

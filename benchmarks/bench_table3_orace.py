@@ -1,0 +1,91 @@
+"""Table III: ACE interference/compounding and DelayAVF vs OrDelayAVF.
+
+Evaluated at d = 90% of the clock period (as in the paper).  Rates are
+percentages of all dynamically reachable sets observed; "max" and "avg" are
+taken over the five benchmarks.  The paper's headline results: the decoder
+shows the largest interference; the ECC register file shows massive
+compounding (multi-bit errors escape SEC while no single bit is ACE),
+making OrDelayAVF a severe under-approximation there (Observation 6).
+"""
+
+import math
+
+import _shared
+from repro.analysis.tables import render_table
+from repro.workloads.beebs import BENCHMARK_NAMES
+
+DELAY = 0.9
+STRUCTURES = [
+    ("alu", False), ("decoder", False), ("regfile", False),
+    ("regfile_ecc", True),
+]
+
+
+def _finite(values):
+    return [v for v in values if not math.isinf(v)]
+
+
+def _collect():
+    rows = []
+    stats = {}
+    for label, ecc in STRUCTURES:
+        if label == "regfile_ecc":
+            # Enlarged shared sample: compounding events are rare there.
+            per_bench = [
+                _shared.ecc_regfile_result(b, DELAY).by_delay[DELAY]
+                for b in BENCHMARK_NAMES
+            ]
+        else:
+            per_bench = [
+                _shared.structure_result(b, label, ecc=ecc).by_delay[DELAY]
+                for b in BENCHMARK_NAMES
+            ]
+        interference = [100 * r.interference_rate for r in per_bench]
+        compounding = [100 * r.compounding_rate for r in per_bench]
+        rel_change = _finite([100 * r.relative_change for r in per_bench])
+        stats[label] = (interference, compounding, rel_change)
+        rows.append([
+            label,
+            max(interference), sum(interference) / len(interference),
+            max(compounding), sum(compounding) / len(compounding),
+            max(rel_change) if rel_change else 0.0,
+            sum(rel_change) / len(rel_change) if rel_change else 0.0,
+        ])
+    return rows, stats
+
+
+def test_table3_orace_approximation(benchmark):
+    rows, stats = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    paper_rows = [
+        [f"{name} (paper)", *_shared.PAPER_TABLE3[name]]
+        for name, _ in STRUCTURES
+    ]
+    probes, probe_failures, probe_compounding = _shared.ecc_wordline_probe()
+    text = render_table(
+        ["structure", "max int %", "avg int %", "max comp %", "avg comp %",
+         "max rel chg %", "avg rel chg %"],
+        rows + paper_rows,
+        title=(
+            "Table III — ACE interference / compounding and "
+            f"DelayAVF vs OrDelayAVF (d={DELAY:.0%})"
+        ),
+    ) + (
+        f"\n\nregfile_ecc targeted word-line probe: {probe_compounding} of"
+        f" {probes} error-producing SDFs are pure ACE compounding"
+        " (GroupACE without any individually-ACE member) — the paper's"
+        " Table III regfile (ECC) mechanism."
+    )
+    _shared.save_report("table3_orace", text)
+
+    by_name = {row[0]: row[1:] for row in rows}
+    # Observation 6: the ECC register file's compounding mechanism exists
+    # and dominates its failures (deterministic word-line probe)...
+    assert probe_compounding > 0
+    # ...and in the uniform sample it is at least as compounding-prone as
+    # the plain register file (up to small-sample noise of a few percent).
+    assert by_name["regfile_ecc"][2] >= by_name["regfile"][2] - 3.0
+    # Interference/compounding are rare for the plain register file.
+    assert by_name["regfile"][1] <= 20.0
+    # All rates are valid percentages.
+    for name, values in by_name.items():
+        assert all(0.0 <= v <= 100.0 for v in values), name

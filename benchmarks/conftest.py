@@ -1,0 +1,6 @@
+"""Bench-suite configuration: make the shared module importable."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

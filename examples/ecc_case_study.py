@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Case study: why SEC ECC stops particle strikes but not delay faults.
+
+Reproduces the paper's Fig. 11 / Observation 5 storyline on real gate-level
+hardware:
+
+1. sAVF view — flip any single stored bit of the ECC register file: the
+   Hamming corrector repairs it on read, so no injection is ever ACE
+   (sAVF = 0).
+2. DelayAVF view — a small delay fault on a register-file wire can latch a
+   *multi-bit* error (e.g. a stale word re-latched through the write mux, or
+   several codeword bits arriving late together).  The stored pattern is
+   either a consistent valid codeword of the wrong value or an uncorrectable
+   multi-bit error — ECC passes and the corruption becomes architectural.
+
+Run:  python examples/ecc_case_study.py
+"""
+
+from repro import build_system, load_benchmark
+from repro.core.campaign import CampaignConfig, DelayAVFEngine
+from repro.core.savf import SAVFEngine
+
+
+def main() -> None:
+    print("Building the ECC-protected IbexMini system...")
+    system = build_system(use_ecc=True)
+    program = load_benchmark("libstrstr")
+    config = CampaignConfig(
+        delay_fractions=(0.9,), cycle_count=6, max_wires=32, seed=2
+    )
+    engine = DelayAVFEngine(system, program, config)
+    session = engine.session
+
+    # ------------------------------------------------------------------
+    # Particle-strike view: sAVF of the ECC register file.
+    # ------------------------------------------------------------------
+    print("\n[1] particle strikes: flipping single stored bits (sampled)")
+    savf = SAVFEngine(session).run_structure("regfile", max_bits=48, seed=2)
+    print(f"    {savf.samples} single-bit flips injected -> "
+          f"{savf.ace_count} ACE  =>  sAVF = {savf.savf:.3f}")
+    assert savf.savf == 0.0, "SEC must correct every single-bit error"
+
+    # ------------------------------------------------------------------
+    # Delay-fault view: DelayAVF of the same structure.
+    # ------------------------------------------------------------------
+    print("\n[2] small delay faults: +90% of the clock period on regfile wires")
+    result = engine.run_structure("regfile").by_delay[0.9]
+    print(f"    {result.samples} injections: "
+          f"static-reach {result.static_reach_rate:.1%}, "
+          f"state-element errors {result.dynamic_reach_rate:.1%}, "
+          f"DelayAVF {result.delay_avf:.3f}")
+    multi = [r for r in result.error_sets if r.multi_bit]
+    print(f"    error-producing SDFs: {len(result.error_sets)} "
+          f"({len(multi)} multi-bit)")
+
+    # ------------------------------------------------------------------
+    # The compounding mechanism, demonstrated directly.
+    # ------------------------------------------------------------------
+    print("\n[3] ACE compounding: a 2-bit storage error on a live register")
+    live_bits = [
+        d.index for d in system.netlist.dffs
+        if d.name.startswith("core.regfile.x9[")  # x9 = output base pointer
+    ][:2]
+    for cycle in session.sampled_cycles:
+        checkpoint = session.checkpoint(cycle)
+        overrides = {
+            b: int(checkpoint.dff_values[b]) ^ 1 for b in live_bits
+        }
+        group = session.group_ace.outcome_of_state_errors(
+            checkpoint, overrides, at_next_boundary=False
+        )
+        singles = [
+            session.group_ace.outcome_of_state_errors(
+                checkpoint, {b: v}, at_next_boundary=False
+            ).is_failure
+            for b, v in overrides.items()
+        ]
+        print(f"    cycle {cycle:4d}: single-bit ACE = {singles}, "
+              f"2-bit outcome = {group.value}")
+        if group.is_failure and not any(singles):
+            print("    -> ACE COMPOUNDING: the set is GroupACE although no "
+                  "member is individually ACE (ORACE would miss this).")
+            break
+
+
+if __name__ == "__main__":
+    main()

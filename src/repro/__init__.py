@@ -1,0 +1,70 @@
+"""DelayAVF — architectural vulnerability factors for small delay faults.
+
+This package reproduces the system described in *DelayAVF: Calculating
+Architectural Vulnerability Factors for Delay Faults* (MICRO 2024).  It
+contains:
+
+- ``repro.netlist`` — a gate-level netlist substrate,
+- ``repro.hdl`` — a word-level hardware construction API,
+- ``repro.timing`` — a mini timing library and static timing analysis,
+- ``repro.sim`` — timing-agnostic (cycle) and timing-aware (event) simulators,
+- ``repro.isa`` — an RV32I/RV32E assembler and reference ISS,
+- ``repro.soc`` — the "IbexMini" 2-stage in-order RISC-V core under study,
+- ``repro.workloads`` — Beebs-like benchmark programs,
+- ``repro.core`` — the paper's contribution: DelayACE / DelayAVF, sAVF,
+  ORACE / OrDelayAVF, and the fault-injection campaign engine,
+- ``repro.analysis`` — table/figure rendering used by the benchmark harness.
+
+Quickstart::
+
+    from repro import build_system, load_benchmark, DelayAVFEngine
+
+    system = build_system()
+    program = load_benchmark("libstrstr")
+    engine = DelayAVFEngine(system, program)
+    result = engine.estimate("alu", delay_fraction=0.5, max_wires=32,
+                             max_cycles=8, seed=1)
+    print(result.delay_avf)
+"""
+
+_EXPORTS = {
+    "CampaignConfig": ("repro.core.campaign", "CampaignConfig"),
+    "DelayAVFEngine": ("repro.core.campaign", "DelayAVFEngine"),
+    "DelayFault": ("repro.core.delay_model", "DelayFault"),
+    "DelayAVFResult": ("repro.core.results", "DelayAVFResult"),
+    "Outcome": ("repro.core.group_ace", "Outcome"),
+    "SAVFEngine": ("repro.core.savf", "SAVFEngine"),
+    "StructureCampaignResult": ("repro.core.results", "StructureCampaignResult"),
+    "IbexMiniSystem": ("repro.soc.system", "IbexMiniSystem"),
+    "build_system": ("repro.soc.system", "build_system"),
+    "BENCHMARK_NAMES": ("repro.workloads.beebs", "BENCHMARK_NAMES"),
+    "load_benchmark": ("repro.workloads.beebs", "load_benchmark"),
+}
+
+
+def __getattr__(name):
+    """Lazily resolve the public API to keep ``import repro`` lightweight."""
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "CampaignConfig",
+    "DelayAVFEngine",
+    "DelayAVFResult",
+    "DelayFault",
+    "IbexMiniSystem",
+    "Outcome",
+    "SAVFEngine",
+    "StructureCampaignResult",
+    "build_system",
+    "load_benchmark",
+]
+
+__version__ = "1.0.0"

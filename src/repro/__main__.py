@@ -1,0 +1,5 @@
+"""``python -m repro`` entry point."""
+
+from repro.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,6 @@
+"""Reporting helpers: ASCII tables and bar charts for the benchmark harness."""
+
+from repro.analysis.figures import render_grouped_bars, render_histogram
+from repro.analysis.tables import render_table
+
+__all__ = ["render_grouped_bars", "render_histogram", "render_table"]

@@ -1,0 +1,65 @@
+"""Plain-text "figures": horizontal bar charts and histograms.
+
+The paper's evaluation figures are bar charts over structures, benchmarks,
+and delay sweeps; these renderers reproduce the same series as aligned ASCII
+bars so a bench run reads like the figure.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Tuple
+
+
+def _bar(value: float, peak: float, width: int) -> str:
+    if peak <= 0:
+        return ""
+    filled = int(round(width * value / peak))
+    return "#" * filled
+
+
+def render_grouped_bars(
+    series: Mapping[str, Mapping[str, float]],
+    width: int = 40,
+    title: Optional[str] = None,
+    value_format: str = "{:.4f}",
+) -> str:
+    """Render ``{group: {label: value}}`` as grouped horizontal bars.
+
+    All bars share one scale (the global maximum) so groups are visually
+    comparable, mirroring the paper's normalized bar charts.
+    """
+    peak = max(
+        (value for group in series.values() for value in group.values()),
+        default=0.0,
+    )
+    label_width = max(
+        (len(label) for group in series.values() for label in group),
+        default=0,
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    for group_name, group in series.items():
+        lines.append(f"{group_name}:")
+        for label, value in group.items():
+            lines.append(
+                f"  {label.ljust(label_width)} |{_bar(value, peak, width).ljust(width)}| "
+                + value_format.format(value)
+            )
+    return "\n".join(lines)
+
+
+def render_histogram(
+    bins: Sequence[Tuple[float, float, int]],
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Render ``(lo, hi, count)`` bins as a vertical-ish ASCII histogram."""
+    peak = max((count for _, _, count in bins), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for lo, hi, count in bins:
+        bar = _bar(float(count), float(peak or 1), width)
+        lines.append(f"  [{lo:4.2f}, {hi:4.2f}) |{bar.ljust(width)}| {count}")
+    return "\n".join(lines)

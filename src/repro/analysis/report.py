@@ -1,0 +1,73 @@
+"""Assembling the measured-results report (EXPERIMENTS.md §Measured results).
+
+Each bench archives its rendered table/figure under ``benchmarks/results/``;
+this module stitches them into one markdown section and can splice it into
+EXPERIMENTS.md below the marker line, so the document always reflects the
+latest bench run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+#: EXPERIMENTS.md content below this marker is machine-generated.
+MARKER = "## Measured results"
+
+#: Presentation order (anything else is appended alphabetically).
+PREFERRED_ORDER = [
+    "table1_structures",
+    "table2_cycles",
+    "fig6_path_distributions",
+    "fig7_structure_delayavf",
+    "fig8_components",
+    "fig9_alu_benchmarks",
+    "fig10_savf_vs_delayavf",
+    "table3_orace",
+    "ablation_optimizations",
+    "macro_substructures",
+]
+
+
+def collect_result_files(results_dir: Path) -> List[Path]:
+    """Result files in presentation order."""
+    files = {path.stem: path for path in sorted(results_dir.glob("*.txt"))}
+    ordered = [files.pop(stem) for stem in PREFERRED_ORDER if stem in files]
+    return ordered + [files[stem] for stem in sorted(files)]
+
+
+def build_measured_section(results_dir: Path) -> str:
+    """Render all archived bench reports as one markdown section."""
+    lines = [
+        MARKER,
+        "",
+        "*Machine-generated from `benchmarks/results/` — regenerate with "
+        "`python benchmarks/update_experiments.py` after a bench run.*",
+        "",
+    ]
+    files = collect_result_files(results_dir)
+    if not files:
+        lines.append("*(no bench results archived yet)*")
+    for path in files:
+        lines.append(f"### {path.stem}")
+        lines.append("")
+        lines.append("```")
+        lines.append(path.read_text().rstrip())
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def splice_into_document(document: str, section: str) -> str:
+    """Replace everything from :data:`MARKER` onward with *section*."""
+    index = document.find(MARKER)
+    if index == -1:
+        return document.rstrip() + "\n\n" + section
+    return document[:index] + section
+
+
+def update_experiments_md(experiments_md: Path, results_dir: Path) -> None:
+    """Rewrite the measured-results section of *experiments_md* in place."""
+    section = build_measured_section(results_dir)
+    document = experiments_md.read_text() if experiments_md.exists() else ""
+    experiments_md.write_text(splice_into_document(document, section))

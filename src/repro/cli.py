@@ -1,0 +1,208 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro structures
+    python -m repro run md5
+    python -m repro disasm libstrstr --limit 20
+    python -m repro paths alu
+    python -m repro delayavf md5 alu --delays 0.5 0.9 --wires 24 --cycles 6
+    python -m repro savf libstrstr regfile --bits 24 --ecc
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.figures import render_histogram
+from repro.analysis.tables import render_table
+from repro.core.campaign import CampaignConfig, DelayAVFEngine
+from repro.core.savf import SAVFEngine
+from repro.isa.disasm import disassemble
+from repro.netlist.stats import structure_stats
+from repro.soc.system import build_system
+from repro.timing.paths import path_length_distribution
+from repro.workloads.beebs import BENCHMARK_NAMES, expected_output, load_benchmark
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ecc", action="store_true",
+        help="use the SEC-ECC-protected register file configuration",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DelayAVF: vulnerability analysis for small delay faults",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("structures", help="list analyzable structures (Table I)")
+    _add_common(p)
+
+    p = sub.add_parser("run", help="run a benchmark on the gate-level core")
+    p.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    p.add_argument("--max-cycles", type=int, default=60_000)
+    _add_common(p)
+
+    p = sub.add_parser("disasm", help="disassemble a benchmark image")
+    p.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    p.add_argument("--limit", type=int, default=None, help="max instructions")
+
+    p = sub.add_parser("paths", help="path-length distribution (Fig. 6)")
+    p.add_argument("structure")
+    p.add_argument("--bins", type=int, default=10)
+    _add_common(p)
+
+    p = sub.add_parser("delayavf", help="run a DelayAVF campaign")
+    p.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    p.add_argument("structure")
+    p.add_argument("--delays", type=float, nargs="+", default=[0.5, 0.9])
+    p.add_argument("--wires", type=int, default=24)
+    p.add_argument("--cycles", type=int, default=6)
+    p.add_argument("--seed", type=int, default=0)
+    _add_common(p)
+
+    p = sub.add_parser("savf", help="run a particle-strike sAVF campaign")
+    p.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    p.add_argument("structure")
+    p.add_argument("--bits", type=int, default=24)
+    p.add_argument("--cycles", type=int, default=6)
+    p.add_argument("--seed", type=int, default=0)
+    _add_common(p)
+
+    return parser
+
+
+def cmd_structures(args) -> int:
+    system = build_system(use_ecc=args.ecc)
+    stats = structure_stats(system.netlist, system.structures)
+    rows = [
+        [name, s.num_wires, s.num_cells, s.num_state_bits]
+        for name, s in stats.items()
+    ]
+    print(render_table(
+        ["structure", "wires |E|", "cells", "state bits"],
+        rows,
+        title=f"{system.netlist.name}: clock period {system.clock_period:.0f} ps",
+    ))
+    return 0
+
+
+def cmd_run(args) -> int:
+    system = build_system(use_ecc=args.ecc)
+    result = system.run_program(
+        load_benchmark(args.benchmark), max_cycles=args.max_cycles
+    )
+    print(f"cycles:  {result.cycles}")
+    print(f"halted:  {result.halted}")
+    for event in result.observables:
+        print(f"output:  {event}")
+    ok = result.observables == expected_output(args.benchmark)
+    print(f"matches expected output: {ok}")
+    return 0 if (result.halted and ok) else 1
+
+
+def cmd_disasm(args) -> int:
+    program = load_benchmark(args.benchmark)
+    count = program.size // 4 if args.limit is None else args.limit
+    labels = {addr: name for name, addr in program.symbols.items()}
+    for index in range(count):
+        addr = index * 4
+        if addr >= program.size:
+            break
+        if addr in labels:
+            print(f"{labels[addr]}:")
+        print(f"  {addr:#06x}:  {disassemble(program.word_at(addr), addr)}")
+    return 0
+
+
+def cmd_paths(args) -> int:
+    system = build_system(use_ecc=args.ecc)
+    wires = system.structure_wires(args.structure)
+    if not wires:
+        print(f"error: no wires found for structure {args.structure!r}",
+              file=sys.stderr)
+        return 1
+    dist = path_length_distribution(system.sta, args.structure, wires)
+    print(render_histogram(
+        dist.histogram(bins=args.bins),
+        title=(
+            f"{args.structure}: {len(dist.lengths)} wires, worst path / "
+            f"clock period (T = {dist.clock_period:.0f} ps)"
+        ),
+    ))
+    return 0
+
+
+def cmd_delayavf(args) -> int:
+    system = build_system(use_ecc=args.ecc)
+    config = CampaignConfig(
+        delay_fractions=tuple(args.delays),
+        cycle_count=args.cycles,
+        max_wires=args.wires,
+        seed=args.seed,
+    )
+    engine = DelayAVFEngine(system, load_benchmark(args.benchmark), config)
+    result = engine.run_structure(args.structure)
+    rows = []
+    for delay in config.delay_fractions:
+        r = result.by_delay[delay]
+        rows.append([
+            f"{delay:.0%}", f"{r.static_reach_rate:.1%}",
+            f"{r.dynamic_reach_rate:.1%}", f"{r.delay_avf:.4f}",
+            f"{r.or_delay_avf:.4f}", f"{r.multi_bit_fraction:.1%}",
+        ])
+    print(render_table(
+        ["d", "static", "dynamic", "DelayAVF", "OrDelayAVF", "multi-bit"],
+        rows,
+        title=(
+            f"{args.structure} / {args.benchmark}: |E|={result.wire_count}, "
+            f"{result.sampled_wires} wires x {len(result.sampled_cycles)} "
+            "cycles sampled"
+        ),
+    ))
+    return 0
+
+
+def cmd_savf(args) -> int:
+    system = build_system(use_ecc=args.ecc)
+    config = CampaignConfig(cycle_count=args.cycles, seed=args.seed)
+    engine = DelayAVFEngine(system, load_benchmark(args.benchmark), config)
+    try:
+        result = SAVFEngine(engine.session).run_structure(
+            args.structure, max_bits=args.bits, seed=args.seed
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(render_table(
+        ["structure", "samples", "ACE", "SDC", "DUE", "sAVF"],
+        [[result.structure, result.samples, result.ace_count,
+          result.sdc_count, result.due_count, f"{result.savf:.4f}"]],
+        title=f"sAVF — {args.structure} / {args.benchmark}",
+    ))
+    return 0
+
+
+_COMMANDS = {
+    "structures": cmd_structures,
+    "run": cmd_run,
+    "disasm": cmd_disasm,
+    "paths": cmd_paths,
+    "delayavf": cmd_delayavf,
+    "savf": cmd_savf,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,232 @@
+"""Statistical fault-injection campaign engine.
+
+:class:`CampaignSession` owns the expensive per-(system, workload) artefacts
+shared across structures and delay sweeps:
+
+- the golden run with per-cycle state fingerprints and checkpoints at the
+  sampled injection cycles,
+- the fault-free event-driven waveforms of each sampled cycle (computed once
+  and reused by every wire and delay examined there),
+- the GroupACE and ORACE analyzers with their cross-injection caches.
+
+:class:`DelayAVFEngine` runs structure campaigns on top of a session,
+producing :class:`repro.core.results.StructureCampaignResult` records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.delay_model import DEFAULT_DELAY_FRACTIONS
+from repro.core.delayavf import DelayAceEvaluator
+from repro.core.dynamic_reach import DynamicReachability
+from repro.core.group_ace import GroupAceAnalyzer
+from repro.core.orace import OraceAnalyzer
+from repro.core.results import DelayAVFResult, StructureCampaignResult
+from repro.core.sampling import sample_cycles, sample_wires
+from repro.core.static_reach import StaticReachability
+from repro.isa.assembler import Program
+from repro.sim.cyclesim import Checkpoint, RunResult
+from repro.sim.eventsim import CycleWaveforms
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Knobs of a statistical campaign.
+
+    The paper's configuration corresponds to ``cycle_fraction=0.04`` and
+    ``max_wires=None`` (all wires); the defaults here are laptop-sized.
+    """
+
+    delay_fractions: Tuple[float, ...] = DEFAULT_DELAY_FRACTIONS
+    cycle_count: Optional[int] = 10  #: number of equally spaced cycles
+    cycle_fraction: Optional[float] = None  #: alternative: fraction of cycles
+    max_wires: Optional[int] = 48  #: wires sampled per structure (None = all)
+    seed: int = 0
+    warmup_cycles: int = 2
+    margin_cycles: int = 3000  #: extra cycles before declaring a hang (DUE)
+    max_run_cycles: int = 200_000
+    compute_orace: bool = True
+    #: GroupACE runs packed per bit-plane batch (1 disables batching)
+    batch_lanes: int = 8
+
+
+class CampaignSession:
+    """Shared golden-run state for one (system, program) pair."""
+
+    def __init__(self, system, program: Program, config: CampaignConfig):
+        self.system = system
+        self.program = program
+        self.config = config
+        # Pass 1: plain run to learn the cycle count.
+        probe = system.run_program(program, max_cycles=config.max_run_cycles)
+        if not probe.halted:
+            raise RuntimeError(
+                f"workload {program.name!r} did not halt within "
+                f"{config.max_run_cycles} cycles"
+            )
+        self.total_cycles = probe.cycles
+        self.sampled_cycles: List[int] = sample_cycles(
+            probe.cycles,
+            count=config.cycle_count,
+            fraction=config.cycle_fraction,
+            warmup=config.warmup_cycles,
+        )
+        # Pass 2: record fingerprints + checkpoints at the sampled cycles.
+        self.golden: RunResult = system.run_program(
+            program,
+            max_cycles=config.max_run_cycles,
+            checkpoint_cycles=self.sampled_cycles,
+            record_fingerprints=True,
+        )
+        assert self.golden.cycles == probe.cycles
+        assert self.golden.observables == probe.observables
+
+        self.static = StaticReachability(system.sta)
+        self.dynamic = DynamicReachability(system.event_sim, self.static)
+        self.group_ace = GroupAceAnalyzer(
+            system, program, self.golden, margin_cycles=config.margin_cycles
+        )
+        self.orace = OraceAnalyzer(self.group_ace)
+        self.evaluator = DelayAceEvaluator(
+            self.static, self.dynamic, self.group_ace, self.orace
+        )
+        self._waveforms: Dict[int, CycleWaveforms] = {}
+
+    def checkpoint(self, cycle: int) -> Checkpoint:
+        return self.golden.checkpoints[cycle]
+
+    def waveforms(self, cycle: int) -> CycleWaveforms:
+        """Fault-free event-simulated waveforms of one sampled cycle."""
+        waves = self._waveforms.get(cycle)
+        if waves is None:
+            ckpt = self.checkpoint(cycle)
+            waves = self.system.event_sim.simulate_cycle(
+                ckpt.prev_settled, ckpt.dff_values, ckpt.input_values, cycle=cycle
+            )
+            self._waveforms[cycle] = waves
+        return waves
+
+
+class DelayAVFEngine:
+    """Runs DelayAVF campaigns for one workload on one system."""
+
+    def __init__(self, system, program: Program, config: Optional[CampaignConfig] = None):
+        self.config = config if config is not None else CampaignConfig()
+        self.session = CampaignSession(system, program, self.config)
+
+    @property
+    def system(self):
+        return self.session.system
+
+    @property
+    def program(self) -> Program:
+        return self.session.program
+
+    # ------------------------------------------------------------------
+    def run_structure(
+        self,
+        structure: str,
+        delay_fractions: Optional[Sequence[float]] = None,
+        max_wires: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> StructureCampaignResult:
+        """Estimate DelayAVF of *structure* across the delay sweep.
+
+        Loops are ordered cycle-outermost so the fault-free waveforms and
+        GroupACE caches are reused maximally (the paper's §V-C caching).
+        """
+        config = self.config
+        delays = tuple(
+            delay_fractions if delay_fractions is not None else config.delay_fractions
+        )
+        wires = self.system.structure_wires(structure)
+        chosen = sample_wires(
+            wires,
+            max_wires if max_wires is not None else config.max_wires,
+            seed if seed is not None else config.seed,
+        )
+        wire_indices = {wire: wires.index(wire) for wire in chosen}
+        result = StructureCampaignResult(
+            structure=structure,
+            benchmark=self.program.name,
+            wire_count=len(wires),
+            sampled_wires=len(chosen),
+            sampled_cycles=tuple(self.session.sampled_cycles),
+            by_delay={
+                d: DelayAVFResult(
+                    structure=structure,
+                    benchmark=self.program.name,
+                    delay_fraction=d,
+                )
+                for d in delays
+            },
+        )
+        for cycle in self.session.sampled_cycles:
+            waves = self.session.waveforms(cycle)
+            checkpoint = self.session.checkpoint(cycle)
+            if config.batch_lanes > 1:
+                self._prefetch_group_ace(waves, checkpoint, chosen, delays)
+            for wire in chosen:
+                for delay in delays:
+                    record = self.session.evaluator.evaluate(
+                        waves,
+                        checkpoint,
+                        wire,
+                        wire_indices[wire],
+                        delay,
+                        with_orace=config.compute_orace,
+                    )
+                    result.by_delay[delay].records.append(record)
+        return result
+
+    def _prefetch_group_ace(self, waves, checkpoint, wires, delays) -> None:
+        """Batch-resolve this cycle's GroupACE (and ORACE) queries.
+
+        Collects every dynamically reachable set the evaluation pass will
+        need — plus the per-member singleton sets ORACE requires for
+        multi-bit errors — and resolves them lane-parallel, so the scalar
+        evaluation pass afterwards is pure cache hits.
+        """
+        session = self.session
+        pending = []
+        for wire in wires:
+            if not waves.toggles(wire.net):
+                continue
+            for delay in delays:
+                errors = session.dynamic.reachable_set(waves, wire, delay)
+                if not errors:
+                    continue
+                pending.append(errors)
+                if self.config.compute_orace and len(errors) > 1:
+                    pending.extend(
+                        {dff: value} for dff, value in errors.items()
+                    )
+        if pending:
+            session.group_ace.prefetch(
+                checkpoint, pending, lanes=self.config.batch_lanes
+            )
+
+    def estimate(
+        self,
+        structure: str,
+        delay_fraction: float = 0.5,
+        max_wires: Optional[int] = 32,
+        max_cycles: Optional[int] = None,
+        seed: int = 0,
+    ) -> DelayAVFResult:
+        """Convenience single-delay estimate (used by the quickstart).
+
+        *max_cycles* further restricts the session's sampled cycles (it
+        cannot exceed the session's ``cycle_count``).
+        """
+        campaign = self.run_structure(
+            structure, delay_fractions=(delay_fraction,), max_wires=max_wires,
+            seed=seed,
+        )
+        result = campaign.by_delay[delay_fraction]
+        if max_cycles is not None:
+            kept = set(self.session.sampled_cycles[:max_cycles])
+            result.records = [r for r in result.records if r.cycle in kept]
+        return result

@@ -1,0 +1,88 @@
+"""DelayACE evaluation (Eq. 4) — the two-step composition.
+
+``DelayACE_d(e, i) = GroupACE(DynamicReachable_d(e, i), i + 1)``
+
+:class:`DelayAceEvaluator` composes the three primitives (statically
+reachable pre-filter, timing-aware dynamically reachable set, timing-agnostic
+GroupACE) into the per-injection record the campaign engine aggregates into
+DelayAVF (Eq. 3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.dynamic_reach import DynamicReachability
+from repro.core.group_ace import GroupAceAnalyzer, Outcome
+from repro.core.orace import OraceAnalyzer
+from repro.core.results import InjectionRecord
+from repro.core.static_reach import StaticReachability
+from repro.netlist.netlist import Wire
+from repro.sim.cyclesim import Checkpoint
+from repro.sim.eventsim import CycleWaveforms
+
+
+class DelayAceEvaluator:
+    """Evaluates DelayACE_d(e, i) for individual injections."""
+
+    def __init__(
+        self,
+        static: StaticReachability,
+        dynamic: DynamicReachability,
+        group_ace: GroupAceAnalyzer,
+        orace: Optional[OraceAnalyzer] = None,
+    ):
+        self.static = static
+        self.dynamic = dynamic
+        self.group_ace = group_ace
+        self.orace = orace
+
+    def evaluate(
+        self,
+        waves: CycleWaveforms,
+        checkpoint: Checkpoint,
+        wire: Wire,
+        wire_index: int,
+        delay_fraction: float,
+        with_orace: bool = True,
+    ) -> InjectionRecord:
+        """Full two-step evaluation of one (wire, cycle, delay) injection."""
+        static_set = self.static.reachable_set(wire, delay_fraction)
+        if not static_set:
+            return InjectionRecord(
+                wire_index=wire_index,
+                cycle=waves.cycle,
+                delay_fraction=delay_fraction,
+                statically_reachable=False,
+                num_statically_reachable=0,
+                num_errors=0,
+                outcome=Outcome.MASKED,
+            )
+        errors = self.dynamic.reachable_set(waves, wire, delay_fraction)
+        if not errors:
+            return InjectionRecord(
+                wire_index=wire_index,
+                cycle=waves.cycle,
+                delay_fraction=delay_fraction,
+                statically_reachable=True,
+                num_statically_reachable=len(static_set),
+                num_errors=0,
+                outcome=Outcome.MASKED,
+            )
+        outcome = self.group_ace.outcome_of_state_errors(checkpoint, errors)
+        or_ace = None
+        if with_orace and self.orace is not None:
+            if len(errors) == 1:
+                or_ace = outcome.is_failure
+            else:
+                or_ace = self.orace.or_ace(checkpoint, errors)
+        return InjectionRecord(
+            wire_index=wire_index,
+            cycle=waves.cycle,
+            delay_fraction=delay_fraction,
+            statically_reachable=True,
+            num_statically_reachable=len(static_set),
+            num_errors=len(errors),
+            outcome=outcome,
+            or_ace=or_ace,
+        )

@@ -1,0 +1,58 @@
+"""Dynamically reachable sets (Definition 3) — the timing-aware step.
+
+The dynamically reachable set of an SDF is the set of state elements that
+actually latch an incorrect value: statically reachable *and* not logically
+masked.  This module wraps the event-driven simulator with the §V-C
+short-circuits:
+
+- if the faulted wire's source does not toggle in the injection cycle, the
+  set is trivially empty (no timing-aware simulation at all);
+- if nothing is statically reachable, the set is trivially empty;
+- otherwise only the fan-out cone of the faulted wire is re-simulated against
+  the shared fault-free waveforms of that cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.static_reach import StaticReachability
+from repro.netlist.netlist import Wire
+from repro.sim.eventsim import CycleWaveforms, EventSimulator
+
+
+class DynamicReachability:
+    """Timing-aware dynamically-reachable-set computation."""
+
+    def __init__(self, event_sim: EventSimulator, static: StaticReachability):
+        self.event_sim = event_sim
+        self.static = static
+
+    def reachable_set(
+        self, waves: CycleWaveforms, wire: Wire, delay_fraction: float
+    ) -> Dict[int, int]:
+        """``{dff_index: erroneous latched value}`` for this SDF.
+
+        *waves* are the fault-free waveforms of the injection cycle (shared
+        across every wire and delay examined at that cycle).  Results are
+        memoized on the waveforms object so the batched campaign's prefetch
+        pass and the per-record evaluation share one computation.
+        """
+        if not waves.toggles(wire.net):
+            return {}
+        if not self.static.is_reachable(wire, delay_fraction):
+            return {}
+        key = (wire, delay_fraction)
+        cached = waves.resim_cache.get(key)
+        if cached is not None:
+            return dict(cached)
+        extra = delay_fraction * self.static.sta.clock_period
+        errors = self.event_sim.resimulate(waves, wire, extra)
+        # Exactness check (Definition 3): every erroneous latch must be
+        # statically reachable; anything else indicates a timing-model bug.
+        static_set = self.static.reachable_set(wire, delay_fraction)
+        assert set(errors) <= static_set, (
+            "dynamically reachable set escaped the statically reachable set"
+        )
+        waves.resim_cache[key] = dict(errors)
+        return errors

@@ -1,0 +1,60 @@
+"""Failure-rate estimation from DelayAVF (Section III-B).
+
+"Analogous to AVF, to estimate the failure rate of a structure, DelayAVF can
+be multiplied with the rate at which a given structure experiences a small
+delay fault."  These helpers perform that bookkeeping in FIT (failures per
+10⁹ device-hours), the unit reliability budgets are written in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class FailureRateEstimate:
+    """A structure's contribution to the system failure rate."""
+
+    structure: str
+    delay_avf: float
+    raw_fault_fit: float  #: SDF arrival rate for the whole structure, in FIT
+
+    @property
+    def failure_fit(self) -> float:
+        """Program-visible failures per 10⁹ hours (FIT)."""
+        return self.delay_avf * self.raw_fault_fit
+
+
+def structure_failure_fit(
+    delay_avf: float, fit_per_wire: float, num_wires: int, structure: str = ""
+) -> FailureRateEstimate:
+    """Estimate a structure's failure FIT from a per-wire SDF arrival rate.
+
+    Uniform per-wire arrival is the natural counterpart of the paper's
+    random-location marginal-defect model (§IV-B); callers with better
+    defect data can weight wires themselves and use
+    :class:`FailureRateEstimate` directly.
+    """
+    if fit_per_wire < 0 or num_wires < 0:
+        raise ValueError("fault rates and wire counts must be non-negative")
+    if not 0.0 <= delay_avf <= 1.0:
+        raise ValueError(f"DelayAVF must be in [0, 1], got {delay_avf}")
+    return FailureRateEstimate(
+        structure=structure,
+        delay_avf=delay_avf,
+        raw_fault_fit=fit_per_wire * num_wires,
+    )
+
+
+def rank_structures(
+    estimates: Mapping[str, FailureRateEstimate]
+) -> list:
+    """Structures ordered by failure-FIT contribution (largest first).
+
+    This is the paper's intended use: target protection where
+    DelayAVF × fault rate — not raw size, not sAVF — says it pays most.
+    """
+    return sorted(
+        estimates.values(), key=lambda e: e.failure_fit, reverse=True
+    )

@@ -1,0 +1,263 @@
+"""GroupACE (Definition 4) — the timing-agnostic step.
+
+A set of state elements S is *GroupACE* in cycle i+1 if simultaneously
+erroneous values in all of them produce a program-visible failure.  This is
+decided by resuming a zero-delay simulation from a checkpoint, overwriting
+the erroneous latches, running to completion, and comparing program-visible
+output against the golden run.
+
+Program-visible failures are classified as in the paper:
+
+- **SDC** — the program produces different output (or a different exit code),
+- **DUE** — the program traps or fails to halt within the cycle budget,
+- **MASKED** — identical program-visible output (architecturally correct
+  execution; differing *timing* alone is not a failure).
+
+Runs exit early when the full system state (DFFs, in-flight interface
+values, memory) reconverges with the golden run's per-cycle fingerprints —
+the future is then provably identical, so only the output produced *so far*
+needs comparing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.isa.assembler import Program
+from repro.sim.cyclesim import Checkpoint, CycleSimulator, RunResult
+from repro.sim.packed import MAX_LANES, PackedCycleSimulator
+
+
+class Outcome(enum.Enum):
+    """Program-level outcome of one injection."""
+
+    MASKED = "masked"
+    SDC = "sdc"
+    DUE = "due"
+
+    @property
+    def is_failure(self) -> bool:
+        """Whether this outcome is a program-visible failure."""
+        return self is not Outcome.MASKED
+
+
+@dataclass
+class InjectionStats:
+    """Bookkeeping for how injected runs terminate (performance insight)."""
+
+    runs: int = 0
+    converged: int = 0
+    ran_to_halt: int = 0
+    timed_out: int = 0
+    cycles_simulated: int = 0
+
+
+class GroupAceAnalyzer:
+    """Decides GroupACE-ness of state-element error sets for one workload."""
+
+    def __init__(
+        self,
+        system,
+        program: Program,
+        golden: RunResult,
+        margin_cycles: int = 3000,
+    ):
+        if not golden.fingerprints:
+            raise ValueError("golden run must be recorded with fingerprints")
+        self.system = system
+        self.program = program
+        self.golden = golden
+        self.margin_cycles = margin_cycles
+        self.sim: CycleSimulator = system.simulator()
+        self.stats = InjectionStats()
+        self._cache: Dict[Tuple, Outcome] = {}
+        self._packed: PackedCycleSimulator = PackedCycleSimulator(
+            self.sim.netlist, self.sim.plan
+        )
+
+    # ------------------------------------------------------------------
+    def outcome_of_state_errors(
+        self,
+        checkpoint: Checkpoint,
+        overrides: Dict[int, int],
+        at_next_boundary: bool = True,
+    ) -> Outcome:
+        """Outcome of forcing *overrides* (DFF index → value) into the state.
+
+        With ``at_next_boundary=True`` (the delay-fault case) the checkpoint
+        cycle is first re-simulated fault-free and the erroneous values are
+        applied at the following clock edge — where an SDF in that cycle
+        would deposit them.  With ``False`` (the particle-strike case) the
+        overrides are applied directly at the checkpoint boundary.
+        """
+        if not overrides:
+            return Outcome.MASKED
+        key = (checkpoint.cycle, at_next_boundary, tuple(sorted(overrides.items())))
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._run_injected(checkpoint, overrides, at_next_boundary)
+            self._cache[key] = cached
+        return cached
+
+    def is_group_ace(
+        self, checkpoint: Checkpoint, overrides: Dict[int, int]
+    ) -> bool:
+        """GroupACE(S, i+1) for the dynamically reachable set *overrides*."""
+        return self.outcome_of_state_errors(checkpoint, overrides).is_failure
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+    def prefetch(
+        self,
+        checkpoint: Checkpoint,
+        sets: Sequence[Dict[int, int]],
+        at_next_boundary: bool = True,
+        lanes: int = MAX_LANES,
+    ) -> None:
+        """Batch-resolve many error sets into the cache (lane-parallel).
+
+        Deduplicates against the cache and within *sets*, then runs the
+        remaining unique injections in groups of up to *lanes* on the packed
+        bit-plane simulator.  Subsequent :meth:`outcome_of_state_errors`
+        calls for these sets are cache hits, so callers can keep using the
+        scalar API unchanged.
+        """
+        lanes = max(1, min(int(lanes), MAX_LANES))
+        unique: List[Tuple[Tuple, Dict[int, int]]] = []
+        seen = set()
+        for overrides in sets:
+            if not overrides:
+                continue
+            key = (
+                checkpoint.cycle,
+                at_next_boundary,
+                tuple(sorted(overrides.items())),
+            )
+            if key in self._cache or key in seen:
+                continue
+            seen.add(key)
+            unique.append((key, dict(overrides)))
+        for start in range(0, len(unique), lanes):
+            chunk = unique[start : start + lanes]
+            outcomes = self._run_injected_batch(
+                checkpoint, [overrides for _, overrides in chunk],
+                at_next_boundary,
+            )
+            for (key, _), outcome in zip(chunk, outcomes):
+                self._cache[key] = outcome
+
+    def _run_injected_batch(
+        self,
+        checkpoint: Checkpoint,
+        override_sets: List[Dict[int, int]],
+        at_next_boundary: bool,
+    ) -> List[Outcome]:
+        """Run up to :data:`MAX_LANES` injections simultaneously.
+
+        Bit-exact with :meth:`_run_injected` per lane: the same fingerprint
+        convergence checks, halt handling, and DUE budget are applied at the
+        same cycle boundaries.
+        """
+        count = len(override_sets)
+        psim = self._packed
+        envs = [self.system.make_env(self.program) for _ in range(count)]
+        psim.load(checkpoint, envs)
+        if at_next_boundary:
+            psim.step()
+        for lane, overrides in enumerate(override_sets):
+            psim.override_lane_dffs(lane, overrides)
+        budget = self.golden.cycles + self.margin_cycles
+        golden_fps = self.golden.fingerprints
+        golden_obs = self.golden.observables
+        self.stats.runs += count
+        start_cycle = psim.cycle
+        outcomes: List[Outcome] = [Outcome.MASKED] * count
+        unresolved = set(range(count))
+        while unresolved:
+            cycle = psim.cycle
+            for lane in sorted(unresolved):
+                if (
+                    cycle < len(golden_fps)
+                    and psim.lane_fingerprint(lane) == golden_fps[cycle]
+                ):
+                    produced = envs[lane].observables()
+                    outcomes[lane] = (
+                        Outcome.MASKED
+                        if produced == golden_obs[: len(produced)]
+                        else Outcome.SDC
+                    )
+                    self.stats.converged += 1
+                    unresolved.discard(lane)
+            if not unresolved:
+                break
+            if cycle >= budget:
+                for lane in unresolved:
+                    outcomes[lane] = Outcome.DUE
+                    self.stats.timed_out += 1
+                unresolved.clear()
+                break
+            psim.step()
+            for lane in sorted(unresolved):
+                if envs[lane].halted():
+                    produced = envs[lane].observables()
+                    if produced == golden_obs:
+                        outcomes[lane] = Outcome.MASKED
+                    elif any(e and e[0] == "trap" for e in produced):
+                        outcomes[lane] = Outcome.DUE
+                    else:
+                        outcomes[lane] = Outcome.SDC
+                    self.stats.ran_to_halt += 1
+                    unresolved.discard(lane)
+        self.stats.cycles_simulated += psim.cycle - start_cycle
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def _run_injected(
+        self,
+        checkpoint: Checkpoint,
+        overrides: Dict[int, int],
+        at_next_boundary: bool,
+    ) -> Outcome:
+        sim = self.sim
+        env = self.system.make_env(self.program)
+        sim.restore(checkpoint, env)
+        if at_next_boundary:
+            sim.step()
+        sim.override_dffs(overrides)
+        # If the forced values all equal the current latched state, the
+        # "error" is not an error at all (can happen for particle-strike
+        # style injections given as absolute values).
+        budget = self.golden.cycles + self.margin_cycles
+        golden_fps = self.golden.fingerprints
+        golden_obs = self.golden.observables
+        self.stats.runs += 1
+        start_cycle = sim.cycle
+        while True:
+            cycle = sim.cycle
+            if cycle < len(golden_fps) and sim.fingerprint() == golden_fps[cycle]:
+                self.stats.converged += 1
+                self.stats.cycles_simulated += sim.cycle - start_cycle
+                produced = env.observables()
+                if produced == golden_obs[: len(produced)]:
+                    return Outcome.MASKED
+                return Outcome.SDC
+            if cycle >= budget:
+                self.stats.timed_out += 1
+                self.stats.cycles_simulated += sim.cycle - start_cycle
+                return Outcome.DUE
+            sim.step()
+            if env.halted():
+                break
+        self.stats.ran_to_halt += 1
+        self.stats.cycles_simulated += sim.cycle - start_cycle
+        produced = env.observables()
+        if produced == golden_obs:
+            return Outcome.MASKED
+        if any(event and event[0] == "trap" for event in produced):
+            return Outcome.DUE
+        return Outcome.SDC

@@ -1,0 +1,81 @@
+"""ORACE, OrDelayAVF, and ACE interference / compounding (Section VII).
+
+ORACE approximates GroupACE from *individual* state-element ACEness: a set S
+is ORACE iff any member is individually ACE (Definition 5).  Replacing
+GroupACE with ORACE in the DelayAVF computation yields **OrDelayAVF**
+(Definition 6), which allows reuse of existing particle-strike fault
+injection or ACE-analysis data.
+
+The approximation fails exactly on the two confounding effects the paper
+isolates:
+
+- **ACE interference** — the set is ORACE but not GroupACE (the simultaneous
+  errors cancel architecturally);
+- **ACE compounding** — the set is GroupACE but not ORACE (no member matters
+  alone; the paper's SEC-ECC register file is the canonical example, where
+  any single stored-bit error is corrected but multi-bit errors escape).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.group_ace import GroupAceAnalyzer
+from repro.sim.cyclesim import Checkpoint
+
+
+@dataclass
+class SetVerdict:
+    """GroupACE vs ORACE verdicts for one dynamically reachable set."""
+
+    group_ace: bool
+    or_ace: bool
+
+    @property
+    def interference(self) -> bool:
+        return self.or_ace and not self.group_ace
+
+    @property
+    def compounding(self) -> bool:
+        return self.group_ace and not self.or_ace
+
+
+class OraceAnalyzer:
+    """Evaluates ORACE via cached single-state-element injections."""
+
+    def __init__(self, group_ace: GroupAceAnalyzer):
+        self.group_ace = group_ace
+        #: (cycle, dff, value) -> individually ACE?
+        self._single_cache: Dict[Tuple[int, int, int], bool] = {}
+
+    def single_ace(self, checkpoint: Checkpoint, dff: int, value: int) -> bool:
+        """Whether an error forcing *dff* to *value* alone is ACE."""
+        key = (checkpoint.cycle, dff, value)
+        cached = self._single_cache.get(key)
+        if cached is None:
+            outcome = self.group_ace.outcome_of_state_errors(
+                checkpoint, {dff: value}
+            )
+            cached = outcome.is_failure
+            self._single_cache[key] = cached
+        return cached
+
+    def or_ace(self, checkpoint: Checkpoint, overrides: Dict[int, int]) -> bool:
+        """ORACE(S): any member individually ACE (Definition 5)."""
+        return any(
+            self.single_ace(checkpoint, dff, value)
+            for dff, value in overrides.items()
+        )
+
+    def verdict(
+        self, checkpoint: Checkpoint, overrides: Dict[int, int]
+    ) -> SetVerdict:
+        """Joint GroupACE/ORACE verdict for a dynamically reachable set."""
+        group = self.group_ace.is_group_ace(checkpoint, overrides)
+        # For singleton sets ORACE == GroupACE by construction; reuse it.
+        if len(overrides) == 1:
+            return SetVerdict(group_ace=group, or_ace=group)
+        return SetVerdict(
+            group_ace=group, or_ace=self.or_ace(checkpoint, overrides)
+        )

@@ -1,0 +1,179 @@
+"""Result records and aggregation helpers for campaigns."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.group_ace import Outcome
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """Outcome of one (wire, cycle, delay) injection."""
+
+    wire_index: int
+    cycle: int
+    delay_fraction: float
+    statically_reachable: bool
+    num_statically_reachable: int
+    num_errors: int  #: |dynamically reachable set|
+    outcome: Outcome
+    or_ace: Optional[bool] = None  #: ORACE verdict (None when set is empty)
+
+    @property
+    def dynamically_reachable(self) -> bool:
+        return self.num_errors > 0
+
+    @property
+    def delay_ace(self) -> bool:
+        return self.outcome.is_failure
+
+    @property
+    def multi_bit(self) -> bool:
+        return self.num_errors > 1
+
+
+@dataclass
+class DelayAVFResult:
+    """Aggregated DelayAVF estimate for one (structure, benchmark, d)."""
+
+    structure: str
+    benchmark: str
+    delay_fraction: float
+    records: List[InjectionRecord] = field(default_factory=list)
+
+    @property
+    def samples(self) -> int:
+        return len(self.records)
+
+    def _rate(self, predicate) -> float:
+        if not self.records:
+            return 0.0
+        return sum(1 for r in self.records if predicate(r)) / len(self.records)
+
+    @property
+    def static_reach_rate(self) -> float:
+        """Fraction of injections with >=1 statically reachable element (Fig. 8)."""
+        return self._rate(lambda r: r.statically_reachable)
+
+    @property
+    def dynamic_reach_rate(self) -> float:
+        """Fraction of injections producing >=1 state element error (Fig. 8)."""
+        return self._rate(lambda r: r.dynamically_reachable)
+
+    @property
+    def delay_avf(self) -> float:
+        """The DelayAVF estimate (Eq. 3, sampled)."""
+        return self._rate(lambda r: r.delay_ace)
+
+    @property
+    def or_delay_avf(self) -> float:
+        """OrDelayAVF: GroupACE replaced by ORACE (Definition 6)."""
+        return self._rate(lambda r: bool(r.or_ace))
+
+    @property
+    def sdc_rate(self) -> float:
+        return self._rate(lambda r: r.outcome is Outcome.SDC)
+
+    @property
+    def due_rate(self) -> float:
+        return self._rate(lambda r: r.outcome is Outcome.DUE)
+
+    # ------------------------------------------------------------------
+    # Multi-bit / confounding-effect accounting (Table III, Observation 2)
+    # ------------------------------------------------------------------
+    @property
+    def error_sets(self) -> List[InjectionRecord]:
+        """Injections with a non-empty dynamically reachable set."""
+        return [r for r in self.records if r.dynamically_reachable]
+
+    @property
+    def multi_bit_fraction(self) -> float:
+        """Among error-producing SDFs, the fraction with multi-bit errors."""
+        sets = self.error_sets
+        if not sets:
+            return 0.0
+        return sum(1 for r in sets if r.multi_bit) / len(sets)
+
+    @property
+    def interference_rate(self) -> float:
+        """ACE interference as % of dynamically reachable sets (Table III)."""
+        sets = self.error_sets
+        if not sets:
+            return 0.0
+        hits = sum(1 for r in sets if r.or_ace and not r.delay_ace)
+        return hits / len(sets)
+
+    @property
+    def compounding_rate(self) -> float:
+        """ACE compounding as % of dynamically reachable sets (Table III)."""
+        sets = self.error_sets
+        if not sets:
+            return 0.0
+        hits = sum(1 for r in sets if r.delay_ace and not r.or_ace)
+        return hits / len(sets)
+
+    @property
+    def relative_change(self) -> float:
+        """|DelayAVF − OrDelayAVF| / DelayAVF (Table III's Rel. Change)."""
+        if self.delay_avf == 0.0:
+            return 0.0 if self.or_delay_avf == 0.0 else math.inf
+        return abs(self.delay_avf - self.or_delay_avf) / self.delay_avf
+
+
+@dataclass
+class StructureCampaignResult:
+    """All per-delay results for one (structure, benchmark) campaign."""
+
+    structure: str
+    benchmark: str
+    wire_count: int  #: |E| of the structure (Table I)
+    sampled_wires: int
+    sampled_cycles: Tuple[int, ...]
+    by_delay: Dict[float, DelayAVFResult] = field(default_factory=dict)
+
+    def delay_avf(self, delay_fraction: float) -> float:
+        return self.by_delay[delay_fraction].delay_avf
+
+    @property
+    def delay_fractions(self) -> Tuple[float, ...]:
+        return tuple(sorted(self.by_delay))
+
+
+@dataclass(frozen=True)
+class SAVFResult:
+    """Particle-strike AVF estimate for one (structure, benchmark)."""
+
+    structure: str
+    benchmark: str
+    samples: int
+    ace_count: int
+    sdc_count: int
+    due_count: int
+
+    @property
+    def savf(self) -> float:
+        return self.ace_count / self.samples if self.samples else 0.0
+
+
+# ----------------------------------------------------------------------
+# Aggregation helpers (the paper reports normalized geometric means)
+# ----------------------------------------------------------------------
+def geometric_mean(values: Iterable[float], epsilon: float = 1e-6) -> float:
+    """Geometric mean with an epsilon floor (AVFs can legitimately be 0)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    log_sum = sum(math.log(max(v, epsilon)) for v in values)
+    mean = math.exp(log_sum / len(values))
+    return 0.0 if mean <= epsilon * (1 + 1e-9) else mean
+
+
+def normalize(series: Mapping[str, float]) -> Dict[str, float]:
+    """Scale a series so its maximum is 1.0 (paper's normalized plots)."""
+    peak = max(series.values(), default=0.0)
+    if peak == 0.0:
+        return dict(series)
+    return {key: value / peak for key, value in series.items()}

@@ -1,0 +1,47 @@
+"""Sampling plans for statistical fault-injection campaigns.
+
+The paper injects into every wire at 4 % of execution cycles, equally spaced
+("the injection points were chosen to be equally spaced out throughout the
+whole program execution").  This repo additionally samples *wires* uniformly
+(seeded) to keep campaigns laptop-sized; both estimators are unbiased for
+the (wire, cycle) mean that DelayAVF is.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def sample_cycles(
+    total_cycles: int,
+    count: Optional[int] = None,
+    fraction: Optional[float] = None,
+    warmup: int = 2,
+) -> List[int]:
+    """Equally spaced injection cycles across the program's execution.
+
+    Exactly one of *count* / *fraction* must be given.  *warmup* skips the
+    first cycles (reset ramp-in, before the first instruction issues).
+    """
+    if (count is None) == (fraction is None):
+        raise ValueError("specify exactly one of count= or fraction=")
+    usable = total_cycles - warmup
+    if usable <= 0:
+        return []
+    if count is None:
+        count = max(1, round(usable * fraction))
+    count = min(count, usable)
+    step = usable / count
+    cycles = sorted({warmup + int(i * step + step / 2) for i in range(count)})
+    return [c for c in cycles if c < total_cycles]
+
+
+def sample_wires(wires: Sequence[T], count: Optional[int], seed: int) -> List[T]:
+    """Uniform seeded sample of *count* wires (all wires if count is None)."""
+    if count is None or count >= len(wires):
+        return list(wires)
+    rng = random.Random(seed)
+    return rng.sample(list(wires), count)

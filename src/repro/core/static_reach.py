@@ -1,0 +1,39 @@
+"""Statically reachable sets (Definition 2) with per-wire caching.
+
+A state element is *statically reachable* w.r.t. an SDF of duration ``d`` on
+wire ``e`` if it terminates a combinational path through ``e`` whose length
+exceeds the clock period once ``d`` is added.  This is a purely structural
+(cycle-independent) property computed by static timing analysis, so it is
+cached per ``(wire, d)`` across the whole campaign — one of the paper's §V-C
+optimizations (state elements outside this set trivially latch correctly and
+never need timing-aware simulation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from repro.netlist.netlist import Wire
+from repro.timing.sta import StaticTiming
+
+
+class StaticReachability:
+    """Cached statically-reachable-set queries over one design."""
+
+    def __init__(self, sta: StaticTiming):
+        self.sta = sta
+        self._cache: Dict[Tuple[Wire, float], FrozenSet[int]] = {}
+
+    def reachable_set(self, wire: Wire, delay_fraction: float) -> FrozenSet[int]:
+        """DFF indices statically reachable by +``delay_fraction``·T on *wire*."""
+        key = (wire, delay_fraction)
+        cached = self._cache.get(key)
+        if cached is None:
+            extra = delay_fraction * self.sta.clock_period
+            cached = frozenset(self.sta.statically_reachable(wire, extra))
+            self._cache[key] = cached
+        return cached
+
+    def is_reachable(self, wire: Wire, delay_fraction: float) -> bool:
+        """Whether the SDF can violate timing at all (Fig. 8's *Static Reach*)."""
+        return bool(self.reachable_set(wire, delay_fraction))

@@ -1,0 +1,58 @@
+"""Word-level hardware construction API.
+
+This is the repo's synthesis stand-in: instead of compiling RTL through
+Yosys, hardware is described with word-level Python functions (adders,
+shifters, muxes, decoders, registers) that elaborate directly into the
+gate-level :class:`repro.netlist.Netlist`.  Buses are plain lists of net
+indices, LSB first.
+"""
+
+from repro.hdl.ops import (
+    Reg,
+    adder,
+    band,
+    bnot,
+    bor,
+    bxor,
+    const_bus,
+    decoder,
+    eq,
+    gate_bus,
+    lt_signed,
+    lt_unsigned,
+    mux,
+    muxn,
+    onehot_mux,
+    reduce_and,
+    reduce_or,
+    reduce_xor,
+    shifter,
+    sign_extend,
+    subtractor,
+    zero_extend,
+)
+
+__all__ = [
+    "Reg",
+    "adder",
+    "band",
+    "bnot",
+    "bor",
+    "bxor",
+    "const_bus",
+    "decoder",
+    "eq",
+    "gate_bus",
+    "lt_signed",
+    "lt_unsigned",
+    "mux",
+    "muxn",
+    "onehot_mux",
+    "reduce_and",
+    "reduce_or",
+    "reduce_xor",
+    "shifter",
+    "sign_extend",
+    "subtractor",
+    "zero_extend",
+]

@@ -1,0 +1,341 @@
+"""Word-level operators elaborating to gate-level netlists.
+
+A *bus* is a list of net indices, LSB first.  All operators perform light
+constant folding (so gating a bus with a constant-0 enable does not emit
+gates), which keeps the elaborated netlists close to what a logic-synthesis
+flow would produce.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.netlist.cells import CellKind
+from repro.netlist.netlist import CONST0, CONST1, Netlist
+
+Bus = List[int]
+
+
+# ----------------------------------------------------------------------
+# Single-bit primitives with constant folding
+# ----------------------------------------------------------------------
+def g_not(nl: Netlist, a: int) -> int:
+    """NOT with constant folding and per-net inverter sharing."""
+    if a == CONST0:
+        return CONST1
+    if a == CONST1:
+        return CONST0
+    cache = getattr(nl, "_hdl_not_cache", None)
+    if cache is None:
+        cache = {}
+        nl._hdl_not_cache = cache
+    if a not in cache:
+        cache[a] = nl.add_cell(CellKind.NOT, [a])
+    return cache[a]
+
+
+def g_and(nl: Netlist, a: int, b: int) -> int:
+    if a == CONST0 or b == CONST0:
+        return CONST0
+    if a == CONST1:
+        return b
+    if b == CONST1:
+        return a
+    if a == b:
+        return a
+    return nl.add_cell(CellKind.AND2, [a, b])
+
+
+def g_or(nl: Netlist, a: int, b: int) -> int:
+    if a == CONST1 or b == CONST1:
+        return CONST1
+    if a == CONST0:
+        return b
+    if b == CONST0:
+        return a
+    if a == b:
+        return a
+    return nl.add_cell(CellKind.OR2, [a, b])
+
+
+def g_xor(nl: Netlist, a: int, b: int) -> int:
+    if a == CONST0:
+        return b
+    if b == CONST0:
+        return a
+    if a == CONST1:
+        return g_not(nl, b)
+    if b == CONST1:
+        return g_not(nl, a)
+    if a == b:
+        return CONST0
+    return nl.add_cell(CellKind.XOR2, [a, b])
+
+
+def g_mux(nl: Netlist, sel: int, a: int, b: int) -> int:
+    """``b if sel else a`` on single nets."""
+    if sel == CONST0:
+        return a
+    if sel == CONST1:
+        return b
+    if a == b:
+        return a
+    if a == CONST0 and b == CONST1:
+        return sel
+    if a == CONST1 and b == CONST0:
+        return g_not(nl, sel)
+    if a == CONST0:
+        return g_and(nl, sel, b)
+    if b == CONST0:
+        return g_and(nl, g_not(nl, sel), a)
+    if a == CONST1:
+        return g_or(nl, g_not(nl, sel), b)
+    if b == CONST1:
+        return g_or(nl, sel, a)
+    return nl.add_cell(CellKind.MUX2, [a, b, sel])
+
+
+# ----------------------------------------------------------------------
+# Bus constructors and bitwise operators
+# ----------------------------------------------------------------------
+def const_bus(nl: Netlist, value: int, width: int) -> Bus:
+    """A bus holding constant *value* (LSB first)."""
+    return [CONST1 if (value >> bit) & 1 else CONST0 for bit in range(width)]
+
+
+def bnot(nl: Netlist, a: Bus) -> Bus:
+    return [g_not(nl, bit) for bit in a]
+
+
+def _check_same_width(a: Bus, b: Bus) -> None:
+    if len(a) != len(b):
+        raise ValueError(f"bus width mismatch: {len(a)} vs {len(b)}")
+
+
+def band(nl: Netlist, a: Bus, b: Bus) -> Bus:
+    _check_same_width(a, b)
+    return [g_and(nl, x, y) for x, y in zip(a, b)]
+
+
+def bor(nl: Netlist, a: Bus, b: Bus) -> Bus:
+    _check_same_width(a, b)
+    return [g_or(nl, x, y) for x, y in zip(a, b)]
+
+
+def bxor(nl: Netlist, a: Bus, b: Bus) -> Bus:
+    _check_same_width(a, b)
+    return [g_xor(nl, x, y) for x, y in zip(a, b)]
+
+
+def gate_bus(nl: Netlist, a: Bus, enable: int) -> Bus:
+    """AND every bit of *a* with the single-net *enable*."""
+    return [g_and(nl, bit, enable) for bit in a]
+
+
+def mux(nl: Netlist, sel: int, a: Bus, b: Bus) -> Bus:
+    """Per-bit 2:1 mux: ``b if sel else a``."""
+    _check_same_width(a, b)
+    return [g_mux(nl, sel, x, y) for x, y in zip(a, b)]
+
+
+def muxn(nl: Netlist, sel: Bus, options: Sequence[Bus]) -> Bus:
+    """Mux tree selecting ``options[sel]`` (options padded to a power of 2)."""
+    count = 1 << len(sel)
+    if len(options) > count:
+        raise ValueError("too many options for selector width")
+    padded = list(options) + [options[-1]] * (count - len(options))
+    layer = [list(option) for option in padded]
+    for bit in sel:
+        layer = [
+            mux(nl, bit, layer[i], layer[i + 1]) for i in range(0, len(layer), 2)
+        ]
+    return layer[0]
+
+
+def zero_extend(nl: Netlist, a: Bus, width: int) -> Bus:
+    if len(a) > width:
+        raise ValueError("bus wider than target")
+    return list(a) + [CONST0] * (width - len(a))
+
+
+def sign_extend(nl: Netlist, a: Bus, width: int) -> Bus:
+    if len(a) > width:
+        raise ValueError("bus wider than target")
+    return list(a) + [a[-1]] * (width - len(a))
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+def _reduce(nl: Netlist, op, bits: Bus) -> int:
+    if not bits:
+        raise ValueError("cannot reduce an empty bus")
+    layer = list(bits)
+    while len(layer) > 1:
+        nxt = []
+        for i in range(0, len(layer) - 1, 2):
+            nxt.append(op(nl, layer[i], layer[i + 1]))
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+    return layer[0]
+
+
+def reduce_and(nl: Netlist, bits: Bus) -> int:
+    return _reduce(nl, g_and, bits)
+
+
+def reduce_or(nl: Netlist, bits: Bus) -> int:
+    return _reduce(nl, g_or, bits)
+
+
+def reduce_xor(nl: Netlist, bits: Bus) -> int:
+    return _reduce(nl, g_xor, bits)
+
+
+# ----------------------------------------------------------------------
+# Arithmetic
+# ----------------------------------------------------------------------
+def adder(nl: Netlist, a: Bus, b: Bus, cin: int = CONST0) -> tuple:
+    """Sklansky parallel-prefix adder; returns ``(sum_bus, carry_out)``.
+
+    A prefix adder (rather than a ripple chain) keeps logic depth
+    logarithmic, matching the timing character of a synthesized datapath.
+    """
+    _check_same_width(a, b)
+    width = len(a)
+    g = [g_and(nl, x, y) for x, y in zip(a, b)]
+    p = [g_xor(nl, x, y) for x, y in zip(a, b)]
+    # Fold carry-in into bit 0's generate: g0' = g0 | (p0 & cin)
+    if cin != CONST0:
+        g[0] = g_or(nl, g[0], g_and(nl, p[0], cin))
+    # Sklansky prefix tree over (g, p).
+    gp = list(zip(g, p))
+    dist = 1
+    while dist < width:
+        new = list(gp)
+        for i in range(width):
+            if (i // dist) % 2 == 1:
+                j = (i // dist) * dist - 1
+                gi, pi = gp[i]
+                gj, pj = gp[j]
+                new[i] = (g_or(nl, gi, g_and(nl, pi, gj)), g_and(nl, pi, pj))
+        gp = new
+        dist *= 2
+    carries = [cin] + [gp[i][0] for i in range(width)]
+    total = [g_xor(nl, p[i], carries[i]) for i in range(width)]
+    return total, carries[width]
+
+
+def subtractor(nl: Netlist, a: Bus, b: Bus) -> tuple:
+    """``a - b``; returns ``(difference, carry_out)`` (carry_out=1 ⇒ a >= b unsigned)."""
+    diff, carry = adder(nl, a, bnot(nl, b), cin=CONST1)
+    return diff, carry
+
+
+def eq(nl: Netlist, a: Bus, b: Bus) -> int:
+    """Single net: 1 iff buses are equal."""
+    return g_not(nl, reduce_or(nl, bxor(nl, a, b)))
+
+
+def lt_unsigned(nl: Netlist, a: Bus, b: Bus) -> int:
+    """1 iff ``a < b`` treating buses as unsigned."""
+    _, carry = subtractor(nl, a, b)
+    return g_not(nl, carry)
+
+
+def lt_signed(nl: Netlist, a: Bus, b: Bus) -> int:
+    """1 iff ``a < b`` treating buses as two's-complement signed."""
+    diff, _ = subtractor(nl, a, b)
+    sign_a, sign_b = a[-1], b[-1]
+    signs_differ = g_xor(nl, sign_a, sign_b)
+    # Same signs: the difference's sign decides; different signs: a<b iff a<0.
+    return g_mux(nl, signs_differ, diff[-1], sign_a)
+
+
+# ----------------------------------------------------------------------
+# Shifters and decoders
+# ----------------------------------------------------------------------
+def shifter(nl: Netlist, a: Bus, amount: Bus, mode: str) -> Bus:
+    """Barrel shifter; *mode* is ``'sll'``, ``'srl'``, or ``'sra'``."""
+    if mode not in ("sll", "srl", "sra"):
+        raise ValueError(f"unknown shift mode {mode!r}")
+    width = len(a)
+    fill = a[-1] if mode == "sra" else CONST0
+    result = list(a)
+    for stage, sel in enumerate(amount):
+        step = 1 << stage
+        if step >= width:
+            shifted = [fill] * width if mode != "sll" else [CONST0] * width
+        elif mode == "sll":
+            shifted = [CONST0] * step + result[: width - step]
+        else:
+            shifted = result[step:] + [fill] * step
+        result = mux(nl, sel, result, shifted)
+    return result
+
+
+def decoder(nl: Netlist, sel: Bus) -> List[int]:
+    """n → 2^n one-hot decoder."""
+    outputs = [CONST1]
+    for bit in sel:
+        inv = g_not(nl, bit)
+        outputs = [g_and(nl, o, inv) for o in outputs] + [
+            g_and(nl, o, bit) for o in outputs
+        ]
+        # Interleave correctly: entry i gains this bit as its next MSB.
+    # The construction above appends the new bit as MSB but produces the
+    # one-hot outputs in an order where index = binary value of sel bits,
+    # LSB processed first: outputs[i] corresponds to sel == i.
+    return outputs
+
+
+def onehot_mux(nl: Netlist, onehot: Sequence[int], options: Sequence[Bus]) -> Bus:
+    """AND-OR mux: select the option whose one-hot line is set."""
+    if len(onehot) != len(options):
+        raise ValueError("one-hot width must match the number of options")
+    width = len(options[0])
+    acc = [CONST0] * width
+    for line, option in zip(onehot, options):
+        acc = bor(nl, acc, gate_bus(nl, list(option), line))
+    return acc
+
+
+# ----------------------------------------------------------------------
+# Registers
+# ----------------------------------------------------------------------
+class Reg:
+    """A register bank of DFFs with deferred D connection.
+
+    Create the register up front (so its Q bus can feed logic), then call
+    :meth:`set` exactly once with the next-value bus.  An optional enable is
+    elaborated as a recirculating mux in front of the DFFs, so every state
+    element in the netlist remains a plain DFF.
+    """
+
+    def __init__(self, nl: Netlist, name: str, width: int, init: int = 0):
+        self.nl = nl
+        self.name = name
+        self.dffs = [
+            nl.add_dff(f"{name}[{bit}]", init=(init >> bit) & 1)
+            for bit in range(width)
+        ]
+        self.q: Bus = [dff.q for dff in self.dffs]
+        self._connected = False
+
+    def __len__(self) -> int:
+        return len(self.q)
+
+    def set(self, d: Bus, en: Optional[int] = None) -> None:
+        """Connect the next-value bus (optionally qualified by *en*)."""
+        if self._connected:
+            raise ValueError(f"register {self.name} already connected")
+        if len(d) != len(self.q):
+            raise ValueError(
+                f"register {self.name}: width mismatch {len(d)} vs {len(self.q)}"
+            )
+        if en is not None:
+            d = mux(self.nl, en, self.q, d)
+        for dff, net in zip(self.dffs, d):
+            self.nl.connect_d(dff, net)
+        self._connected = True

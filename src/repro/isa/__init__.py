@@ -1,0 +1,21 @@
+"""RISC-V (RV32I/RV32E) ISA substrate.
+
+Provides instruction encodings, a two-pass assembler, a disassembler, and an
+architectural reference ISS.  The ISS is the golden model used to co-verify
+the gate-level IbexMini core and to compute expected benchmark outputs.
+"""
+
+from repro.isa.assembler import AssemblerError, Program, assemble
+from repro.isa.disasm import disassemble
+from repro.isa.encoding import encode
+from repro.isa.reference import ReferenceCPU, TrapError
+
+__all__ = [
+    "AssemblerError",
+    "Program",
+    "ReferenceCPU",
+    "TrapError",
+    "assemble",
+    "disassemble",
+    "encode",
+]

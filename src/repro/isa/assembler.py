@@ -1,0 +1,374 @@
+"""A two-pass RV32I/RV32E assembler.
+
+Supports the subset of GNU-as syntax needed by the Beebs-like workloads:
+labels, the common data directives, the base integer instruction set, and
+the standard pseudo-instructions.  The output is a flat memory image
+(:class:`Program`) loaded at address 0.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa import encoding
+from repro.isa.encoding import encode
+
+
+class AssemblerError(Exception):
+    """Raised on any syntax or semantic error, annotated with line info."""
+
+
+@dataclass(frozen=True)
+class Program:
+    """An assembled program: a flat image loaded at address 0."""
+
+    name: str
+    image: bytes
+    entry: int = 0
+    symbols: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.image)
+
+    def word_at(self, addr: int) -> int:
+        """Little-endian 32-bit word at *addr* (zero beyond the image)."""
+        chunk = self.image[addr : addr + 4]
+        return int.from_bytes(chunk.ljust(4, b"\0"), "little")
+
+
+_ABI_NAMES = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7, "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15,
+    "a6": 16, "a7": 17, "s2": 18, "s3": 19, "s4": 20, "s5": 21,
+    "s6": 22, "s7": 23, "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+_MEM_RE = re.compile(r"^(?P<off>[^(]*)\(\s*(?P<base>[\w.]+)\s*\)$")
+_SYM_EXPR_RE = re.compile(r"^(?P<sym>[A-Za-z_.][\w.]*)(?P<rest>[+-]\d+)?$")
+
+
+@dataclass
+class _Item:
+    """One output unit: an instruction or data blob at a fixed address."""
+
+    line_no: int
+    addr: int
+    kind: str  # 'insn' or 'data'
+    op: str = ""
+    args: Tuple[str, ...] = ()
+    data: bytes = b""
+
+
+class _Assembler:
+    def __init__(self, name: str, rv32e: bool):
+        self.name = name
+        self.rv32e = rv32e
+        self.symbols: Dict[str, int] = {}
+        self.items: List[_Item] = []
+        self.pc = 0
+        self.line_no = 0
+
+    # -------------------------- helpers --------------------------
+    def error(self, message: str) -> AssemblerError:
+        return AssemblerError(f"{self.name}:{self.line_no}: {message}")
+
+    def parse_reg(self, token: str) -> int:
+        token = token.strip().lower()
+        if token.startswith("x") and token[1:].isdigit():
+            reg = int(token[1:])
+        elif token in _ABI_NAMES:
+            reg = _ABI_NAMES[token]
+        else:
+            raise self.error(f"bad register {token!r}")
+        if reg >= 32 or (self.rv32e and reg >= 16):
+            limit = 16 if self.rv32e else 32
+            raise self.error(f"register x{reg} out of range (RV32{'E' if self.rv32e else 'I'} has x0..x{limit - 1})")
+        return reg
+
+    def parse_int(self, token: str) -> Optional[int]:
+        token = token.strip()
+        try:
+            return int(token, 0)
+        except ValueError:
+            pass
+        if len(token) == 3 and token[0] == token[2] == "'":
+            return ord(token[1])
+        return None
+
+    def parse_value(self, token: str) -> int:
+        """Integer literal or symbol(+offset); symbols must be defined."""
+        literal = self.parse_int(token)
+        if literal is not None:
+            return literal
+        match = _SYM_EXPR_RE.match(token.strip())
+        if match and match.group("sym") in self.symbols:
+            value = self.symbols[match.group("sym")]
+            if match.group("rest"):
+                value += int(match.group("rest"))
+            return value
+        raise self.error(f"cannot evaluate operand {token!r}")
+
+    # -------------------------- pass 1 --------------------------
+    def first_pass(self, source: str) -> None:
+        for line_no, raw in enumerate(source.splitlines(), start=1):
+            self.line_no = line_no
+            line = re.split(r"#|//", raw, maxsplit=1)[0].strip()
+            while line:
+                match = re.match(r"^([A-Za-z_.][\w.]*)\s*:", line)
+                if match:
+                    label = match.group(1)
+                    if label in self.symbols:
+                        raise self.error(f"duplicate label {label!r}")
+                    self.symbols[label] = self.pc
+                    line = line[match.end():].strip()
+                    continue
+                break
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            op = parts[0].lower()
+            rest = parts[1].strip() if len(parts) > 1 else ""
+            if op.startswith("."):
+                self._directive(op, rest)
+            else:
+                self._instruction(op, rest)
+
+    def _split_args(self, rest: str) -> Tuple[str, ...]:
+        if not rest:
+            return ()
+        return tuple(a.strip() for a in rest.split(","))
+
+    def _directive(self, op: str, rest: str) -> None:
+        if op in (".text", ".data", ".globl", ".global", ".section"):
+            return  # flat single-section model
+        if op == ".org":
+            target = self.parse_value(rest)
+            if target < self.pc:
+                raise self.error(".org cannot move backwards")
+            self.pc = target
+            return
+        if op == ".align":
+            power = self.parse_value(rest)
+            alignment = 1 << power
+            self.pc = (self.pc + alignment - 1) & ~(alignment - 1)
+            return
+        if op == ".space":
+            self.pc += self.parse_value(rest)
+            return
+        if op == ".equ" or op == ".set":
+            name, value = (t.strip() for t in rest.split(",", 1))
+            self.symbols[name] = self.parse_value(value)
+            return
+        if op in (".word", ".half", ".byte"):
+            size = {".word": 4, ".half": 2, ".byte": 1}[op]
+            args = self._split_args(rest)
+            self.items.append(
+                _Item(self.line_no, self.pc, "data", op=op, args=args)
+            )
+            self.pc += size * len(args)
+            return
+        if op in (".asciz", ".ascii"):
+            text = _parse_string(rest, self.error)
+            data = text.encode() + (b"\0" if op == ".asciz" else b"")
+            self.items.append(
+                _Item(self.line_no, self.pc, "data", op=op, data=data)
+            )
+            self.pc += len(data)
+            return
+        raise self.error(f"unknown directive {op!r}")
+
+    def _instruction(self, op: str, rest: str) -> None:
+        args = self._split_args(rest)
+        for expanded_op, expanded_args in self._expand_pseudo(op, args):
+            self.items.append(
+                _Item(self.line_no, self.pc, "insn", op=expanded_op, args=expanded_args)
+            )
+            self.pc += 4
+
+    def _expand_pseudo(self, op, args) -> List[Tuple[str, Tuple[str, ...]]]:
+        """Expand pseudo-instructions; size must be stable across passes."""
+        if op == "nop":
+            return [("addi", ("x0", "x0", "0"))]
+        if op == "mv":
+            return [("addi", (args[0], args[1], "0"))]
+        if op == "not":
+            return [("xori", (args[0], args[1], "-1"))]
+        if op == "neg":
+            return [("sub", (args[0], "x0", args[1]))]
+        if op == "seqz":
+            return [("sltiu", (args[0], args[1], "1"))]
+        if op == "snez":
+            return [("sltu", (args[0], "x0", args[1]))]
+        if op == "sltz":
+            return [("slt", (args[0], args[1], "x0"))]
+        if op == "sgtz":
+            return [("slt", (args[0], "x0", args[1]))]
+        if op == "beqz":
+            return [("beq", (args[0], "x0", args[1]))]
+        if op == "bnez":
+            return [("bne", (args[0], "x0", args[1]))]
+        if op == "blez":
+            return [("bge", ("x0", args[0], args[1]))]
+        if op == "bgez":
+            return [("bge", (args[0], "x0", args[1]))]
+        if op == "bltz":
+            return [("blt", (args[0], "x0", args[1]))]
+        if op == "bgtz":
+            return [("blt", ("x0", args[0], args[1]))]
+        if op == "bgt":
+            return [("blt", (args[1], args[0], args[2]))]
+        if op == "ble":
+            return [("bge", (args[1], args[0], args[2]))]
+        if op == "bgtu":
+            return [("bltu", (args[1], args[0], args[2]))]
+        if op == "bleu":
+            return [("bgeu", (args[1], args[0], args[2]))]
+        if op == "j":
+            return [("jal", ("x0", args[0]))]
+        if op == "jr":
+            return [("jalr", ("x0", args[0], "0"))]
+        if op == "ret":
+            return [("jalr", ("x0", "ra", "0"))]
+        if op == "call":
+            return [("jal", ("ra", args[0]))]
+        if op == "jal" and len(args) == 1:
+            return [("jal", ("ra", args[0]))]
+        if op == "jalr" and len(args) == 1:
+            return [("jalr", ("ra", args[0], "0"))]
+        if op == "li":
+            value = self.parse_int(args[1])
+            if value is None and args[1].strip() in self.symbols:
+                # .equ constants defined earlier in the file work with li;
+                # forward references need `la` (whose size is always 8).
+                value = self.symbols[args[1].strip()]
+            if value is None:
+                raise self.error(
+                    f"li needs an integer literal or earlier .equ, got {args[1]!r}"
+                    " (use `la` for labels)"
+                )
+            if -2048 <= value <= 2047:
+                return [("addi", (args[0], "x0", str(value)))]
+            return [("_li_hi", (args[0], str(value))), ("_li_lo", (args[0], str(value)))]
+        if op == "la":
+            # Always two instructions so label addresses can resolve late.
+            return [("_la_hi", (args[0], args[1])), ("_la_lo", (args[0], args[1]))]
+        return [(op, args)]
+
+    # -------------------------- pass 2 --------------------------
+    def second_pass(self) -> bytes:
+        size = max((self._item_end(i) for i in self.items), default=0)
+        image = bytearray(size)
+        for item in self.items:
+            self.line_no = item.line_no
+            if item.kind == "data":
+                blob = self._data_bytes(item)
+                image[item.addr : item.addr + len(blob)] = blob
+            else:
+                word = self._encode_item(item)
+                image[item.addr : item.addr + 4] = word.to_bytes(4, "little")
+        return bytes(image)
+
+    def _item_end(self, item: _Item) -> int:
+        if item.kind == "insn":
+            return item.addr + 4
+        return item.addr + len(self._data_bytes(item))
+
+    def _data_bytes(self, item: _Item) -> bytes:
+        if item.data:
+            return item.data
+        size = {".word": 4, ".half": 2, ".byte": 1}[item.op]
+        blob = bytearray()
+        for arg in item.args:
+            value = self.parse_value(arg) & ((1 << (8 * size)) - 1)
+            blob += value.to_bytes(size, "little")
+        return bytes(blob)
+
+    def _encode_item(self, item: _Item) -> int:
+        op, args, pc = item.op, item.args, item.addr
+        try:
+            return self._encode(op, args, pc)
+        except ValueError as exc:
+            raise self.error(str(exc)) from None
+
+    def _encode(self, op: str, args: Tuple[str, ...], pc: int) -> int:
+        if op in ("_li_hi", "_la_hi", "_li_lo", "_la_lo"):
+            rd = self.parse_reg(args[0])
+            value = self.parse_value(args[1]) & 0xFFFFFFFF
+            low = value & 0xFFF
+            high = (value >> 12) & 0xFFFFF
+            if low >= 0x800:  # addi sign-extends; compensate in the hi part
+                high = (high + 1) & 0xFFFFF
+                low -= 0x1000
+            if op.endswith("_hi"):
+                return encode("lui", rd=rd, imm=high)
+            return encode("addi", rd=rd, rs1=rd, imm=low)
+        if op not in encoding.INSTRUCTIONS:
+            raise self.error(f"unknown instruction {op!r}")
+        fmt = encoding.INSTRUCTIONS[op][0]
+        if fmt == "R":
+            rd, rs1, rs2 = (self.parse_reg(a) for a in args)
+            return encode(op, rd=rd, rs1=rs1, rs2=rs2)
+        if fmt == "Ishamt":
+            rd, rs1 = self.parse_reg(args[0]), self.parse_reg(args[1])
+            return encode(op, rd=rd, rs1=rs1, imm=self.parse_value(args[2]))
+        if fmt == "I":
+            if encoding.INSTRUCTIONS[op][1] == encoding.OPCODE_LOAD:
+                rd = self.parse_reg(args[0])
+                offset, base = self._parse_mem(args[1])
+                return encode(op, rd=rd, rs1=base, imm=offset)
+            if op == "jalr" and len(args) == 2 and "(" in args[1]:
+                rd = self.parse_reg(args[0])
+                offset, base = self._parse_mem(args[1])
+                return encode(op, rd=rd, rs1=base, imm=offset)
+            rd, rs1 = self.parse_reg(args[0]), self.parse_reg(args[1])
+            return encode(op, rd=rd, rs1=rs1, imm=self.parse_value(args[2]))
+        if fmt == "S":
+            rs2 = self.parse_reg(args[0])
+            offset, base = self._parse_mem(args[1])
+            return encode(op, rs1=base, rs2=rs2, imm=offset)
+        if fmt == "B":
+            rs1, rs2 = self.parse_reg(args[0]), self.parse_reg(args[1])
+            target = self.parse_value(args[2])
+            return encode(op, rs1=rs1, rs2=rs2, imm=target - pc)
+        if fmt == "U":
+            rd = self.parse_reg(args[0])
+            return encode(op, rd=rd, imm=self.parse_value(args[1]))
+        if fmt == "J":
+            rd = self.parse_reg(args[0])
+            target = self.parse_value(args[1])
+            return encode(op, rd=rd, imm=target - pc)
+        if fmt == "SYS":
+            return encode(op)
+        raise self.error(f"unhandled instruction format for {op!r}")
+
+    def _parse_mem(self, token: str) -> Tuple[int, int]:
+        match = _MEM_RE.match(token.strip())
+        if not match:
+            raise self.error(f"bad memory operand {token!r}")
+        off_text = match.group("off").strip()
+        offset = self.parse_value(off_text) if off_text else 0
+        return offset, self.parse_reg(match.group("base"))
+
+
+def _parse_string(rest: str, error) -> str:
+    rest = rest.strip()
+    if len(rest) < 2 or rest[0] != '"' or rest[-1] != '"':
+        raise error("expected a double-quoted string")
+    body = rest[1:-1]
+    return (
+        body.replace("\\n", "\n").replace("\\t", "\t").replace("\\0", "\0")
+        .replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def assemble(source: str, name: str = "program", rv32e: bool = True) -> Program:
+    """Assemble *source* into a :class:`Program` image based at address 0."""
+    assembler = _Assembler(name, rv32e)
+    assembler.first_pass(source)
+    image = assembler.second_pass()
+    return Program(name=name, image=image, entry=0, symbols=dict(assembler.symbols))

@@ -1,0 +1,58 @@
+"""A minimal RV32I disassembler (debugging and test-failure readability)."""
+
+from __future__ import annotations
+
+from repro.isa import encoding as enc
+
+
+def _reg(index: int) -> str:
+    return f"x{index}"
+
+
+def disassemble(word: int, pc: int = 0) -> str:
+    """Render *word* as assembly text (best effort; '.word ...' if unknown)."""
+    opcode = enc.opcode_of(word)
+    rd, rs1, rs2 = enc.rd_of(word), enc.rs1_of(word), enc.rs2_of(word)
+    funct3, funct7 = enc.funct3_of(word), enc.funct7_of(word)
+
+    if opcode == enc.OPCODE_LUI:
+        return f"lui {_reg(rd)}, {enc.imm_u(word) >> 12:#x}"
+    if opcode == enc.OPCODE_AUIPC:
+        return f"auipc {_reg(rd)}, {enc.imm_u(word) >> 12:#x}"
+    if opcode == enc.OPCODE_JAL:
+        return f"jal {_reg(rd)}, {pc + enc.imm_j(word):#x}"
+    if opcode == enc.OPCODE_JALR:
+        return f"jalr {_reg(rd)}, {enc.imm_i(word)}({_reg(rs1)})"
+    if opcode == enc.OPCODE_BRANCH:
+        name = {0: "beq", 1: "bne", 4: "blt", 5: "bge", 6: "bltu", 7: "bgeu"}.get(funct3)
+        if name:
+            return f"{name} {_reg(rs1)}, {_reg(rs2)}, {pc + enc.imm_b(word):#x}"
+    if opcode == enc.OPCODE_LOAD:
+        name = {0: "lb", 1: "lh", 2: "lw", 4: "lbu", 5: "lhu"}.get(funct3)
+        if name:
+            return f"{name} {_reg(rd)}, {enc.imm_i(word)}({_reg(rs1)})"
+    if opcode == enc.OPCODE_STORE:
+        name = {0: "sb", 1: "sh", 2: "sw"}.get(funct3)
+        if name:
+            return f"{name} {_reg(rs2)}, {enc.imm_s(word)}({_reg(rs1)})"
+    if opcode == enc.OPCODE_OP_IMM:
+        if funct3 == 0b001:
+            return f"slli {_reg(rd)}, {_reg(rs1)}, {rs2}"
+        if funct3 == 0b101:
+            name = "srai" if funct7 == 0b0100000 else "srli"
+            return f"{name} {_reg(rd)}, {_reg(rs1)}, {rs2}"
+        name = {0: "addi", 2: "slti", 3: "sltiu", 4: "xori", 6: "ori", 7: "andi"}.get(funct3)
+        if name:
+            return f"{name} {_reg(rd)}, {_reg(rs1)}, {enc.imm_i(word)}"
+    if opcode == enc.OPCODE_OP:
+        table = {
+            (0, 0): "add", (0, 0b0100000): "sub", (1, 0): "sll",
+            (2, 0): "slt", (3, 0): "sltu", (4, 0): "xor",
+            (5, 0): "srl", (5, 0b0100000): "sra", (6, 0): "or", (7, 0): "and",
+        }
+        name = table.get((funct3, funct7))
+        if name:
+            return f"{name} {_reg(rd)}, {_reg(rs1)}, {_reg(rs2)}"
+    if opcode == enc.OPCODE_SYSTEM:
+        return "ebreak" if (word >> 20) & 1 else "ecall"
+    return f".word {word:#010x}"

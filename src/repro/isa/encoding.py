@@ -1,0 +1,216 @@
+"""RV32I instruction encodings.
+
+Implements the base-integer instruction formats (R/I/S/B/U/J) needed by the
+assembler, the disassembler, the reference ISS, and the gate-level decoder's
+test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+# Opcode field values (bits [6:0]).
+OPCODE_LUI = 0b0110111
+OPCODE_AUIPC = 0b0010111
+OPCODE_JAL = 0b1101111
+OPCODE_JALR = 0b1100111
+OPCODE_BRANCH = 0b1100011
+OPCODE_LOAD = 0b0000011
+OPCODE_STORE = 0b0100011
+OPCODE_OP_IMM = 0b0010011
+OPCODE_OP = 0b0110011
+OPCODE_SYSTEM = 0b1110011
+
+#: name -> (format, opcode, funct3, funct7) — funct fields are None when
+#: not applicable.
+INSTRUCTIONS: Dict[str, Tuple[str, int, int, int]] = {
+    "lui": ("U", OPCODE_LUI, None, None),
+    "auipc": ("U", OPCODE_AUIPC, None, None),
+    "jal": ("J", OPCODE_JAL, None, None),
+    "jalr": ("I", OPCODE_JALR, 0b000, None),
+    "beq": ("B", OPCODE_BRANCH, 0b000, None),
+    "bne": ("B", OPCODE_BRANCH, 0b001, None),
+    "blt": ("B", OPCODE_BRANCH, 0b100, None),
+    "bge": ("B", OPCODE_BRANCH, 0b101, None),
+    "bltu": ("B", OPCODE_BRANCH, 0b110, None),
+    "bgeu": ("B", OPCODE_BRANCH, 0b111, None),
+    "lb": ("I", OPCODE_LOAD, 0b000, None),
+    "lh": ("I", OPCODE_LOAD, 0b001, None),
+    "lw": ("I", OPCODE_LOAD, 0b010, None),
+    "lbu": ("I", OPCODE_LOAD, 0b100, None),
+    "lhu": ("I", OPCODE_LOAD, 0b101, None),
+    "sb": ("S", OPCODE_STORE, 0b000, None),
+    "sh": ("S", OPCODE_STORE, 0b001, None),
+    "sw": ("S", OPCODE_STORE, 0b010, None),
+    "addi": ("I", OPCODE_OP_IMM, 0b000, None),
+    "slti": ("I", OPCODE_OP_IMM, 0b010, None),
+    "sltiu": ("I", OPCODE_OP_IMM, 0b011, None),
+    "xori": ("I", OPCODE_OP_IMM, 0b100, None),
+    "ori": ("I", OPCODE_OP_IMM, 0b110, None),
+    "andi": ("I", OPCODE_OP_IMM, 0b111, None),
+    "slli": ("Ishamt", OPCODE_OP_IMM, 0b001, 0b0000000),
+    "srli": ("Ishamt", OPCODE_OP_IMM, 0b101, 0b0000000),
+    "srai": ("Ishamt", OPCODE_OP_IMM, 0b101, 0b0100000),
+    "add": ("R", OPCODE_OP, 0b000, 0b0000000),
+    "sub": ("R", OPCODE_OP, 0b000, 0b0100000),
+    "sll": ("R", OPCODE_OP, 0b001, 0b0000000),
+    "slt": ("R", OPCODE_OP, 0b010, 0b0000000),
+    "sltu": ("R", OPCODE_OP, 0b011, 0b0000000),
+    "xor": ("R", OPCODE_OP, 0b100, 0b0000000),
+    "srl": ("R", OPCODE_OP, 0b101, 0b0000000),
+    "sra": ("R", OPCODE_OP, 0b101, 0b0100000),
+    "or": ("R", OPCODE_OP, 0b110, 0b0000000),
+    "and": ("R", OPCODE_OP, 0b111, 0b0000000),
+    "ecall": ("SYS", OPCODE_SYSTEM, 0b000, 0b0000000),
+    "ebreak": ("SYS", OPCODE_SYSTEM, 0b000, 0b0000001),
+}
+
+
+def _check_signed(value: int, bits: int, what: str) -> None:
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not lo <= value <= hi:
+        raise ValueError(f"{what} {value} out of range [{lo}, {hi}]")
+
+
+def encode(
+    name: str,
+    rd: int = 0,
+    rs1: int = 0,
+    rs2: int = 0,
+    imm: int = 0,
+) -> int:
+    """Encode an RV32I instruction to its 32-bit word.
+
+    *imm* is interpreted per the instruction format: byte offsets for
+    branches/jumps (must be even/multiples of two per the ISA), the upper
+    20-bit value for LUI/AUIPC, and the shift amount for the shift-immediate
+    group.
+    """
+    if name not in INSTRUCTIONS:
+        raise ValueError(f"unknown instruction {name!r}")
+    fmt, opcode, funct3, funct7 = INSTRUCTIONS[name]
+    for reg, what in ((rd, "rd"), (rs1, "rs1"), (rs2, "rs2")):
+        if not 0 <= reg < 32:
+            raise ValueError(f"{what}={reg} is not a valid register")
+    if fmt == "R":
+        return (
+            (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12)
+            | (rd << 7) | opcode
+        )
+    if fmt == "I":
+        _check_signed(imm, 12, "I-immediate")
+        return ((imm & 0xFFF) << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+    if fmt == "Ishamt":
+        if not 0 <= imm < 32:
+            raise ValueError(f"shift amount {imm} out of range [0, 31]")
+        return (
+            (funct7 << 25) | (imm << 20) | (rs1 << 15) | (funct3 << 12)
+            | (rd << 7) | opcode
+        )
+    if fmt == "S":
+        _check_signed(imm, 12, "S-immediate")
+        value = imm & 0xFFF
+        return (
+            ((value >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12)
+            | ((value & 0x1F) << 7) | opcode
+        )
+    if fmt == "B":
+        _check_signed(imm, 13, "branch offset")
+        if imm % 2:
+            raise ValueError("branch offset must be even")
+        value = imm & 0x1FFF
+        return (
+            (((value >> 12) & 1) << 31)
+            | (((value >> 5) & 0x3F) << 25)
+            | (rs2 << 20)
+            | (rs1 << 15)
+            | (funct3 << 12)
+            | (((value >> 1) & 0xF) << 8)
+            | (((value >> 11) & 1) << 7)
+            | opcode
+        )
+    if fmt == "U":
+        if not 0 <= imm < (1 << 20):
+            raise ValueError(f"U-immediate {imm} out of range [0, 2^20)")
+        return (imm << 12) | (rd << 7) | opcode
+    if fmt == "J":
+        _check_signed(imm, 21, "jump offset")
+        if imm % 2:
+            raise ValueError("jump offset must be even")
+        value = imm & 0x1FFFFF
+        return (
+            (((value >> 20) & 1) << 31)
+            | (((value >> 1) & 0x3FF) << 21)
+            | (((value >> 11) & 1) << 20)
+            | (((value >> 12) & 0xFF) << 12)
+            | (rd << 7)
+            | opcode
+        )
+    if fmt == "SYS":
+        return (funct7 << 20) | opcode
+    raise AssertionError(f"unhandled format {fmt}")
+
+
+# ----------------------------------------------------------------------
+# Field extraction (used by the ISS, disassembler, and decoder tests)
+# ----------------------------------------------------------------------
+def opcode_of(word: int) -> int:
+    return word & 0x7F
+
+
+def rd_of(word: int) -> int:
+    return (word >> 7) & 0x1F
+
+
+def funct3_of(word: int) -> int:
+    return (word >> 12) & 0x7
+
+
+def rs1_of(word: int) -> int:
+    return (word >> 15) & 0x1F
+
+
+def rs2_of(word: int) -> int:
+    return (word >> 20) & 0x1F
+
+
+def funct7_of(word: int) -> int:
+    return (word >> 25) & 0x7F
+
+
+def _sign_extend(value: int, bits: int) -> int:
+    mask = 1 << (bits - 1)
+    return (value ^ mask) - mask
+
+
+def imm_i(word: int) -> int:
+    return _sign_extend(word >> 20, 12)
+
+
+def imm_s(word: int) -> int:
+    value = ((word >> 25) << 5) | ((word >> 7) & 0x1F)
+    return _sign_extend(value, 12)
+
+
+def imm_b(word: int) -> int:
+    value = (
+        (((word >> 31) & 1) << 12)
+        | (((word >> 7) & 1) << 11)
+        | (((word >> 25) & 0x3F) << 5)
+        | (((word >> 8) & 0xF) << 1)
+    )
+    return _sign_extend(value, 13)
+
+
+def imm_u(word: int) -> int:
+    return word & 0xFFFFF000
+
+
+def imm_j(word: int) -> int:
+    value = (
+        (((word >> 31) & 1) << 20)
+        | (((word >> 12) & 0xFF) << 12)
+        | (((word >> 20) & 1) << 11)
+        | (((word >> 21) & 0x3FF) << 1)
+    )
+    return _sign_extend(value, 21)

@@ -1,0 +1,115 @@
+"""Combinational cell kinds and their evaluation semantics.
+
+The cell library intentionally mirrors what a synthesis flow targeting a
+standard-cell library (such as NanGate 45 nm) would emit: one- and two-input
+gates plus a 2:1 multiplexer.  Word-level operators in :mod:`repro.hdl.ops`
+elaborate into trees of these cells.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+import numpy as np
+
+
+class CellKind(IntEnum):
+    """Identifier of a combinational cell's logic function.
+
+    The integer values are used as indices into evaluation dispatch tables,
+    so they must stay small and contiguous.
+    """
+
+    BUF = 0
+    NOT = 1
+    AND2 = 2
+    OR2 = 3
+    NAND2 = 4
+    NOR2 = 5
+    XOR2 = 6
+    XNOR2 = 7
+    #: ``out = b if s else a`` with input order ``(a, b, s)``.
+    MUX2 = 8
+
+
+CELL_KIND_NAMES = {kind: kind.name for kind in CellKind}
+
+_INPUT_COUNT = {
+    CellKind.BUF: 1,
+    CellKind.NOT: 1,
+    CellKind.AND2: 2,
+    CellKind.OR2: 2,
+    CellKind.NAND2: 2,
+    CellKind.NOR2: 2,
+    CellKind.XOR2: 2,
+    CellKind.XNOR2: 2,
+    CellKind.MUX2: 3,
+}
+
+
+def cell_input_count(kind: CellKind) -> int:
+    """Return the number of input pins of a cell of the given *kind*."""
+    return _INPUT_COUNT[CellKind(kind)]
+
+
+def eval_cell(kind: CellKind, inputs) -> int:
+    """Evaluate a single cell on scalar 0/1 *inputs* and return 0 or 1.
+
+    This is the readable reference semantics; the vectorized simulators use
+    :func:`eval_cell_array` which must agree with it bit-for-bit (a property
+    checked by the test suite).
+    """
+    kind = CellKind(kind)
+    if kind is CellKind.BUF:
+        return inputs[0] & 1
+    if kind is CellKind.NOT:
+        return (~inputs[0]) & 1
+    if kind is CellKind.AND2:
+        return inputs[0] & inputs[1] & 1
+    if kind is CellKind.OR2:
+        return (inputs[0] | inputs[1]) & 1
+    if kind is CellKind.NAND2:
+        return (~(inputs[0] & inputs[1])) & 1
+    if kind is CellKind.NOR2:
+        return (~(inputs[0] | inputs[1])) & 1
+    if kind is CellKind.XOR2:
+        return (inputs[0] ^ inputs[1]) & 1
+    if kind is CellKind.XNOR2:
+        return (~(inputs[0] ^ inputs[1])) & 1
+    if kind is CellKind.MUX2:
+        a, b, s = inputs[0] & 1, inputs[1] & 1, inputs[2] & 1
+        return b if s else a
+    raise ValueError(f"unknown cell kind: {kind!r}")
+
+
+def eval_cell_array(kind: CellKind, *inputs: np.ndarray, mask: int = 1) -> np.ndarray:
+    """Vectorized evaluation of many same-kind cells at once.
+
+    Each element of the input arrays holds the value on the corresponding
+    pin of one cell instance.  With the default ``mask=1`` values are plain
+    0/1 bits.  A wider *mask* enables **bit-plane parallelism**: bit *k* of
+    every value carries an independent simulation lane (classic parallel
+    fault simulation), and all lanes are evaluated in one pass — inversion
+    becomes XOR with the mask, everything else is already bitwise.
+    """
+    kind = CellKind(kind)
+    if kind is CellKind.BUF:
+        return inputs[0]
+    if kind is CellKind.NOT:
+        return inputs[0] ^ mask
+    if kind is CellKind.AND2:
+        return inputs[0] & inputs[1]
+    if kind is CellKind.OR2:
+        return inputs[0] | inputs[1]
+    if kind is CellKind.NAND2:
+        return (inputs[0] & inputs[1]) ^ mask
+    if kind is CellKind.NOR2:
+        return (inputs[0] | inputs[1]) ^ mask
+    if kind is CellKind.XOR2:
+        return inputs[0] ^ inputs[1]
+    if kind is CellKind.XNOR2:
+        return (inputs[0] ^ inputs[1]) ^ mask
+    if kind is CellKind.MUX2:
+        a, b, s = inputs
+        return (a & (s ^ mask)) | (b & s)
+    raise ValueError(f"unknown cell kind: {kind!r}")

@@ -1,0 +1,44 @@
+"""Structure statistics (the data behind Table I of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class StructureStats:
+    """Size statistics of one microarchitectural structure."""
+
+    name: str
+    num_wires: int  #: injectable wires (Table I's "# Injected Wires (E)")
+    num_cells: int
+    num_dffs: int
+    num_state_bits: int  #: == num_dffs (one bit per DFF)
+
+
+def structure_stats(netlist: Netlist, scopes: Dict[str, str]) -> Dict[str, StructureStats]:
+    """Compute per-structure statistics.
+
+    *scopes* maps a display name (e.g. ``"ALU"``) to the hierarchical scope
+    prefix of the structure in *netlist* (e.g. ``"core.alu"``).
+    """
+    stats = {}
+    for display_name, prefix in scopes.items():
+        wires = netlist.wires_of_structure(prefix)
+        cells = [
+            index
+            for index, name in enumerate(netlist.cell_names)
+            if name == prefix or name.startswith(prefix + ".")
+        ]
+        dffs = netlist.dffs_of_structure(prefix)
+        stats[display_name] = StructureStats(
+            name=display_name,
+            num_wires=len(wires),
+            num_cells=len(cells),
+            num_dffs=len(dffs),
+            num_state_bits=len(dffs),
+        )
+    return stats

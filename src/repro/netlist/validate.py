@@ -1,0 +1,82 @@
+"""Structural validation of netlists.
+
+Catches construction bugs early: undriven nets, unconnected DFF D pins, and
+combinational loops (which neither the static timing analyzer nor the
+levelized simulator can handle).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.netlist.netlist import Netlist
+
+
+class NetlistError(Exception):
+    """Raised when a netlist is structurally invalid."""
+
+
+def validate(netlist: Netlist) -> None:
+    """Validate *netlist*, raising :class:`NetlistError` on the first problem.
+
+    Checks performed:
+
+    - every net referenced by a cell input, DFF D pin, or output port has a
+      driver (constant, input port, cell output, or DFF Q output);
+    - every DFF has its D input connected;
+    - the combinational cells form a DAG (no combinational loops).
+    """
+    problems = _undriven_nets(netlist)
+    if problems:
+        raise NetlistError(
+            f"{len(problems)} undriven net(s), e.g. "
+            + ", ".join(netlist.net_names[n] for n in problems[:5])
+        )
+    for dff in netlist.dffs:
+        if dff.d == -1:
+            raise NetlistError(f"DFF {dff.name} has an unconnected D input")
+    loop = _find_combinational_loop(netlist)
+    if loop is not None:
+        names = [netlist.cell_names[c] for c in loop[:8]]
+        raise NetlistError("combinational loop through " + " -> ".join(names))
+
+
+def _undriven_nets(netlist: Netlist) -> List[int]:
+    used = set()
+    for inputs in netlist.cell_inputs:
+        used.update(inputs)
+    for dff in netlist.dffs:
+        if dff.d != -1:
+            used.add(dff.d)
+    for nets in netlist.output_ports.values():
+        used.update(nets)
+    return sorted(net for net in used if netlist._driver_kind[net] == -1)
+
+
+def _find_combinational_loop(netlist: Netlist) -> List[int] | None:
+    """Kahn's algorithm over cells; returns cells on a cycle, or ``None``."""
+    num_cells = netlist.num_cells
+    # Map net -> producing cell (only for cell-driven nets).
+    producer = {}
+    for cell, out in enumerate(netlist.cell_outputs):
+        producer[out] = cell
+    indegree = [0] * num_cells
+    consumers: List[List[int]] = [[] for _ in range(num_cells)]
+    for cell, inputs in enumerate(netlist.cell_inputs):
+        for net in inputs:
+            src = producer.get(net)
+            if src is not None:
+                indegree[cell] += 1
+                consumers[src].append(cell)
+    queue = [c for c in range(num_cells) if indegree[c] == 0]
+    visited = 0
+    while queue:
+        cell = queue.pop()
+        visited += 1
+        for succ in consumers[cell]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                queue.append(succ)
+    if visited == num_cells:
+        return None
+    return [c for c in range(num_cells) if indegree[c] > 0]

@@ -1,0 +1,461 @@
+"""Timing-aware transport-delay event-driven simulator.
+
+This implements the *timing-aware step* of the paper's two-step methodology
+(Section V-B): determining which state elements latch an incorrect value — the
+**dynamically reachable set** — when a small delay fault is injected on one
+wire during one cycle.
+
+Key structure (mirroring the paper's §V-C optimizations):
+
+- :meth:`EventSimulator.simulate_cycle` runs a *fault-free* event-driven
+  simulation of a single cycle once, recording per-net waveforms.  This is
+  shared by every injection performed at that cycle.
+- :meth:`EventSimulator.resimulate` then replays only the fan-out cone of the
+  faulted wire with its source waveform shifted by the extra delay ``d``,
+  stopping wherever the recomputed waveform matches the fault-free one, and
+  reports the state elements whose latched value differs from the fault-free
+  next state.
+
+Transport-delay semantics are used: a cell's output waveform is its logic
+function applied to the input waveforms, shifted by the cell's propagation
+delay (no inertial pulse filtering), so glitches propagate — including the
+paper's observation that a *larger* delay can occasionally shrink the
+dynamically reachable set by re-latching a correct value.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from repro.netlist.cells import CellKind, eval_cell
+from repro.netlist.netlist import Netlist, PinType, Wire
+
+if TYPE_CHECKING:  # avoid a circular import; only needed for annotations
+    from repro.timing.sta import StaticTiming
+
+#: A waveform: time-ordered (time, value) committed changes within a cycle.
+Waveform = List[Tuple[float, int]]
+
+#: Changes occurring at most this far past the ideal edge are still captured
+#: (guards against float round-off on the critical path, where the fault-free
+#: arrival equals the clock period by construction).
+_CAPTURE_EPS = 1e-9
+
+
+@dataclass
+class CycleWaveforms:
+    """Fault-free waveforms of one cycle.
+
+    ``initial`` holds each net's value just before the clock edge (the
+    previous cycle's settled values); ``final`` holds the settled values at
+    the end of the cycle; ``changes`` holds the committed transitions of
+    every net that toggles.
+    """
+
+    cycle: int
+    initial: np.ndarray
+    final: np.ndarray
+    changes: Dict[int, Waveform]
+    #: memo for injection results computed against these waveforms, keyed by
+    #: (wire, extra delay) — owned by callers (e.g. DynamicReachability)
+    resim_cache: Dict = field(default_factory=dict, repr=False, compare=False)
+
+    def toggles(self, net: int) -> bool:
+        """Whether *net* transitions at all during this cycle."""
+        return net in self.changes
+
+
+def value_at(initial: int, changes: Waveform, time: float) -> int:
+    """Value of a waveform at sampling time *time* (changes at <= time apply)."""
+    value = initial
+    for t, v in changes:
+        if t <= time + _CAPTURE_EPS:
+            value = v
+        else:
+            break
+    return value
+
+
+class EventSimulator:
+    """Transport-delay event-driven simulation of single cycles."""
+
+    def __init__(self, netlist: Netlist, sta: "StaticTiming"):
+        if not netlist.frozen:
+            netlist.freeze()
+        self.netlist = netlist
+        self.sta = sta
+        self._fanout_cells: List[List[Tuple[int, int]]] = []
+        self._fanout_dffs: List[List[int]] = []
+        for net in range(netlist.num_nets):
+            cells = []
+            dffs = []
+            for sink in netlist.fanout_of(net):
+                if sink.pin_type is PinType.CELL_IN:
+                    cells.append((sink.owner, sink.pin))
+                elif sink.pin_type is PinType.DFF_D:
+                    dffs.append(sink.owner)
+            self._fanout_cells.append(cells)
+            self._fanout_dffs.append(dffs)
+
+    # ------------------------------------------------------------------
+    # Fault-free cycle simulation
+    # ------------------------------------------------------------------
+    def simulate_cycle(
+        self,
+        prev_settled: np.ndarray,
+        dff_values: np.ndarray,
+        input_values: Dict[str, int],
+        cycle: int = 0,
+    ) -> CycleWaveforms:
+        """Event-simulate one fault-free cycle and record all waveforms.
+
+        *prev_settled* are the settled net values of the previous cycle;
+        *dff_values* / *input_values* give the state driven out at the clock
+        edge of this cycle.
+        """
+        netlist = self.netlist
+        values = prev_settled.astype(np.uint8).copy()
+        changes: Dict[int, Waveform] = {}
+        clk_to_q = self.sta.library.dff_clk_to_q_ps
+        heap: List[Tuple[float, int, int, int]] = []
+        seq = 0
+        for dff in netlist.dffs:
+            new = int(dff_values[dff.index]) & 1
+            if new != values[dff.q]:
+                heap.append((clk_to_q, seq, dff.q, new))
+                seq += 1
+        for name, nets in netlist.input_ports.items():
+            word = input_values.get(name, 0)
+            for bit, net in enumerate(nets):
+                new = (word >> bit) & 1
+                if new != values[net]:
+                    heap.append((clk_to_q, seq, net, new))
+                    seq += 1
+        heapq.heapify(heap)
+        cell_inputs = netlist.cell_inputs
+        cell_kinds = netlist.cell_kinds
+        cell_outputs = netlist.cell_outputs
+        cell_delay = self.sta.cell_delay
+        while heap:
+            t = heap[0][0]
+            updates: Dict[int, int] = {}
+            while heap and heap[0][0] == t:
+                _, _, net, value = heapq.heappop(heap)
+                updates[net] = value
+            affected: Dict[int, None] = {}
+            for net, value in updates.items():
+                if value == values[net]:
+                    continue
+                values[net] = value
+                changes.setdefault(net, []).append((t, value))
+                for cell, _pin in self._fanout_cells[net]:
+                    affected[cell] = None
+            for cell in affected:
+                out_value = eval_cell(
+                    cell_kinds[cell],
+                    [values[n] for n in cell_inputs[cell]],
+                )
+                heapq.heappush(
+                    heap,
+                    (t + float(cell_delay[cell]), seq, cell_outputs[cell], out_value),
+                )
+                seq += 1
+        return CycleWaveforms(
+            cycle=cycle, initial=prev_settled.copy(), final=values, changes=changes
+        )
+
+    # ------------------------------------------------------------------
+    # Incremental faulty re-simulation
+    # ------------------------------------------------------------------
+    def resimulate(
+        self, waves: CycleWaveforms, wire: Wire, extra_delay: float
+    ) -> Dict[int, int]:
+        """Dynamically reachable set of an SDF of *extra_delay* on *wire*.
+
+        Returns ``{dff_index: erroneous latched value}`` for every state
+        element that latches an incorrect value — the paper's
+        ``DynamicReachable_d(e, i)``, including the wrong values needed by
+        the GroupACE step.  Empty when the fault is masked (or the source
+        never toggles).
+        """
+        netlist = self.netlist
+        base = waves.changes.get(wire.net)
+        if not base:
+            # §V-C: a non-toggling source trivially yields an empty set.
+            return {}
+        sink = wire.sink
+        if sink.pin_type is PinType.OUTPORT:
+            return {}
+        period = self.sta.clock_period
+        shifted: Waveform = [(t + extra_delay, v) for t, v in base]
+        if sink.pin_type is PinType.DFF_D:
+            latched = value_at(int(waves.initial[wire.net]), shifted, period)
+            golden = int(waves.final[wire.net])
+            return {sink.owner: latched} if latched != golden else {}
+
+        modified: Dict[int, Waveform] = {}
+        pin_overrides: Dict[Tuple[int, int], Waveform] = {
+            (sink.owner, sink.pin): shifted
+        }
+        errors: Dict[int, int] = {}
+        frontier: List[Tuple[int, int]] = []
+        queued = set()
+
+        def enqueue(cell: int) -> None:
+            if cell not in queued:
+                queued.add(cell)
+                heapq.heappush(frontier, (self.sta.cell_levels[cell], cell))
+
+        enqueue(sink.owner)
+        while frontier:
+            _, cell = heapq.heappop(frontier)
+            inputs = netlist.cell_inputs[cell]
+            pin_waves = []
+            for pin, in_net in enumerate(inputs):
+                wf = pin_overrides.get((cell, pin))
+                if wf is None:
+                    wf = modified.get(in_net)
+                if wf is None:
+                    wf = waves.changes.get(in_net, [])
+                pin_waves.append((int(waves.initial[in_net]), wf))
+            out_wf = _recompute_output(
+                netlist.cell_kinds[cell], pin_waves, float(self.sta.cell_delay[cell])
+            )
+            out_net = netlist.cell_outputs[cell]
+            base_out = waves.changes.get(out_net, [])
+            if out_wf == base_out:
+                continue  # converged with the fault-free waveform
+            modified[out_net] = out_wf
+            latched = value_at(int(waves.initial[out_net]), out_wf, period)
+            if latched != int(waves.final[out_net]):
+                for dff in self._fanout_dffs[out_net]:
+                    errors[dff] = latched
+            else:
+                for dff in self._fanout_dffs[out_net]:
+                    errors.pop(dff, None)
+            for next_cell, _pin in self._fanout_cells[out_net]:
+                enqueue(next_cell)
+        return errors
+
+    def resimulate_output_fault(
+        self, waves: CycleWaveforms, net: int, extra_delay: float
+    ) -> Dict[int, int]:
+        """Dynamically reachable set of an SDF on a *circuit element output*.
+
+        Section IV-A: a fault at a gate/state-element output is modeled as a
+        delay on an extra wire inserted at the output, delaying the signal
+        towards *all* downstream sinks.  Implemented by overriding every
+        fan-out pin of *net* with the shifted waveform and re-simulating the
+        union cone.
+        """
+        base = waves.changes.get(net)
+        if not base:
+            return {}
+        period = self.sta.clock_period
+        shifted: Waveform = [(t + extra_delay, v) for t, v in base]
+        errors: Dict[int, int] = {}
+        # Directly-driven state elements latch the shifted waveform.
+        for dff in self._fanout_dffs[net]:
+            latched = value_at(int(waves.initial[net]), shifted, period)
+            if latched != int(waves.final[net]):
+                errors[dff] = latched
+        if not self._fanout_cells[net]:
+            return errors
+
+        netlist = self.netlist
+        modified: Dict[int, Waveform] = {}
+        pin_overrides: Dict[Tuple[int, int], Waveform] = {
+            (cell, pin): shifted for cell, pin in self._fanout_cells[net]
+        }
+        frontier: List[Tuple[int, int]] = []
+        queued = set()
+
+        def enqueue(cell: int) -> None:
+            if cell not in queued:
+                queued.add(cell)
+                heapq.heappush(frontier, (self.sta.cell_levels[cell], cell))
+
+        for cell, _pin in self._fanout_cells[net]:
+            enqueue(cell)
+        while frontier:
+            _, cell = heapq.heappop(frontier)
+            pin_waves = []
+            for pin, in_net in enumerate(netlist.cell_inputs[cell]):
+                wf = pin_overrides.get((cell, pin))
+                if wf is None:
+                    wf = modified.get(in_net)
+                if wf is None:
+                    wf = waves.changes.get(in_net, [])
+                pin_waves.append((int(waves.initial[in_net]), wf))
+            out_wf = _recompute_output(
+                netlist.cell_kinds[cell], pin_waves,
+                float(self.sta.cell_delay[cell]),
+            )
+            out_net = netlist.cell_outputs[cell]
+            if out_wf == waves.changes.get(out_net, []):
+                continue
+            modified[out_net] = out_wf
+            latched = value_at(int(waves.initial[out_net]), out_wf, period)
+            if latched != int(waves.final[out_net]):
+                for dff in self._fanout_dffs[out_net]:
+                    errors[dff] = latched
+            else:
+                for dff in self._fanout_dffs[out_net]:
+                    errors.pop(dff, None)
+            for next_cell, _pin in self._fanout_cells[out_net]:
+                enqueue(next_cell)
+        return errors
+
+    # ------------------------------------------------------------------
+    # Brute-force oracle (testing)
+    # ------------------------------------------------------------------
+    def simulate_cycle_with_fault(
+        self,
+        prev_settled: np.ndarray,
+        dff_values: np.ndarray,
+        input_values: Dict[str, int],
+        wire: Wire,
+        extra_delay: float,
+    ) -> Dict[int, int]:
+        """Full (non-incremental) faulty-cycle simulation.
+
+        An independent oracle for :meth:`resimulate`: re-runs the entire
+        event-driven simulation with the per-edge delay injected directly
+        (via a shadow value on the faulted sink pin) and reports every DFF
+        whose latched value differs from the fault-free next state.  Used by
+        the test suite to validate the incremental algorithm; far slower, as
+        it never shares work across injections.
+        """
+        netlist = self.netlist
+        golden = self.simulate_cycle(prev_settled, dff_values, input_values)
+        period = self.sta.clock_period
+        sink = wire.sink
+        if sink.pin_type is PinType.OUTPORT:
+            return {}
+
+        values = prev_settled.astype(np.uint8).copy()
+        at_period = values.copy()  # value of each net at the capture edge
+        shadow = int(values[wire.net])  # delayed view seen by the faulted pin
+        shadow_at_period = shadow
+        clk_to_q = self.sta.library.dff_clk_to_q_ps
+        SHADOW = -1
+        heap: List[Tuple[float, int, int, int]] = []
+        seq = 0
+        for dff in netlist.dffs:
+            new = int(dff_values[dff.index]) & 1
+            if new != values[dff.q]:
+                heap.append((clk_to_q, seq, dff.q, new))
+                seq += 1
+        for name, nets in netlist.input_ports.items():
+            word = input_values.get(name, 0)
+            for bit, net in enumerate(nets):
+                new = (word >> bit) & 1
+                if new != values[net]:
+                    heap.append((clk_to_q, seq, net, new))
+                    seq += 1
+        heapq.heapify(heap)
+
+        def eval_with_shadow(cell: int) -> int:
+            ins = []
+            for pin, net in enumerate(netlist.cell_inputs[cell]):
+                if (
+                    sink.pin_type is PinType.CELL_IN
+                    and cell == sink.owner
+                    and pin == sink.pin
+                ):
+                    ins.append(shadow)
+                else:
+                    ins.append(values[net])
+            return eval_cell(netlist.cell_kinds[cell], ins)
+
+        while heap:
+            t = heap[0][0]
+            updates: Dict[int, int] = {}
+            while heap and heap[0][0] == t:
+                _, _, net, value = heapq.heappop(heap)
+                updates[net] = value
+            affected: Dict[int, None] = {}
+            for net, value in updates.items():
+                if net == SHADOW:
+                    if value == shadow:
+                        continue
+                    shadow = value
+                    if t <= period + _CAPTURE_EPS:
+                        shadow_at_period = value
+                    if sink.pin_type is PinType.CELL_IN:
+                        affected[sink.owner] = None
+                    continue
+                if value == values[net]:
+                    continue
+                values[net] = value
+                if t <= period + _CAPTURE_EPS:
+                    at_period[net] = value
+                if net == wire.net:
+                    heapq.heappush(heap, (t + extra_delay, seq, SHADOW, value))
+                    seq += 1
+                for cell, pin in self._fanout_cells[net]:
+                    if (
+                        sink.pin_type is PinType.CELL_IN
+                        and cell == sink.owner
+                        and pin == sink.pin
+                    ):
+                        continue  # this pin listens to the shadow instead
+                    affected[cell] = None
+            for cell in affected:
+                heapq.heappush(
+                    heap,
+                    (
+                        t + float(self.sta.cell_delay[cell]),
+                        seq,
+                        netlist.cell_outputs[cell],
+                        eval_with_shadow(cell),
+                    ),
+                )
+                seq += 1
+
+        errors: Dict[int, int] = {}
+        for dff in netlist.dffs:
+            if dff.d == -1:
+                continue
+            if sink.pin_type is PinType.DFF_D and dff.index == sink.owner:
+                latched = shadow_at_period
+            else:
+                latched = int(at_period[dff.d])
+            if latched != int(golden.final[dff.d]):
+                errors[dff.index] = latched
+        return errors
+
+
+def _recompute_output(
+    kind: CellKind,
+    pin_waves: List[Tuple[int, Waveform]],
+    delay: float,
+) -> Waveform:
+    """Output waveform of one cell under transport-delay semantics."""
+    current = [initial for initial, _ in pin_waves]
+    last = eval_cell(kind, current)
+    events: List[Tuple[float, int, int]] = []
+    for pin, (_, wf) in enumerate(pin_waves):
+        for t, v in wf:
+            events.append((t, pin, v))
+    events.sort()
+    out: Waveform = []
+    i = 0
+    count = len(events)
+    while i < count:
+        t = events[i][0]
+        while i < count and events[i][0] == t:
+            _, pin, v = events[i]
+            current[pin] = v
+            i += 1
+        value = eval_cell(kind, current)
+        if value != last:
+            out.append((t + delay, value))
+            last = value
+    return out

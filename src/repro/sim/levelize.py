@@ -1,0 +1,118 @@
+"""Topological levelization of a netlist into a vectorized evaluation plan.
+
+The zero-delay cycle simulator evaluates all combinational cells once per
+cycle.  Doing that cell-by-cell in Python is far too slow, so the netlist is
+*levelized*: cells are assigned to topological levels (a cell's level is one
+more than the deepest of its input producers), and within each level cells of
+the same kind are batched into numpy index arrays so one vectorized operation
+evaluates the whole batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.netlist.cells import CellKind, eval_cell_array
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class EvalBatch:
+    """A batch of same-kind cells whose inputs are all already computed."""
+
+    kind: CellKind
+    input_nets: Tuple[np.ndarray, ...]  #: one index array per input pin
+    output_nets: np.ndarray
+
+
+@dataclass(frozen=True)
+class EvalPlan:
+    """An ordered list of batches that settles the combinational logic."""
+
+    batches: Tuple[EvalBatch, ...]
+    cell_levels: Tuple[int, ...]  #: topological level of every cell
+    num_levels: int
+
+    def evaluate(self, values: np.ndarray, mask: int = 1) -> None:
+        """Settle combinational logic in-place on the net-*values* array.
+
+        ``mask`` selects the active bit-planes (see
+        :func:`repro.netlist.cells.eval_cell_array`): 1 for a plain scalar
+        simulation, ``(1 << lanes) - 1`` for lane-parallel simulation.
+        """
+        for batch in self.batches:
+            ins = [values[idx] for idx in batch.input_nets]
+            values[batch.output_nets] = eval_cell_array(
+                batch.kind, *ins, mask=mask
+            )
+
+
+def compute_cell_levels(netlist: Netlist) -> List[int]:
+    """Return the topological level of every cell (0 = inputs are all roots).
+
+    Roots are constants, input ports, and DFF Q outputs.  Raises
+    ``ValueError`` if the combinational cells do not form a DAG (use
+    :func:`repro.netlist.validate.validate` for a friendlier diagnosis).
+    """
+    producer: Dict[int, int] = {}
+    for cell, out in enumerate(netlist.cell_outputs):
+        producer[out] = cell
+    num_cells = netlist.num_cells
+    levels = [-1] * num_cells
+    indegree = [0] * num_cells
+    consumers: List[List[int]] = [[] for _ in range(num_cells)]
+    for cell, inputs in enumerate(netlist.cell_inputs):
+        for net in inputs:
+            src = producer.get(net)
+            if src is not None:
+                indegree[cell] += 1
+                consumers[src].append(cell)
+    frontier = [c for c in range(num_cells) if indegree[c] == 0]
+    for cell in frontier:
+        levels[cell] = 0
+    processed = 0
+    while frontier:
+        cell = frontier.pop()
+        processed += 1
+        for succ in consumers[cell]:
+            if levels[cell] + 1 > levels[succ]:
+                levels[succ] = levels[cell] + 1
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                frontier.append(succ)
+    if processed != num_cells:
+        raise ValueError("netlist contains a combinational loop")
+    return levels
+
+
+def levelize(netlist: Netlist) -> EvalPlan:
+    """Build the vectorized evaluation plan for a frozen netlist."""
+    levels = compute_cell_levels(netlist)
+    num_levels = max(levels) + 1 if levels else 0
+    # Group cells by (level, kind) preserving topological order.
+    grouped: Dict[Tuple[int, int], List[int]] = {}
+    for cell, level in enumerate(levels):
+        grouped.setdefault((level, netlist.cell_kinds[cell]), []).append(cell)
+    batches: List[EvalBatch] = []
+    for level in range(num_levels):
+        for kind in CellKind:
+            cells = grouped.get((level, int(kind)))
+            if not cells:
+                continue
+            pin_count = len(netlist.cell_inputs[cells[0]])
+            input_nets = tuple(
+                np.array(
+                    [netlist.cell_inputs[c][pin] for c in cells], dtype=np.int64
+                )
+                for pin in range(pin_count)
+            )
+            output_nets = np.array(
+                [netlist.cell_outputs[c] for c in cells], dtype=np.int64
+            )
+            batches.append(EvalBatch(kind, input_nets, output_nets))
+    return EvalPlan(
+        batches=tuple(batches), cell_levels=tuple(levels), num_levels=num_levels
+    )

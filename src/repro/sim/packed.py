@@ -1,0 +1,137 @@
+"""Lane-parallel ("packed") cycle simulation — classic parallel fault sim.
+
+GroupACE dominates a campaign's runtime: every non-masked injection needs a
+timing-agnostic re-simulation to the end of the program.  Those runs share
+the same netlist and differ only in a handful of flipped state bits, so up
+to 8 of them are packed into the bit-planes of the uint8 value arrays and
+evaluated simultaneously — one `EvalPlan.evaluate` pass settles all lanes
+(inversions become XOR-with-mask, everything else is already bitwise).
+
+Each lane keeps its own behavioural environment, input-port values, and
+per-lane state fingerprint, bit-exact with what a scalar
+:class:`repro.sim.cyclesim.CycleSimulator` run of the same injection would
+produce — the equivalence the test suite asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+from repro.sim.cyclesim import Checkpoint, Environment
+from repro.sim.levelize import EvalPlan, levelize
+
+#: Bit-planes available in a uint8 value array.
+MAX_LANES = 8
+
+
+class PackedCycleSimulator:
+    """Simulates up to :data:`MAX_LANES` divergent runs of one netlist."""
+
+    def __init__(self, netlist: Netlist, plan: Optional[EvalPlan] = None):
+        if not netlist.frozen:
+            netlist.freeze()
+        self.netlist = netlist
+        self.plan = plan if plan is not None else levelize(netlist)
+        self._q_nets = np.array([d.q for d in netlist.dffs], dtype=np.int64)
+        self._d_nets = np.array([d.d for d in netlist.dffs], dtype=np.int64)
+        self._in_ports = {
+            name: (
+                np.array(nets, dtype=np.int64),
+                np.arange(len(nets), dtype=np.uint64),
+            )
+            for name, nets in netlist.input_ports.items()
+        }
+        self._out_ports = {
+            name: (
+                np.array(nets, dtype=np.int64),
+                np.arange(len(nets), dtype=np.uint64),
+            )
+            for name, nets in netlist.output_ports.items()
+        }
+        self.values = np.zeros(netlist.num_nets, dtype=np.uint8)
+        self.dff_values = np.zeros(netlist.num_dffs, dtype=np.uint8)
+        self.lanes = 0
+        self.mask = 0
+        self.envs: List[Environment] = []
+        self.lane_inputs: List[Dict[str, int]] = []
+        self.cycle = 0
+
+    # ------------------------------------------------------------------
+    def load(self, checkpoint: Checkpoint, envs: Sequence[Environment]) -> None:
+        """Replicate a scalar *checkpoint* across one lane per environment."""
+        if not 1 <= len(envs) <= MAX_LANES:
+            raise ValueError(f"1..{MAX_LANES} lanes supported, got {len(envs)}")
+        self.lanes = len(envs)
+        self.mask = (1 << self.lanes) - 1
+        self.envs = list(envs)
+        for env in self.envs:
+            env.restore(checkpoint.env_snapshot)
+        # 0/1 scalar state replicated into every active plane.
+        self.dff_values = (
+            checkpoint.dff_values.astype(np.uint8) * self.mask
+        ).astype(np.uint8)
+        self.lane_inputs = [dict(checkpoint.input_values) for _ in envs]
+        self.cycle = checkpoint.cycle
+
+    def override_lane_dffs(self, lane: int, overrides: Dict[int, int]) -> None:
+        """Force DFF bits in one lane only (the per-lane injected errors)."""
+        bit = 1 << lane
+        for index, value in overrides.items():
+            if value & 1:
+                self.dff_values[index] |= bit
+            else:
+                self.dff_values[index] &= 0xFF ^ bit
+
+    # ------------------------------------------------------------------
+    def _settle(self) -> None:
+        values = self.values
+        values[0] = 0
+        values[1] = self.mask
+        if len(self._q_nets):
+            values[self._q_nets] = self.dff_values
+        for name, (nets, shifts) in self._in_ports.items():
+            packed = np.zeros(len(nets), dtype=np.uint8)
+            for lane in range(self.lanes):
+                word = self.lane_inputs[lane].get(name, 0)
+                packed |= (((word >> shifts) & 1) << lane).astype(np.uint8)
+            values[nets] = packed
+        self.plan.evaluate(values, mask=self.mask)
+
+    def _lane_outputs(self, lane: int) -> Dict[str, int]:
+        outputs = {}
+        for name, (nets, shifts) in self._out_ports.items():
+            bits = ((self.values[nets] >> lane) & 1).astype(np.uint64)
+            outputs[name] = int((bits << shifts).sum())
+        return outputs
+
+    def step(self) -> None:
+        """Advance all lanes by one cycle (each lane steps its own env)."""
+        self._settle()
+        next_dff = self.values[self._d_nets].copy() if len(self._d_nets) else (
+            np.zeros(0, dtype=np.uint8)
+        )
+        for lane in range(self.lanes):
+            outputs = self._lane_outputs(lane)
+            self.lane_inputs[lane] = dict(
+                self.envs[lane].step(outputs, self.cycle)
+            )
+        self.dff_values = next_dff
+        self.cycle += 1
+
+    # ------------------------------------------------------------------
+    def lane_dff_values(self, lane: int) -> np.ndarray:
+        return ((self.dff_values >> lane) & 1).astype(np.uint8)
+
+    def lane_fingerprint(self, lane: int) -> int:
+        """Bit-exact twin of :meth:`CycleSimulator.fingerprint` for one lane."""
+        inputs_key = tuple(sorted(self.lane_inputs[lane].items()))
+        return hash(
+            (
+                self.lane_dff_values(lane).tobytes(),
+                inputs_key,
+                self.envs[lane].fingerprint(),
+            )
+        )

@@ -1,0 +1,131 @@
+"""VCD (Value Change Dump) export.
+
+Debugging aid: dump either a cycle-level trace of a zero-delay run or the
+sub-cycle event waveforms of a single cycle (including an injected SDF's
+divergence) to the standard VCD format readable by GTKWave & friends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, TextIO
+
+from repro.netlist.netlist import Netlist
+from repro.sim.eventsim import CycleWaveforms
+
+_ID_CHARS = "".join(chr(c) for c in range(33, 127))
+
+
+def _identifier(index: int) -> str:
+    """Compact VCD identifier for signal *index*."""
+    if index == 0:
+        return _ID_CHARS[0]
+    chars = []
+    while index:
+        index, rem = divmod(index, len(_ID_CHARS))
+        chars.append(_ID_CHARS[rem])
+    return "".join(chars)
+
+
+class VcdWriter:
+    """Streams value changes for a chosen set of nets to a VCD file."""
+
+    def __init__(
+        self,
+        stream: TextIO,
+        netlist: Netlist,
+        nets: Sequence[int],
+        timescale: str = "1ps",
+        design_name: str = "repro",
+    ):
+        self.stream = stream
+        self.netlist = netlist
+        self.nets = list(nets)
+        self._ids = {net: _identifier(i) for i, net in enumerate(self.nets)}
+        self._last: Dict[int, Optional[int]] = {net: None for net in self.nets}
+        self._header_done = False
+        self._timescale = timescale
+        self._design_name = design_name
+
+    def write_header(self) -> None:
+        out = self.stream
+        out.write(f"$timescale {self._timescale} $end\n")
+        out.write(f"$scope module {self._design_name} $end\n")
+        for net in self.nets:
+            name = self.netlist.net_names[net].replace(" ", "_")
+            out.write(f"$var wire 1 {self._ids[net]} {name} $end\n")
+        out.write("$upscope $end\n$enddefinitions $end\n")
+        self._header_done = True
+
+    def emit(self, time: int, values: Dict[int, int]) -> None:
+        """Record the value of each watched net at *time* (changes only)."""
+        if not self._header_done:
+            self.write_header()
+        changes = []
+        for net in self.nets:
+            if net in values:
+                value = values[net] & 1
+                if value != self._last[net]:
+                    self._last[net] = value
+                    changes.append(f"{value}{self._ids[net]}")
+        if changes:
+            self.stream.write(f"#{time}\n")
+            self.stream.write("\n".join(changes) + "\n")
+
+
+def dump_cycle_waveforms(
+    stream: TextIO,
+    netlist: Netlist,
+    waves: CycleWaveforms,
+    nets: Optional[Iterable[int]] = None,
+    faulty: Optional[Dict[int, List]] = None,
+) -> None:
+    """Dump one cycle's event-level waveforms (ps resolution) as VCD.
+
+    *faulty*, if given, maps net → replacement waveform (e.g. the modified
+    waveforms of an injected run) and overrides the fault-free changes for
+    those nets — handy for eyeballing exactly how an SDF diverges.
+    """
+    if nets is None:
+        nets = sorted(
+            set(waves.changes) | (set(faulty) if faulty else set())
+        )
+    nets = list(nets)
+    writer = VcdWriter(stream, netlist, nets)
+    writer.write_header()
+    writer.emit(0, {net: int(waves.initial[net]) for net in nets})
+    events: Dict[int, Dict[int, int]] = {}
+    for net in nets:
+        changes = waves.changes.get(net, [])
+        if faulty and net in faulty:
+            changes = faulty[net]
+        for t, v in changes:
+            events.setdefault(int(round(t)), {})[net] = v
+    for time in sorted(events):
+        writer.emit(time, events[time])
+
+
+def dump_cycle_trace(
+    stream: TextIO,
+    system,
+    program,
+    nets: Sequence[int],
+    max_cycles: int = 1000,
+) -> int:
+    """Run *program* and dump a cycle-level VCD of the selected nets.
+
+    One VCD time unit per cycle.  Returns the number of cycles dumped.
+    """
+    sim = system.simulator()
+    env = system.make_env(program)
+    sim.reset(env)
+    writer = VcdWriter(stream, system.netlist, nets, timescale="1ns")
+    writer.write_header()
+    cycles = 0
+    for cycle in range(max_cycles):
+        sim.step()
+        settled = sim.prev_settled
+        writer.emit(cycle, {net: int(settled[net]) for net in nets})
+        cycles += 1
+        if env.halted():
+            break
+    return cycles

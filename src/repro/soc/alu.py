@@ -1,0 +1,113 @@
+"""Gate-level ALU (structure ``core.alu``).
+
+A logic-only structure: prefix adder/subtractor, comparators, a barrel
+shifter, and bitwise logic, with a one-hot result mux.  Like Ibex's ALU it
+holds no state; its vulnerability manifests entirely through the state
+elements downstream of its result and comparison outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.hdl.ops import (
+    Bus,
+    adder,
+    band,
+    bnot,
+    bor,
+    bxor,
+    eq,
+    g_and,
+    g_mux,
+    g_not,
+    g_xor,
+    mux,
+    onehot_mux,
+    reduce_or,
+    shifter,
+)
+from repro.netlist.netlist import CONST0, Netlist
+
+
+@dataclass
+class AluOutputs:
+    """ALU results."""
+
+    result: Bus  # 32-bit selected result
+    adder_result: Bus  # raw adder/subtractor output (addresses, targets)
+    cmp_result: int  # selected branch comparison (before bne/bge inversion)
+
+
+def build_alu(
+    nl: Netlist,
+    op_a: Bus,
+    op_b: Bus,
+    alu_op: List[int],
+    cmp_sel: List[int],
+) -> AluOutputs:
+    """Elaborate the ALU.
+
+    *alu_op* is the decoder's one-hot operation select
+    ``[add, sub, and, or, xor, slt, sltu, sll, srl, sra]``; *cmp_sel* is the
+    one-hot comparison select ``[eq, lt_signed, lt_ltu]``.
+    """
+    assert len(op_a) == 32 and len(op_b) == 32
+    (
+        op_add, op_sub, op_and, op_or, op_xor,
+        op_slt, op_sltu, op_sll, op_srl, op_sra,
+    ) = alu_op
+    with nl.scope("alu"):
+        # Sub-macros get their own naming scopes so DelayAVF can also be
+        # evaluated per macro ("examining the adder instead of the entire
+        # ALU", one of the paper's §V-C scalability levers).
+        with nl.scope("adder"):
+            # Shared adder: subtract whenever a subtract-family op is active.
+            do_sub = reduce_or(nl, [op_sub, op_slt, op_sltu])
+            b_eff = mux(nl, do_sub, op_b, bnot(nl, op_b))
+            adder_result, carry_out = adder(nl, op_a, b_eff, cin=do_sub)
+
+        with nl.scope("cmp"):
+            # Comparisons derived from the subtraction a - b.
+            is_eq = eq(nl, op_a, op_b)
+            # Signed less-than: sign(diff) xor overflow.
+            sign_a, sign_b = op_a[31], op_b[31]
+            diff_sign = adder_result[31]
+            signs_differ = g_xor(nl, sign_a, sign_b)
+            lt_signed = g_mux(nl, signs_differ, diff_sign, sign_a)
+            lt_unsigned = g_not(nl, carry_out)  # no carry-out => a < b
+
+            cmp_eq_sel, cmp_lt_sel, cmp_ltu_sel = cmp_sel
+            cmp_result = reduce_or(
+                nl,
+                [
+                    g_and(nl, cmp_eq_sel, is_eq),
+                    g_and(nl, cmp_lt_sel, lt_signed),
+                    g_and(nl, cmp_ltu_sel, lt_unsigned),
+                ],
+            )
+
+        with nl.scope("logic"):
+            logic_and = band(nl, op_a, op_b)
+            logic_or = bor(nl, op_a, op_b)
+            logic_xor = bxor(nl, op_a, op_b)
+        with nl.scope("shift"):
+            shamt = op_b[0:5]
+            shift_sll = shifter(nl, op_a, shamt, "sll")
+            shift_srl = shifter(nl, op_a, shamt, "srl")
+            shift_sra = shifter(nl, op_a, shamt, "sra")
+        slt_bus = [lt_signed] + [CONST0] * 31
+        sltu_bus = [lt_unsigned] + [CONST0] * 31
+
+        with nl.scope("resmux"):
+            result = onehot_mux(
+                nl,
+                [op_add, op_sub, op_and, op_or, op_xor,
+                 op_slt, op_sltu, op_sll, op_srl, op_sra],
+                [adder_result, adder_result, logic_and, logic_or, logic_xor,
+                 slt_bus, sltu_bus, shift_sll, shift_srl, shift_sra],
+            )
+        return AluOutputs(
+            result=result, adder_result=adder_result, cmp_result=cmp_result
+        )

@@ -1,0 +1,203 @@
+"""Top-level IbexMini core assembly.
+
+Wires the five structures (prefetch buffer, decoder, register file, ALU,
+LSU) plus the execute-stage glue (operand muxes, branch-target and link
+adders, trap/busy state) into a complete 2-stage in-order RV32E core with
+registered instruction- and data-memory interfaces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.hdl.ops import (
+    Reg,
+    adder,
+    const_bus,
+    g_and,
+    g_not,
+    g_or,
+    g_xor,
+    mux,
+)
+from repro.netlist.netlist import CONST0, Netlist
+from repro.soc.alu import build_alu
+from repro.soc.decoder import build_decoder
+from repro.soc.lsu import build_lsu
+from repro.soc.prefetch import PrefetchBuffer
+from repro.soc.regfile import build_regfile
+
+#: Display name → hierarchical scope prefix of each analyzed structure.
+STRUCTURE_SCOPES: Dict[str, str] = {
+    "alu": "core.alu",
+    "decoder": "core.decoder",
+    "regfile": "core.regfile",
+    "lsu": "core.lsu",
+    "prefetch": "core.prefetch",
+}
+
+
+def build_core(nl: Netlist, use_ecc: bool = False) -> Dict[str, list]:
+    """Elaborate the complete core (ports included) into *nl*.
+
+    With ``use_ecc=True`` the register file stores Hamming SEC codewords
+    (the paper's "Regfile (ECC)" configuration).  Returns *debug probes*:
+    named internal net groups (the instruction at the head of the pipeline)
+    used by instruction-level attribution — they add no hardware.
+    """
+    imem_rvalid = nl.add_input("imem_rvalid", 1)[0]
+    imem_rdata = nl.add_input("imem_rdata", 32)
+    dmem_rvalid = nl.add_input("dmem_rvalid", 1)[0]
+    dmem_rdata = nl.add_input("dmem_rdata", 32)
+
+    with nl.scope("core"):
+        prefetch = PrefetchBuffer(nl, imem_rvalid, imem_rdata)
+        head_valid = prefetch.head_valid
+        instr = prefetch.head_instr
+        pc = prefetch.head_addr
+
+        dec = build_decoder(nl, instr)
+
+        with nl.scope("ex"):
+            trap_q = Reg(nl, "trap_q", 1, init=0)
+            ex_busy_q = Reg(nl, "ex_busy_q", 1, init=0)
+            busy = ex_busy_q.q[0]
+            valid_normal = g_and(
+                nl,
+                head_valid,
+                g_and(nl, g_not(nl, busy), g_not(nl, trap_q.q[0])),
+            )
+
+        rf_written = _RegfileWritePort()
+        regfile = build_regfile(
+            nl,
+            raddr1=dec.rs1,
+            raddr2=dec.rs2,
+            waddr=dec.rd,
+            wdata=rf_written.wdata_nets(nl),
+            we=rf_written.we_net(nl),
+            use_ecc=use_ecc,
+        )
+
+        with nl.scope("ex"):
+            op_a = mux(nl, dec.op_a_is_pc, regfile.rdata1, pc)
+            op_b = mux(nl, dec.op_b_is_imm, regfile.rdata2, dec.imm)
+
+        alu = build_alu(nl, op_a, op_b, dec.alu_op, dec.cmp_sel)
+
+        with nl.scope("ex"):
+            branch_taken = g_and(
+                nl, dec.is_branch, g_xor(nl, alu.cmp_result, dec.cmp_invert)
+            )
+            bt_target, _ = adder(nl, pc, dec.imm)
+            pc_plus4, _ = adder(nl, pc, const_bus(nl, 4, 32))
+            jalr_target = [CONST0] + alu.adder_result[1:]
+            redirect = g_and(
+                nl,
+                valid_normal,
+                g_or(nl, dec.is_jal, g_or(nl, dec.is_jalr, branch_taken)),
+            )
+            redirect_target = mux(nl, dec.is_jalr, bt_target, jalr_target)
+
+            issue = g_and(
+                nl, valid_normal, g_and(nl, dec.is_mem, g_not(nl, dec.illegal))
+            )
+
+        lsu = build_lsu(
+            nl,
+            issue=issue,
+            is_store=dec.is_store,
+            addr=alu.adder_result,
+            store_data=regfile.rdata2,
+            funct3=dec.funct3,
+            dmem_rdata=dmem_rdata,
+        )
+
+        with nl.scope("ex"):
+            mem_done = g_and(nl, busy, dmem_rvalid)
+            ex_busy_q.set([g_or(nl, issue, g_and(nl, busy, g_not(nl, dmem_rvalid)))])
+            new_trap = g_and(nl, valid_normal, dec.illegal)
+            trap_d = g_or(nl, trap_q.q[0], new_trap)
+            trap_q.set([trap_d])
+            consume = g_or(
+                nl,
+                g_and(
+                    nl,
+                    valid_normal,
+                    g_and(nl, g_not(nl, dec.is_mem), g_not(nl, dec.illegal)),
+                ),
+                mem_done,
+            )
+
+            # Writeback data selection.
+            is_jump = g_or(nl, dec.is_jal, dec.is_jalr)
+            wdata = mux(nl, dec.is_lui, alu.result, dec.imm)
+            wdata = mux(nl, is_jump, wdata, pc_plus4)
+            wdata = mux(nl, busy, wdata, lsu.rdata)
+            we_normal = g_and(
+                nl,
+                valid_normal,
+                g_and(
+                    nl,
+                    dec.writes_rd,
+                    g_and(nl, g_not(nl, dec.is_mem), g_not(nl, dec.illegal)),
+                ),
+            )
+            we_load = g_and(nl, mem_done, dec.writes_rd)
+            we = g_or(nl, we_normal, we_load)
+            rf_written.resolve(nl, wdata, we)
+
+        prefetch.connect(
+            consume=consume,
+            redirect=redirect,
+            redirect_target=redirect_target,
+            halt_fetch=trap_d,
+        )
+
+    probes = {
+        "head_valid": [head_valid],
+        "head_pc": list(pc),
+        "head_instr": list(instr),
+        "issuing": [consume],
+    }
+
+    nl.add_output("imem_req", prefetch.fetch_req_q.q)
+    nl.add_output("imem_addr", prefetch.fetch_addr_q.q)
+    nl.add_output("dmem_req", lsu.req_q)
+    nl.add_output("dmem_we", lsu.we_q)
+    nl.add_output("dmem_addr", lsu.addr_q)
+    nl.add_output("dmem_wdata", lsu.wdata_q)
+    nl.add_output("dmem_be", lsu.be_q)
+    nl.add_output("trap", trap_q.q)
+    return probes
+
+
+class _RegfileWritePort:
+    """Late-binding write port.
+
+    The register file must be built before the ALU/LSU results that feed its
+    write port exist, so the write-data/enable nets are allocated as
+    placeholder buffers up front and driven once the execute stage resolves.
+    """
+
+    def __init__(self) -> None:
+        self._wdata = None
+        self._we = None
+
+    def wdata_nets(self, nl: Netlist):
+        if self._wdata is None:
+            self._wdata = [nl.add_net(f"rf_wdata[{i}]") for i in range(32)]
+        return self._wdata
+
+    def we_net(self, nl: Netlist):
+        if self._we is None:
+            self._we = nl.add_net("rf_we")
+        return self._we
+
+    def resolve(self, nl: Netlist, wdata, we) -> None:
+        """Drive the placeholder nets with buffers from the real signals."""
+        from repro.netlist.cells import CellKind
+
+        for placeholder, source in zip(self.wdata_nets(nl), wdata):
+            nl.add_cell(CellKind.BUF, [source], out=placeholder)
+        nl.add_cell(CellKind.BUF, [we], out=self.we_net(nl))

@@ -1,0 +1,235 @@
+"""Gate-level RV32E instruction decoder (structure ``core.decoder``).
+
+A purely combinational structure (like Ibex's decoder): it contains no state
+elements itself but fans out control signals that determine the values
+latched all over the core — which is what makes its DelayAVF interesting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.hdl.ops import Bus, g_and, g_not, g_or, mux, reduce_or
+from repro.netlist.netlist import CONST0, Netlist
+
+
+@dataclass
+class DecodeSignals:
+    """Decoded control signals (all single nets unless noted)."""
+
+    rd: Bus  # 4 bits (RV32E)
+    rs1: Bus  # 4 bits
+    rs2: Bus  # 4 bits
+    imm: Bus  # 32-bit selected immediate
+
+    is_lui: int
+    is_auipc: int
+    is_jal: int
+    is_jalr: int
+    is_branch: int
+    is_load: int
+    is_store: int
+    is_opimm: int
+    is_op: int
+    is_mem: int  # load | store
+    illegal: int
+
+    #: one-hot ALU operation: [add, sub, and, or, xor, slt, sltu, sll, srl, sra]
+    alu_op: List[int]
+    #: comparison select for branches: one-hot [eq, lt_signed, lt_unsigned]
+    cmp_sel: List[int]
+    cmp_invert: int  # bne/bge/bgeu negate the base comparison
+
+    op_a_is_pc: int  # operand A selects PC (AUIPC)
+    op_b_is_imm: int  # operand B selects the immediate
+    writes_rd: int  # instruction architecturally writes rd
+    funct3: Bus  # 3 bits (LSU uses [1:0] as size, [2] as unsigned flag)
+
+
+def _eq_const(nl: Netlist, bits: Bus, value: int) -> int:
+    """Single net: 1 iff *bits* equals the constant *value*."""
+    terms = [
+        bit if (value >> i) & 1 else g_not(nl, bit) for i, bit in enumerate(bits)
+    ]
+    result = terms[0]
+    for term in terms[1:]:
+        result = g_and(nl, result, term)
+    return result
+
+
+def build_decoder(nl: Netlist, instr: Bus) -> DecodeSignals:
+    """Elaborate the decoder; *instr* is the 32-bit instruction bus."""
+    assert len(instr) == 32
+    with nl.scope("decoder"):
+        opcode = instr[0:7]
+        funct3 = instr[12:15]
+        funct7 = instr[25:32]
+        rd5 = instr[7:12]
+        rs1_5 = instr[15:20]
+        rs2_5 = instr[20:25]
+
+        is_lui = _eq_const(nl, opcode, 0b0110111)
+        is_auipc = _eq_const(nl, opcode, 0b0010111)
+        is_jal = _eq_const(nl, opcode, 0b1101111)
+        is_jalr = _eq_const(nl, opcode, 0b1100111)
+        is_branch = _eq_const(nl, opcode, 0b1100011)
+        is_load = _eq_const(nl, opcode, 0b0000011)
+        is_store = _eq_const(nl, opcode, 0b0100011)
+        is_opimm = _eq_const(nl, opcode, 0b0010011)
+        is_op = _eq_const(nl, opcode, 0b0110011)
+        is_mem = g_or(nl, is_load, is_store)
+
+        # ------------------------------------------------------------
+        # Immediate generation (I/S/B/U/J formats)
+        # ------------------------------------------------------------
+        sign = instr[31]
+        imm_i = instr[20:32] + [sign] * 20
+        imm_s = instr[7:12] + instr[25:32] + [sign] * 20
+        imm_b = (
+            [CONST0] + instr[8:12] + instr[25:31] + [instr[7]] + [sign] * 20
+        )
+        imm_u = [CONST0] * 12 + instr[12:32]
+        imm_j = (
+            [CONST0] + instr[21:31] + [instr[20]] + instr[12:20] + [sign] * 12
+        )
+        use_u = g_or(nl, is_lui, is_auipc)
+        imm = mux(nl, is_store, imm_i, imm_s)
+        imm = mux(nl, is_branch, imm, imm_b)
+        imm = mux(nl, use_u, imm, imm_u)
+        imm = mux(nl, is_jal, imm, imm_j)
+
+        # ------------------------------------------------------------
+        # ALU operation selection (one-hot)
+        # ------------------------------------------------------------
+        f3 = funct3
+        f3_is = [_eq_const(nl, f3, v) for v in range(8)]
+        funct7_zero = _eq_const(nl, funct7, 0)
+        funct7_alt = _eq_const(nl, funct7, 0b0100000)
+        alu_instr = g_or(nl, is_op, is_opimm)
+        # For OP-IMM there is no SUB; funct7 only qualifies the shifts.
+        sub_variant = g_and(nl, is_op, funct7_alt)
+        op_add = g_and(nl, alu_instr, g_and(nl, f3_is[0], g_not(nl, sub_variant)))
+        op_sub = g_and(nl, f3_is[0], sub_variant)
+        op_sll = g_and(nl, alu_instr, f3_is[1])
+        op_slt = g_and(nl, alu_instr, f3_is[2])
+        op_sltu = g_and(nl, alu_instr, f3_is[3])
+        op_xor = g_and(nl, alu_instr, f3_is[4])
+        sra_variant = funct7_alt
+        op_srl = g_and(nl, alu_instr, g_and(nl, f3_is[5], g_not(nl, sra_variant)))
+        op_sra = g_and(nl, alu_instr, g_and(nl, f3_is[5], sra_variant))
+        op_or = g_and(nl, alu_instr, f3_is[6])
+        op_and = g_and(nl, alu_instr, f3_is[7])
+        # Non-ALU instructions use the adder (addresses, AUIPC, JALR target);
+        # branches use SUB for their comparison.
+        addr_add = reduce_or(
+            nl, [is_load, is_store, is_auipc, is_jalr, is_jal, is_lui]
+        )
+        op_add = g_or(nl, op_add, addr_add)
+        op_sub = g_or(nl, op_sub, is_branch)
+        alu_op = [
+            op_add, op_sub, op_and, op_or, op_xor,
+            op_slt, op_sltu, op_sll, op_srl, op_sra,
+        ]
+
+        # ------------------------------------------------------------
+        # Branch comparison controls
+        # ------------------------------------------------------------
+        cmp_eq = g_or(nl, f3_is[0], f3_is[1])  # beq / bne
+        cmp_lt = g_or(nl, f3_is[4], f3_is[5])  # blt / bge
+        cmp_ltu = g_or(nl, f3_is[6], f3_is[7])  # bltu / bgeu
+        cmp_invert = reduce_or(nl, [f3_is[1], f3_is[5], f3_is[7]])
+
+        # ------------------------------------------------------------
+        # Operand selection and writeback
+        # ------------------------------------------------------------
+        op_a_is_pc = is_auipc
+        op_b_is_imm = reduce_or(
+            nl, [is_opimm, is_load, is_store, is_auipc, is_jalr, is_lui]
+        )
+        writes_rd = reduce_or(
+            nl, [is_lui, is_auipc, is_jal, is_jalr, is_opimm, is_op, is_load]
+        )
+
+        # ------------------------------------------------------------
+        # Legality checks
+        # ------------------------------------------------------------
+        known_opcode = reduce_or(
+            nl,
+            [is_lui, is_auipc, is_jal, is_jalr, is_branch, is_load, is_store,
+             is_opimm, is_op],
+        )
+        bad_branch = g_and(nl, is_branch, g_or(nl, f3_is[2], f3_is[3]))
+        bad_load = g_and(
+            nl, is_load, reduce_or(nl, [f3_is[3], f3_is[6], f3_is[7]])
+        )
+        bad_store = g_and(
+            nl, is_store, g_not(nl, reduce_or(nl, [f3_is[0], f3_is[1], f3_is[2]]))
+        )
+        bad_jalr = g_and(nl, is_jalr, g_not(nl, f3_is[0]))
+        shift_funct7_bad = g_not(nl, g_or(nl, funct7_zero, funct7_alt))
+        bad_shift_imm = g_and(
+            nl,
+            is_opimm,
+            g_or(
+                nl,
+                g_and(nl, f3_is[1], g_not(nl, funct7_zero)),
+                g_and(nl, f3_is[5], shift_funct7_bad),
+            ),
+        )
+        f7_matters = reduce_or(nl, [f3_is[0], f3_is[5]])
+        bad_op_funct7 = g_and(
+            nl,
+            is_op,
+            g_or(
+                nl,
+                g_and(nl, f7_matters, shift_funct7_bad),
+                g_and(nl, g_not(nl, f7_matters), g_not(nl, funct7_zero)),
+            ),
+        )
+        # RV32E: registers x16..x31 do not exist.
+        uses_rs1 = reduce_or(
+            nl, [is_jalr, is_branch, is_load, is_store, is_opimm, is_op]
+        )
+        uses_rs2 = reduce_or(nl, [is_branch, is_store, is_op])
+        bad_reg = reduce_or(
+            nl,
+            [
+                g_and(nl, writes_rd, rd5[4]),
+                g_and(nl, uses_rs1, rs1_5[4]),
+                g_and(nl, uses_rs2, rs2_5[4]),
+            ],
+        )
+        illegal = reduce_or(
+            nl,
+            [
+                g_not(nl, known_opcode),
+                bad_branch, bad_load, bad_store, bad_jalr,
+                bad_shift_imm, bad_op_funct7, bad_reg,
+            ],
+        )
+
+        return DecodeSignals(
+            rd=rd5[0:4],
+            rs1=rs1_5[0:4],
+            rs2=rs2_5[0:4],
+            imm=imm,
+            is_lui=is_lui,
+            is_auipc=is_auipc,
+            is_jal=is_jal,
+            is_jalr=is_jalr,
+            is_branch=is_branch,
+            is_load=is_load,
+            is_store=is_store,
+            is_opimm=is_opimm,
+            is_op=is_op,
+            is_mem=is_mem,
+            illegal=illegal,
+            alu_op=alu_op,
+            cmp_sel=[cmp_eq, cmp_lt, cmp_ltu],
+            cmp_invert=cmp_invert,
+            op_a_is_pc=op_a_is_pc,
+            op_b_is_imm=op_b_is_imm,
+            writes_rd=writes_rd,
+            funct3=list(funct3),
+        )

@@ -1,0 +1,130 @@
+"""Gate-level load/store unit (structure ``core.lsu``).
+
+Handles byte-lane alignment in both directions and owns the registered data
+memory interface: address, write data, byte enables and request/we flags are
+all latched into DFFs at the end of the issue cycle (so the environment only
+ever samples register outputs), and the response is realigned, sized and
+sign-extended in the following cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.hdl.ops import (
+    Bus,
+    Reg,
+    const_bus,
+    g_and,
+    g_not,
+    mux,
+    onehot_mux,
+)
+from repro.netlist.netlist import CONST0, CONST1, Netlist
+
+
+@dataclass
+class LsuOutputs:
+    """LSU interface nets."""
+
+    # Registered memory-interface outputs (safe to expose as output ports).
+    req_q: Bus  # 1 bit
+    we_q: Bus  # 1 bit
+    addr_q: Bus  # 32 bits
+    wdata_q: Bus  # 32 bits
+    be_q: Bus  # 4 bits
+    #: processed load data (valid in the response cycle)
+    rdata: Bus
+
+
+def _byte_shift_left(nl: Netlist, data: Bus, offset: Bus) -> Bus:
+    """Shift *data* left by ``offset`` bytes (offset is addr[1:0])."""
+    by1 = mux(nl, offset[0], data, const_bus(nl, 0, 8) + data[:24])
+    by2 = mux(nl, offset[1], by1, const_bus(nl, 0, 16) + by1[:16])
+    return by2
+
+
+def _byte_shift_right(nl: Netlist, data: Bus, offset: Bus) -> Bus:
+    """Shift *data* right by ``offset`` bytes."""
+    by1 = mux(nl, offset[0], data, data[8:] + const_bus(nl, 0, 8))
+    by2 = mux(nl, offset[1], by1, by1[16:] + const_bus(nl, 0, 16))
+    return by2
+
+
+def build_lsu(
+    nl: Netlist,
+    issue: int,
+    is_store: int,
+    addr: Bus,
+    store_data: Bus,
+    funct3: Bus,
+    dmem_rdata: Bus,
+) -> LsuOutputs:
+    """Elaborate the LSU.
+
+    *issue* pulses for one cycle when a load/store enters execution; *addr*
+    is the ALU's effective address; *funct3* encodes size (bits [1:0]) and
+    unsigned-ness (bit [2]) per the RISC-V encodings.
+    """
+    assert len(addr) == 32 and len(store_data) == 32
+    with nl.scope("lsu"):
+        offset = addr[0:2]
+        size = funct3[0:2]
+        is_byte = g_and(nl, g_not(nl, size[0]), g_not(nl, size[1]))
+        is_half = g_and(nl, size[0], g_not(nl, size[1]))
+        is_word = g_and(nl, size[1], g_not(nl, size[0]))
+
+        # ---------------- store path (issue cycle) ----------------
+        aligned_wdata = _byte_shift_left(nl, store_data, offset)
+        be_byte = [
+            g_and(nl, g_not(nl, offset[0]), g_not(nl, offset[1])),
+            g_and(nl, offset[0], g_not(nl, offset[1])),
+            g_and(nl, g_not(nl, offset[0]), offset[1]),
+            g_and(nl, offset[0], offset[1]),
+        ]
+        be_half_lo = g_not(nl, offset[1])
+        be_half = [be_half_lo, be_half_lo, offset[1], offset[1]]
+        be_word = [CONST1] * 4
+        byte_enables = onehot_mux(
+            nl, [is_byte, is_half, is_word], [be_byte, be_half, be_word]
+        )
+
+        # ---------------- registered memory interface ----------------
+        req_q = Reg(nl, "req_q", 1)
+        req_q.set([issue])
+        we_q = Reg(nl, "we_q", 1)
+        we_q.set([g_and(nl, issue, is_store)])
+        addr_q = Reg(nl, "addr_q", 32)
+        # Word-align the latched address; byte lanes are selected via be_q.
+        addr_q.set([CONST0, CONST0] + addr[2:], en=issue)
+        wdata_q = Reg(nl, "wdata_q", 32)
+        wdata_q.set(aligned_wdata, en=issue)
+        be_q = Reg(nl, "be_q", 4)
+        be_q.set(byte_enables, en=issue)
+
+        # Response-processing state, latched at issue.
+        off_q = Reg(nl, "off_q", 2)
+        off_q.set(offset, en=issue)
+        size_q = Reg(nl, "size_q", 2)
+        size_q.set(size, en=issue)
+        unsigned_q = Reg(nl, "unsigned_q", 1)
+        unsigned_q.set([funct3[2]], en=issue)
+
+        # ---------------- load path (response cycle) ----------------
+        shifted = _byte_shift_right(nl, dmem_rdata, off_q.q)
+        r_is_byte = g_and(nl, g_not(nl, size_q.q[0]), g_not(nl, size_q.q[1]))
+        r_is_half = g_and(nl, size_q.q[0], g_not(nl, size_q.q[1]))
+        sign_byte = g_and(nl, shifted[7], g_not(nl, unsigned_q.q[0]))
+        sign_half = g_and(nl, shifted[15], g_not(nl, unsigned_q.q[0]))
+        rdata_byte = shifted[0:8] + [sign_byte] * 24
+        rdata_half = shifted[0:16] + [sign_half] * 16
+        rdata = mux(nl, r_is_half, shifted, rdata_half)
+        rdata = mux(nl, r_is_byte, rdata, rdata_byte)
+
+        return LsuOutputs(
+            req_q=req_q.q,
+            we_q=we_q.q,
+            addr_q=addr_q.q,
+            wdata_q=wdata_q.q,
+            be_q=be_q.q,
+            rdata=rdata,
+        )

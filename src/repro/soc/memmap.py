@@ -1,0 +1,12 @@
+"""Platform memory map shared by the SoC environment, ISS, and workloads."""
+
+#: RAM size (bytes); code + data live here, loaded at address 0.
+RAM_SIZE = 1 << 16
+RAM_MASK = RAM_SIZE - 1
+
+#: Stores to this region constitute the program-visible output.
+OUTPUT_BASE = 0x10000000
+OUTPUT_SIZE = 0x1000
+
+#: A store to this address halts the program; the stored word is the exit code.
+HALT_ADDR = 0x10001000

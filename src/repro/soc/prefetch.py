@@ -1,0 +1,134 @@
+"""Gate-level prefetch buffer (structure ``core.prefetch``).
+
+A 2-entry instruction FIFO with bypass, one in-flight fetch, and wrong-path
+discard — the same role Ibex's prefetch buffer plays.  The fetch interface is
+fully registered: ``fetch_req_q``/``fetch_addr_q`` are sampled by the
+environment at the end of each cycle and the fetched word arrives on the
+``imem_rdata`` input port one cycle later.
+
+Construction is two-phase because the head/consume signals form a
+combinational handshake with the execute stage: :meth:`PrefetchBuffer.build`
+creates the state and head-selection logic, and :meth:`PrefetchBuffer.connect`
+closes the loop once execute-side signals (consume, redirect) exist.
+"""
+
+from __future__ import annotations
+
+from repro.hdl.ops import (
+    Bus,
+    Reg,
+    adder,
+    const_bus,
+    g_and,
+    g_not,
+    g_or,
+    mux,
+)
+from repro.netlist.netlist import Netlist
+
+
+class PrefetchBuffer:
+    """Two-phase elaborator for the prefetch buffer."""
+
+    def __init__(self, nl: Netlist, imem_rvalid: int, imem_rdata: Bus):
+        self.nl = nl
+        with nl.scope("prefetch"):
+            self.fetch_addr_q = Reg(nl, "fetch_addr_q", 32, init=0)
+            self.fetch_req_q = Reg(nl, "fetch_req_q", 1, init=1)
+            self.resp_addr_q = Reg(nl, "resp_addr_q", 32, init=0)
+            self.discard_q = Reg(nl, "discard_q", 1, init=0)
+            self.e0_instr = Reg(nl, "e0_instr", 32)
+            self.e0_addr = Reg(nl, "e0_addr", 32)
+            self.e0_valid = Reg(nl, "e0_valid", 1, init=0)
+            self.e1_instr = Reg(nl, "e1_instr", 32)
+            self.e1_addr = Reg(nl, "e1_addr", 32)
+            self.e1_valid = Reg(nl, "e1_valid", 1, init=0)
+
+            # Incoming response this cycle (wrong-path responses after a
+            # redirect are masked via discard_q; same-cycle redirects are
+            # handled on the storage side to avoid a combinational loop
+            # through the execute stage).
+            self.inc_valid = g_and(nl, imem_rvalid, g_not(nl, self.discard_q.q[0]))
+            self.inc_instr = list(imem_rdata)
+            self.inc_addr = list(self.resp_addr_q.q)
+
+            # Head selection with bypass: an arriving instruction can be
+            # consumed directly when the FIFO is empty.
+            e0v = self.e0_valid.q[0]
+            self.head_valid = g_or(nl, e0v, self.inc_valid)
+            self.head_instr = mux(nl, e0v, self.inc_instr, self.e0_instr.q)
+            self.head_addr = mux(nl, e0v, self.inc_addr, self.e0_addr.q)
+
+    def connect(
+        self,
+        consume: int,
+        redirect: int,
+        redirect_target: Bus,
+        halt_fetch: int,
+    ) -> None:
+        """Close the FIFO/fetch control loop with execute-stage signals.
+
+        *consume* pulses when the execute stage retires the head this cycle;
+        *redirect* flushes the buffer and restarts fetching at
+        *redirect_target*; *halt_fetch* permanently stops issuing fetches
+        (trap state).
+        """
+        nl = self.nl
+        with nl.scope("prefetch"):
+            e0v = self.e0_valid.q[0]
+            e1v = self.e1_valid.q[0]
+            req_q = self.fetch_req_q.q[0]
+            not_redirect = g_not(nl, redirect)
+
+            buf_consume = g_and(nl, consume, e0v)
+            byp_consume = g_and(nl, consume, g_not(nl, e0v))
+            shifted_e0_valid = mux(nl, buf_consume, [e0v], [e1v])[0]
+            shifted_e0_instr = mux(nl, buf_consume, self.e0_instr.q, self.e1_instr.q)
+            shifted_e0_addr = mux(nl, buf_consume, self.e0_addr.q, self.e1_addr.q)
+            shifted_e1_valid = g_and(nl, e1v, g_not(nl, buf_consume))
+
+            inc_store = g_and(
+                nl,
+                g_and(nl, self.inc_valid, g_not(nl, byp_consume)),
+                not_redirect,
+            )
+            store_to_e1 = g_and(nl, inc_store, shifted_e0_valid)
+
+            next_e0_valid = g_and(
+                nl, g_or(nl, shifted_e0_valid, inc_store), not_redirect
+            )
+            next_e0_instr = mux(nl, shifted_e0_valid, self.inc_instr, shifted_e0_instr)
+            next_e0_addr = mux(nl, shifted_e0_valid, self.inc_addr, shifted_e0_addr)
+            next_e1_valid = g_and(
+                nl, g_or(nl, shifted_e1_valid, store_to_e1), not_redirect
+            )
+            next_e1_instr = mux(nl, store_to_e1, self.e1_instr.q, self.inc_instr)
+            next_e1_addr = mux(nl, store_to_e1, self.e1_addr.q, self.inc_addr)
+
+            self.e0_valid.set([next_e0_valid])
+            self.e0_instr.set(next_e0_instr)
+            self.e0_addr.set(next_e0_addr)
+            self.e1_valid.set([next_e1_valid])
+            self.e1_instr.set(next_e1_instr)
+            self.e1_addr.set(next_e1_addr)
+
+            # Fetch issue control: keep (entries + in-flight) <= 2 by only
+            # issuing when at most one slot will be occupied next cycle.
+            pair_a = g_and(nl, next_e0_valid, next_e1_valid)
+            pair_b = g_and(nl, next_e0_valid, req_q)
+            pair_c = g_and(nl, next_e1_valid, req_q)
+            two_or_more = g_or(nl, pair_a, g_or(nl, pair_b, pair_c))
+            issue_next = g_and(
+                nl, g_not(nl, two_or_more), g_not(nl, halt_fetch)
+            )
+            self.fetch_req_q.set([issue_next])
+
+            incremented, _ = adder(
+                nl, self.fetch_addr_q.q, const_bus(nl, 4, 32)
+            )
+            advanced = mux(nl, req_q, self.fetch_addr_q.q, incremented)
+            next_fetch_addr = mux(nl, redirect, advanced, redirect_target)
+            self.fetch_addr_q.set(next_fetch_addr)
+
+            self.resp_addr_q.set(self.fetch_addr_q.q, en=req_q)
+            self.discard_q.set([g_and(nl, redirect, req_q)])

@@ -1,0 +1,72 @@
+"""Gate-level register file (structure ``core.regfile``).
+
+A 15×32-bit DFF array (x0 is hard-wired zero, RV32E has x1..x15) with two
+asynchronous read ports and one write port.  With ``ecc=True`` each register
+stores a 38-bit Hamming SEC codeword; write data is encoded and read data is
+corrected, so any *single* stored-bit upset is architecturally invisible —
+the configuration whose sAVF-vs-DelayAVF contrast the paper studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.hdl.ops import Bus, Reg, decoder, g_and, muxn
+from repro.netlist.netlist import CONST0, Netlist
+from repro.soc import ecc
+
+NUM_REGS = 16  # x0..x15 (x0 not stored)
+WIDTH = 32
+
+
+@dataclass
+class RegfileOutputs:
+    """Read-port data."""
+
+    rdata1: Bus
+    rdata2: Bus
+
+
+def build_regfile(
+    nl: Netlist,
+    raddr1: Bus,
+    raddr2: Bus,
+    waddr: Bus,
+    wdata: Bus,
+    we: int,
+    use_ecc: bool = False,
+) -> RegfileOutputs:
+    """Elaborate the register file.
+
+    Addresses are 4-bit (RV32E); *we* qualifies the write port.  Writes to
+    x0 are suppressed and reads of x0 return zero.
+    """
+    assert len(raddr1) == 4 and len(raddr2) == 4 and len(waddr) == 4
+    assert len(wdata) == WIDTH
+    with nl.scope("regfile"):
+        stored_width = ecc.CODE_BITS if use_ecc else WIDTH
+        if use_ecc:
+            parity = ecc.build_encoder(nl, wdata)
+            store_data = list(wdata) + parity
+        else:
+            store_data = list(wdata)
+
+        onehot = decoder(nl, waddr)
+        regs: List[Reg] = []
+        words: List[Bus] = [[CONST0] * stored_width]  # x0 reads as zero
+        for index in range(1, NUM_REGS):
+            reg = Reg(nl, f"x{index}", stored_width)
+            enable = g_and(nl, onehot[index], we)
+            reg.set(store_data, en=enable)
+            regs.append(reg)
+            words.append(reg.q)
+
+        raw1 = muxn(nl, raddr1, words)
+        raw2 = muxn(nl, raddr2, words)
+        if use_ecc:
+            rdata1 = ecc.build_corrector(nl, raw1)
+            rdata2 = ecc.build_corrector(nl, raw2)
+        else:
+            rdata1, rdata2 = raw1, raw2
+        return RegfileOutputs(rdata1=rdata1, rdata2=rdata2)

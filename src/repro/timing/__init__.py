@@ -1,0 +1,20 @@
+"""Timing substrate: cell timing library and static timing analysis.
+
+Replaces the NanGate 45 nm Liberty library + OpenSTA-style timing flow of the
+paper's artifact with a self-contained implementation: a mini library format
+(:mod:`repro.timing.liberty`), forward arrival-time propagation and
+statically-reachable-set computation (:mod:`repro.timing.sta`), and the
+path-length distribution extraction behind Fig. 6 (:mod:`repro.timing.paths`).
+"""
+
+from repro.timing.liberty import NANGATE45ISH, TimingLibrary, parse_library
+from repro.timing.paths import path_length_distribution
+from repro.timing.sta import StaticTiming
+
+__all__ = [
+    "NANGATE45ISH",
+    "StaticTiming",
+    "TimingLibrary",
+    "parse_library",
+    "path_length_distribution",
+]

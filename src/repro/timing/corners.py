@@ -1,0 +1,60 @@
+"""Process-corner derating of timing libraries.
+
+The paper notes that where operating conditions change wire delays (e.g.
+different process corners), the model "can be repeatedly applied to study
+fault behaviours across these different delay behaviours".  This module
+provides that loop's input: scaled copies of a timing library representing
+slow/typical/fast corners (or any custom derating factor).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.netlist.cells import CellKind
+from repro.timing.liberty import CellTiming, TimingLibrary
+
+#: Conventional corner names and their delay derating factors.
+STANDARD_CORNERS: Dict[str, float] = {
+    "ff": 0.85,  # fast-fast
+    "tt": 1.00,  # typical
+    "ss": 1.25,  # slow-slow
+}
+
+
+def derate_library(
+    library: TimingLibrary,
+    factor: float,
+    name: Optional[str] = None,
+) -> TimingLibrary:
+    """A copy of *library* with every delay scaled by *factor*.
+
+    Intrinsic delays, load slopes, and the DFF clock-to-Q all scale together
+    (a uniform derating — the standard first-order corner model).
+    """
+    if factor <= 0:
+        raise ValueError(f"derating factor must be positive, got {factor}")
+    cells = {
+        kind: CellTiming(
+            intrinsic_ps=timing.intrinsic_ps * factor,
+            load_ps_per_fanout=timing.load_ps_per_fanout * factor,
+        )
+        for kind, timing in library.cells.items()
+    }
+    return TimingLibrary(
+        name=name if name is not None else f"{library.name}_x{factor:g}",
+        cells=cells,
+        dff_clk_to_q_ps=library.dff_clk_to_q_ps * factor,
+    )
+
+
+def corner_library(library: TimingLibrary, corner: str) -> TimingLibrary:
+    """The *library* derated to a named corner (``ff``/``tt``/``ss``)."""
+    try:
+        factor = STANDARD_CORNERS[corner]
+    except KeyError:
+        raise ValueError(
+            f"unknown corner {corner!r}; choose from "
+            + ", ".join(sorted(STANDARD_CORNERS))
+        ) from None
+    return derate_library(library, factor, name=f"{library.name}_{corner}")

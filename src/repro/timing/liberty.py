@@ -1,0 +1,131 @@
+"""Mini timing-library format (a Liberty stand-in).
+
+A :class:`TimingLibrary` provides, per cell kind, an intrinsic propagation
+delay and a load-dependent slope (delay added per fan-out sink), plus the
+clock-to-Q delay of the DFF.  These are exactly the quantities the static
+timing analyzer and the event-driven simulator consume, and they mirror what
+pre-layout static timing with a Liberty library provides (the paper uses the
+NanGate 45 nm library and explicitly ignores interconnect capacitance, in
+line with pre-layout STA flows).
+
+Libraries can also be loaded from a small text format::
+
+    library(my45nm) {
+        dff { clk_to_q: 95.0; }
+        cell(AND2) { intrinsic: 35.0; load: 6.0; }
+        cell(XOR2) { intrinsic: 55.0; load: 8.0; }
+        ...
+    }
+
+All delays are in picoseconds.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.netlist.cells import CellKind
+
+
+@dataclass(frozen=True)
+class CellTiming:
+    """Timing of one combinational cell kind."""
+
+    intrinsic_ps: float
+    load_ps_per_fanout: float
+
+    def delay(self, fanout: int) -> float:
+        """Propagation delay driving *fanout* sinks."""
+        return self.intrinsic_ps + self.load_ps_per_fanout * max(fanout, 1)
+
+
+@dataclass(frozen=True)
+class TimingLibrary:
+    """A complete cell timing library."""
+
+    name: str
+    cells: Dict[CellKind, CellTiming] = field(default_factory=dict)
+    dff_clk_to_q_ps: float = 95.0
+
+    def cell_delay(self, kind: CellKind, fanout: int) -> float:
+        """Delay of a *kind* cell driving *fanout* sinks, in ps."""
+        return self.cells[CellKind(kind)].delay(fanout)
+
+
+#: Default library with NanGate-45 nm-like typical-corner magnitudes.
+NANGATE45ISH = TimingLibrary(
+    name="nangate45ish",
+    cells={
+        CellKind.BUF: CellTiming(25.0, 5.0),
+        CellKind.NOT: CellTiming(12.0, 4.0),
+        CellKind.AND2: CellTiming(35.0, 6.0),
+        CellKind.OR2: CellTiming(38.0, 6.0),
+        CellKind.NAND2: CellTiming(18.0, 5.0),
+        CellKind.NOR2: CellTiming(22.0, 5.0),
+        CellKind.XOR2: CellTiming(55.0, 8.0),
+        CellKind.XNOR2: CellTiming(58.0, 8.0),
+        CellKind.MUX2: CellTiming(65.0, 8.0),
+    },
+    dff_clk_to_q_ps=95.0,
+)
+
+_LIBRARY_RE = re.compile(r"library\s*\(\s*(?P<name>[\w.-]+)\s*\)\s*\{(?P<body>.*)\}", re.S)
+_CELL_RE = re.compile(
+    r"cell\s*\(\s*(?P<kind>\w+)\s*\)\s*\{(?P<body>[^}]*)\}", re.S
+)
+_DFF_RE = re.compile(r"dff\s*\{(?P<body>[^}]*)\}", re.S)
+_ATTR_RE = re.compile(r"(?P<key>\w+)\s*:\s*(?P<value>[-+0-9.eE]+)\s*;")
+
+
+def parse_library(text: str) -> TimingLibrary:
+    """Parse the mini library format; raises ``ValueError`` on bad input."""
+    match = _LIBRARY_RE.search(text)
+    if match is None:
+        raise ValueError("no library(...) { ... } block found")
+    body = match.group("body")
+    cells: Dict[CellKind, CellTiming] = {}
+    for cell_match in _CELL_RE.finditer(body):
+        kind_name = cell_match.group("kind").upper()
+        try:
+            kind = CellKind[kind_name]
+        except KeyError:
+            raise ValueError(f"unknown cell kind {kind_name!r}") from None
+        attrs = _parse_attrs(cell_match.group("body"))
+        if "intrinsic" not in attrs:
+            raise ValueError(f"cell {kind_name} missing 'intrinsic'")
+        cells[kind] = CellTiming(
+            intrinsic_ps=attrs["intrinsic"],
+            load_ps_per_fanout=attrs.get("load", 0.0),
+        )
+    clk_to_q = 95.0
+    dff_match = _DFF_RE.search(body)
+    if dff_match is not None:
+        clk_to_q = _parse_attrs(dff_match.group("body")).get("clk_to_q", clk_to_q)
+    missing = [k.name for k in CellKind if k not in cells]
+    if missing:
+        raise ValueError("library missing cells: " + ", ".join(missing))
+    return TimingLibrary(
+        name=match.group("name"), cells=cells, dff_clk_to_q_ps=clk_to_q
+    )
+
+
+def dump_library(library: TimingLibrary) -> str:
+    """Serialize *library* back into the mini library text format."""
+    lines = [f"library({library.name}) {{"]
+    lines.append(f"    dff {{ clk_to_q: {library.dff_clk_to_q_ps}; }}")
+    for kind in CellKind:
+        timing = library.cells[kind]
+        lines.append(
+            f"    cell({kind.name}) {{ intrinsic: {timing.intrinsic_ps}; "
+            f"load: {timing.load_ps_per_fanout}; }}"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _parse_attrs(body: str) -> Dict[str, float]:
+    return {
+        m.group("key"): float(m.group("value")) for m in _ATTR_RE.finditer(body)
+    }

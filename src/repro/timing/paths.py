@@ -1,0 +1,74 @@
+"""Path-length distribution extraction (the data behind Fig. 6).
+
+The paper plots, per microarchitectural structure, the distribution of
+combinational path lengths.  We report the distribution of the *worst path
+through each wire* of the structure: for a wire ``e`` this is
+``arrival(e.net) + worst downstream continuation``, i.e. exactly the quantity
+that decides whether an SDF of duration ``d`` on ``e`` is statically
+reachable (``max_path_through(e) + d > clock period``).  The distribution is
+normalized to the clock period so it reads as "fraction of the cycle
+consumed".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.netlist.netlist import Wire
+from repro.timing.sta import StaticTiming
+
+
+@dataclass(frozen=True)
+class PathDistribution:
+    """Histogram of per-wire worst path lengths for one structure."""
+
+    structure: str
+    clock_period: float
+    #: worst path length (ps) per wire; wires with no path to a state
+    #: element are excluded
+    lengths: Tuple[float, ...]
+
+    @property
+    def normalized(self) -> Tuple[float, ...]:
+        """Path lengths as fractions of the clock period."""
+        return tuple(length / self.clock_period for length in self.lengths)
+
+    def histogram(self, bins: int = 10) -> List[Tuple[float, float, int]]:
+        """Histogram over [0, 1] of normalized lengths: (lo, hi, count)."""
+        counts, edges = np.histogram(self.normalized, bins=bins, range=(0.0, 1.0))
+        return [
+            (float(edges[i]), float(edges[i + 1]), int(counts[i]))
+            for i in range(bins)
+        ]
+
+    def fraction_reachable(self, delay_fraction: float) -> float:
+        """Fraction of wires statically able to violate timing at delay *d*.
+
+        A wire can produce a timing violation under an SDF of duration
+        ``delay_fraction * clock_period`` iff its worst path plus the delay
+        exceeds the clock period.
+        """
+        if not self.lengths:
+            return 0.0
+        threshold = (1.0 - delay_fraction) * self.clock_period
+        hits = sum(1 for length in self.lengths if length > threshold + 1e-9)
+        return hits / len(self.lengths)
+
+
+def path_length_distribution(
+    sta: StaticTiming, structure: str, wires: Sequence[Wire]
+) -> PathDistribution:
+    """Compute the per-wire worst-path distribution of a structure."""
+    lengths = []
+    for wire in wires:
+        length = sta.max_path_through(wire)
+        if length != float("-inf"):
+            lengths.append(float(length))
+    return PathDistribution(
+        structure=structure,
+        clock_period=sta.clock_period,
+        lengths=tuple(lengths),
+    )

@@ -1,0 +1,171 @@
+"""Static timing analysis over the gate-level netlist.
+
+Implements the timing-side primitives of the DelayAVF methodology:
+
+- forward arrival-time propagation and the design clock period (the paper
+  sets the clock period equal to the longest register-to-register path);
+- per-wire worst path length (``max_path_through``), the quantity behind the
+  paper's Fig. 6 path-length distributions;
+- the **statically reachable set** of a small delay fault (Definition 2): the
+  state elements terminating a path through the faulted wire whose length
+  exceeds the clock period once the extra delay *d* is added.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist, PinType, Wire
+from repro.sim.levelize import compute_cell_levels
+from repro.timing.liberty import TimingLibrary
+
+#: Tolerance for floating-point comparisons against the clock period.
+_EPS = 1e-9
+
+
+class StaticTiming:
+    """Arrival times, clock period, and reachability queries for a netlist."""
+
+    def __init__(self, netlist: Netlist, library: TimingLibrary):
+        if not netlist.frozen:
+            netlist.freeze()
+        self.netlist = netlist
+        self.library = library
+        self.cell_levels = compute_cell_levels(netlist)
+        self.cell_delay = np.zeros(netlist.num_cells, dtype=np.float64)
+        for cell in range(netlist.num_cells):
+            out = netlist.cell_outputs[cell]
+            fanout = len(netlist.fanout_of(out))
+            self.cell_delay[cell] = library.cell_delay(
+                netlist.cell_kinds[cell], fanout
+            )
+        self.arrival = self._compute_arrivals()
+        self.downstream = self._compute_downstream()
+        self.clock_period = self._compute_clock_period()
+
+    # ------------------------------------------------------------------
+    # Forward / backward propagation
+    # ------------------------------------------------------------------
+    def _compute_arrivals(self) -> np.ndarray:
+        """Latest signal arrival time at every net, from the clock edge."""
+        netlist = self.netlist
+        arrival = np.zeros(netlist.num_nets, dtype=np.float64)
+        clk_to_q = self.library.dff_clk_to_q_ps
+        for dff in netlist.dffs:
+            arrival[dff.q] = clk_to_q
+        for nets in netlist.input_ports.values():
+            # Input ports are register-latched in the environment; they
+            # transition like Q outputs at the clock edge.
+            for net in nets:
+                arrival[net] = clk_to_q
+        order = sorted(range(netlist.num_cells), key=self.cell_levels.__getitem__)
+        for cell in order:
+            inputs = netlist.cell_inputs[cell]
+            latest = max(arrival[net] for net in inputs)
+            arrival[netlist.cell_outputs[cell]] = latest + self.cell_delay[cell]
+        return arrival
+
+    def _compute_downstream(self) -> np.ndarray:
+        """Worst remaining delay from each net to any DFF D endpoint.
+
+        ``-inf`` marks nets with no combinational path to a state element.
+        """
+        netlist = self.netlist
+        downstream = np.full(netlist.num_nets, -np.inf, dtype=np.float64)
+        for dff in netlist.dffs:
+            if dff.d != -1:
+                downstream[dff.d] = max(downstream[dff.d], 0.0)
+        order = sorted(
+            range(netlist.num_cells),
+            key=self.cell_levels.__getitem__,
+            reverse=True,
+        )
+        for cell in order:
+            out = netlist.cell_outputs[cell]
+            if downstream[out] == -np.inf:
+                continue
+            through = downstream[out] + self.cell_delay[cell]
+            for net in netlist.cell_inputs[cell]:
+                if through > downstream[net]:
+                    downstream[net] = through
+        return downstream
+
+    def _compute_clock_period(self) -> float:
+        period = 0.0
+        for dff in self.netlist.dffs:
+            if dff.d != -1:
+                period = max(period, float(self.arrival[dff.d]))
+        return period
+
+    # ------------------------------------------------------------------
+    # Per-wire queries
+    # ------------------------------------------------------------------
+    def max_path_through(self, wire: Wire) -> float:
+        """Length of the longest reg-to-reg path routed through *wire*.
+
+        Returns ``-inf`` if no path through the wire terminates in a state
+        element (e.g. wires feeding only output ports).
+        """
+        base = float(self.arrival[wire.net])
+        sink = wire.sink
+        if sink.pin_type is PinType.DFF_D:
+            return base
+        if sink.pin_type is PinType.OUTPORT:
+            return float("-inf")
+        cell = sink.owner
+        out = self.netlist.cell_outputs[cell]
+        rest = self.downstream[out]
+        if rest == -np.inf:
+            return float("-inf")
+        return base + float(self.cell_delay[cell]) + float(rest)
+
+    def statically_reachable(self, wire: Wire, extra_delay: float) -> Set[int]:
+        """The statically reachable set of an SDF of *extra_delay* on *wire*.
+
+        Returns the indices of DFFs terminating a path through *wire* whose
+        length exceeds the clock period once the extra delay is added
+        (Definition 2 of the paper).  The traversal is pruned with the
+        precomputed downstream bounds so only the violating cone is walked.
+        """
+        netlist = self.netlist
+        period = self.clock_period
+        start = float(self.arrival[wire.net]) + extra_delay
+        reachable: Set[int] = set()
+        # Latest arrival, via paths through the faulted wire, at each cell's
+        # relevant input pins (max over pins is all a max-delay path needs).
+        cell_late: Dict[int, float] = {}
+        frontier: List[Tuple[int, int]] = []  # (level, cell) min-heap
+
+        def visit(sink, t: float) -> None:
+            if sink.pin_type is PinType.DFF_D:
+                if t > period + _EPS:
+                    reachable.add(sink.owner)
+                return
+            if sink.pin_type is PinType.OUTPORT:
+                return
+            cell = sink.owner
+            out = netlist.cell_outputs[cell]
+            bound = self.downstream[out]
+            # Prune: even the worst downstream continuation cannot violate.
+            if (
+                bound == -np.inf
+                or t + self.cell_delay[cell] + bound <= period + _EPS
+            ):
+                return
+            previous = cell_late.get(cell)
+            if previous is None:
+                heapq.heappush(frontier, (self.cell_levels[cell], cell))
+                cell_late[cell] = t
+            elif t > previous:
+                cell_late[cell] = t
+
+        visit(wire.sink, start)
+        while frontier:
+            _, cell = heapq.heappop(frontier)
+            t_out = cell_late[cell] + float(self.cell_delay[cell])
+            for sink in netlist.fanout_of(netlist.cell_outputs[cell]):
+                visit(sink, t_out)
+        return reachable

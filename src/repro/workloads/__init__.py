@@ -1,0 +1,29 @@
+"""Beebs-like benchmark workloads for the IbexMini core.
+
+Assembly re-implementations of the five Beebs benchmarks the paper studies:
+``md5``, ``bubblesort``, ``libstrstr``, ``libfibcall``, and ``matmult`` —
+preserving each kernel's computational character (and hence its toggle-rate
+profile, which drives the paper's Observation 3).
+"""
+
+from repro.workloads.beebs import BENCHMARK_NAMES, benchmark_source, load_benchmark
+from repro.workloads.generator import (
+    make_bubblesort,
+    make_fibcall,
+    make_matmult,
+    make_md5,
+    make_random_arith,
+    make_strstr,
+)
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "benchmark_source",
+    "load_benchmark",
+    "make_bubblesort",
+    "make_fibcall",
+    "make_matmult",
+    "make_md5",
+    "make_random_arith",
+    "make_strstr",
+]

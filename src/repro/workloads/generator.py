@@ -1,0 +1,651 @@
+"""Parameterized workload generators.
+
+Each ``make_*`` function renders an RV32E assembly program (as source text)
+together with its expected program-visible output, computed with a pure
+Python model of the same kernel.  The expected output lets tests verify both
+the reference ISS and the gate-level core end to end.
+
+All programs follow the platform protocol: results are stored to the output
+MMIO region and a final store to the halt address terminates execution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.soc import memmap
+
+_PRELUDE = f"""
+.equ OUT, {memmap.OUTPUT_BASE:#x}
+.equ HALT, {memmap.HALT_ADDR:#x}
+"""
+
+_EPILOGUE = """
+halt_ok:
+    li   t0, HALT
+    li   t1, 0
+    sw   t1, 0(t0)
+"""
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A generated benchmark: assembly source + expected observables."""
+
+    name: str
+    source: str
+    expected_output: Tuple[Tuple, ...]  #: same format as the ISS output log
+
+
+def _rng_words(seed: int, count: int, bits: int = 16) -> List[int]:
+    """Deterministic pseudo-random words (xorshift; no runtime RNG needed)."""
+    state = (seed * 2654435761 + 1) & 0xFFFFFFFF
+    words = []
+    for _ in range(count):
+        state ^= (state << 13) & 0xFFFFFFFF
+        state ^= state >> 17
+        state ^= (state << 5) & 0xFFFFFFFF
+        words.append(state & ((1 << bits) - 1))
+    return words
+
+
+def _expected(stores: Sequence[Tuple[int, int]]) -> Tuple[Tuple, ...]:
+    events: List[Tuple] = [
+        ("store", offset, value & 0xFFFFFFFF) for offset, value in stores
+    ]
+    events.append(("halt", 0))
+    return tuple(events)
+
+
+# ----------------------------------------------------------------------
+# bubblesort
+# ----------------------------------------------------------------------
+def make_bubblesort(n: int = 18, seed: int = 7) -> Workload:
+    """Bubble-sort *n* pseudo-random words; emit a weighted checksum."""
+    data = _rng_words(seed, n)
+    expected_sorted = sorted(data)
+    checksum = 0
+    for index, value in enumerate(expected_sorted):
+        checksum = (checksum + value * (index + 1)) & 0xFFFFFFFF
+    source = _PRELUDE + f"""
+start:
+    li   sp, 0xff00
+    la   a0, array
+    li   a1, {n}
+    addi t0, a1, -1          # i = n-1
+outer:
+    blez t0, checksum
+    li   t1, 0               # j
+    la   a2, array
+inner:
+    bge  t1, t0, outer_next
+    lw   a3, 0(a2)
+    lw   a4, 4(a2)
+    ble  a3, a4, noswap
+    sw   a4, 0(a2)
+    sw   a3, 4(a2)
+noswap:
+    addi t1, t1, 1
+    addi a2, a2, 4
+    j    inner
+outer_next:
+    addi t0, t0, -1
+    j    outer
+checksum:
+    la   a2, array
+    li   t1, 0
+    li   a5, 0               # weighted sum
+    li   s0, 1               # weight
+csum_loop:
+    bge  t1, a1, emit
+    lw   a3, 0(a2)
+    mv   a4, a3
+    mv   t2, s0
+wmul:                         # a3 * weight by repeated addition of a4
+    addi t2, t2, -1
+    blez t2, wdone
+    add  a3, a3, a4
+    j    wmul
+wdone:
+    add  a5, a5, a3
+    addi s0, s0, 1
+    addi t1, t1, 1
+    addi a2, a2, 4
+    j    csum_loop
+emit:
+    li   t0, OUT
+    sw   a5, 0(t0)
+    la   a2, array
+    lw   a3, 0(a2)
+    sw   a3, 4(t0)
+    lw   a3, {4 * (n - 1)}(a2)
+    sw   a3, 8(t0)
+""" + _EPILOGUE + """
+.align 2
+array:
+    .word """ + ", ".join(str(v) for v in data) + "\n"
+    expected = _expected(
+        [(0, checksum), (4, expected_sorted[0]), (8, expected_sorted[-1])]
+    )
+    return Workload("bubblesort", source, expected)
+
+
+# ----------------------------------------------------------------------
+# matmult
+# ----------------------------------------------------------------------
+def make_matmult(n: int = 4, seed: int = 3) -> Workload:
+    """N×N integer matrix multiply with a software shift-add multiplier."""
+    a_vals = _rng_words(seed, n * n, bits=8)
+    b_vals = _rng_words(seed + 1, n * n, bits=8)
+    c_vals = [
+        sum(a_vals[i * n + k] * b_vals[k * n + j] for k in range(n)) & 0xFFFFFFFF
+        for i in range(n)
+        for j in range(n)
+    ]
+    checksum = 0
+    for value in c_vals:
+        checksum = (checksum ^ value) & 0xFFFFFFFF
+        checksum = (checksum + value) & 0xFFFFFFFF
+    trace = c_vals[0]
+    source = _PRELUDE + f"""
+start:
+    li   sp, 0xff00
+    li   s0, 0               # i
+outer_i:
+    li   s1, 0               # j
+outer_j:
+    li   t0, 0               # k
+    li   t1, 0               # acc
+dot:
+    # a0 = A[i*n + k]
+    li   a0, {n}
+    mv   a1, s0
+    call mul                 # a0 = i*n
+    add  a0, a0, t0
+    slli a0, a0, 2
+    la   a2, mat_a
+    add  a2, a2, a0
+    lw   a3, 0(a2)           # A[i][k]
+    # a0 = B[k*n + j]
+    li   a0, {n}
+    mv   a1, t0
+    call mul
+    add  a0, a0, s1
+    slli a0, a0, 2
+    la   a2, mat_b
+    add  a2, a2, a0
+    lw   a4, 0(a2)           # B[k][j]
+    mv   a0, a3
+    mv   a1, a4
+    call mul                 # a0 = A*B
+    add  t1, t1, a0
+    addi t0, t0, 1
+    li   a5, {n}
+    blt  t0, a5, dot
+    # C[i*n + j] = acc
+    li   a0, {n}
+    mv   a1, s0
+    call mul
+    add  a0, a0, s1
+    slli a0, a0, 2
+    la   a2, mat_c
+    add  a2, a2, a0
+    sw   t1, 0(a2)
+    addi s1, s1, 1
+    li   a5, {n}
+    blt  s1, a5, outer_j
+    addi s0, s0, 1
+    blt  s0, a5, outer_i
+    # checksum over C
+    la   a2, mat_c
+    li   t0, 0
+    li   a5, 0
+csum:
+    lw   a3, 0(a2)
+    xor  a5, a5, a3
+    add  a5, a5, a3
+    addi a2, a2, 4
+    addi t0, t0, 1
+    li   a4, {n * n}
+    blt  t0, a4, csum
+    li   t0, OUT
+    sw   a5, 0(t0)
+    la   a2, mat_c
+    lw   a3, 0(a2)
+    sw   a3, 4(t0)
+    j    halt_ok
+
+mul:                          # a0 = a0 * a1 (shift-add; clobbers a1, t2, tp)
+    mv   t2, a0
+    li   a0, 0
+mul_loop:
+    beqz a1, mul_done
+    andi tp, a1, 1
+    beqz tp, mul_skip
+    add  a0, a0, t2
+mul_skip:
+    slli t2, t2, 1
+    srli a1, a1, 1
+    j    mul_loop
+mul_done:
+    ret
+""" + _EPILOGUE + """
+.align 2
+mat_a:
+    .word """ + ", ".join(str(v) for v in a_vals) + """
+mat_b:
+    .word """ + ", ".join(str(v) for v in b_vals) + """
+mat_c:
+    .space """ + str(4 * n * n) + "\n"
+    expected = _expected([(0, checksum), (4, trace)])
+    return Workload("matmult", source, expected)
+
+
+# ----------------------------------------------------------------------
+# libstrstr
+# ----------------------------------------------------------------------
+def make_strstr(
+    haystack: str = "small delay faults in cores",
+    needles: Sequence[str] = ("delay", "absent"),
+) -> Workload:
+    """Naive substring search; emits each match index (or -1)."""
+    results = [haystack.find(needle) for needle in needles]
+    needle_labels = [f"needle{i}" for i in range(len(needles))]
+    search_calls = "\n".join(
+        f"""
+    la   a0, haystack
+    la   a1, {label}
+    call strstr
+    sw   a0, {4 * i}(s1)"""
+        for i, label in enumerate(needle_labels)
+    )
+    needle_data = "\n".join(
+        f'{label}:\n    .asciz "{needle}"' for label, needle in zip(needle_labels, needles)
+    )
+    source = _PRELUDE + f"""
+start:
+    li   sp, 0xff00
+    li   s1, OUT
+{search_calls}
+    j    halt_ok
+
+strstr:                       # a0 haystack, a1 needle -> a0 index or -1
+    mv   t0, a0               # base
+    mv   a2, a0               # outer cursor
+outer:
+    lbu  a3, 0(a2)
+    beqz a3, not_found
+    mv   a4, a2               # inner haystack cursor
+    mv   a5, a1               # inner needle cursor
+inner:
+    lbu  t1, 0(a5)
+    beqz t1, found
+    lbu  t2, 0(a4)
+    bne  t1, t2, mismatch
+    addi a4, a4, 1
+    addi a5, a5, 1
+    j    inner
+mismatch:
+    addi a2, a2, 1
+    j    outer
+found:
+    sub  a0, a2, t0
+    ret
+not_found:
+    li   a0, -1
+    ret
+""" + _EPILOGUE + f"""
+haystack:
+    .asciz "{haystack}"
+{needle_data}
+"""
+    expected = _expected(
+        [(4 * i, result & 0xFFFFFFFF) for i, result in enumerate(results)]
+    )
+    return Workload("libstrstr", source, expected)
+
+
+# ----------------------------------------------------------------------
+# libfibcall
+# ----------------------------------------------------------------------
+def make_fibcall(n: int = 9) -> Workload:
+    """Recursive Fibonacci (call-stack heavy, like Beebs' libfibcall)."""
+
+    def fib(k: int) -> int:
+        return k if k < 2 else fib(k - 1) + fib(k - 2)
+
+    source = _PRELUDE + f"""
+start:
+    li   sp, 0xff00
+    li   a0, {n}
+    call fib
+    li   t0, OUT
+    sw   a0, 0(t0)
+    j    halt_ok
+
+fib:
+    li   t0, 2
+    blt  a0, t0, fib_base
+    addi sp, sp, -12
+    sw   ra, 0(sp)
+    sw   s0, 4(sp)
+    mv   s0, a0
+    addi a0, a0, -1
+    call fib
+    sw   a0, 8(sp)
+    addi a0, s0, -2
+    call fib
+    lw   t1, 8(sp)
+    add  a0, a0, t1
+    lw   ra, 0(sp)
+    lw   s0, 4(sp)
+    addi sp, sp, 12
+fib_base:
+    ret
+""" + _EPILOGUE
+    return Workload("libfibcall", source, _expected([(0, fib(n))]))
+
+
+# ----------------------------------------------------------------------
+# md5
+# ----------------------------------------------------------------------
+_MD5_S = (
+    [7, 12, 17, 22] * 4 + [5, 9, 14, 20] * 4 + [4, 11, 16, 23] * 4
+    + [6, 10, 15, 21] * 4
+)
+_MD5_K = [int(abs(math.sin(i + 1)) * (1 << 32)) & 0xFFFFFFFF for i in range(64)]
+
+
+def _md5_g_index(i: int) -> int:
+    if i < 16:
+        return i
+    if i < 32:
+        return (5 * i + 1) % 16
+    if i < 48:
+        return (3 * i + 5) % 16
+    return (7 * i) % 16
+
+
+def _md5_single_block(message: bytes) -> Tuple[int, int, int, int]:
+    """MD5 compression of exactly one pre-padded 64-byte block."""
+    assert len(message) == 64
+    m = [int.from_bytes(message[4 * i : 4 * i + 4], "little") for i in range(16)]
+    a0, b0, c0, d0 = 0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476
+    a, b, c, d = a0, b0, c0, d0
+    for i in range(64):
+        if i < 16:
+            f = (b & c) | (~b & d)
+        elif i < 32:
+            f = (d & b) | (~d & c)
+        elif i < 48:
+            f = b ^ c ^ d
+        else:
+            f = c ^ (b | ~d)
+        f &= 0xFFFFFFFF
+        g = _md5_g_index(i)
+        total = (a + f + _MD5_K[i] + m[g]) & 0xFFFFFFFF
+        s = _MD5_S[i]
+        rotated = ((total << s) | (total >> (32 - s))) & 0xFFFFFFFF
+        a, b, c, d = d, (b + rotated) & 0xFFFFFFFF, b, c
+    return (
+        (a0 + a) & 0xFFFFFFFF,
+        (b0 + b) & 0xFFFFFFFF,
+        (c0 + c) & 0xFFFFFFFF,
+        (d0 + d) & 0xFFFFFFFF,
+    )
+
+
+def make_md5(message: bytes = b"delay faults considered harmful", rounds: int = 64) -> Workload:
+    """MD5 compression (single padded block, *rounds* of the 64 executed).
+
+    ``rounds=64`` is the genuine MD5 transform.  The reference digest is
+    cross-checked against :mod:`hashlib` in the test suite for full-round,
+    single-block messages.
+    """
+    assert len(message) <= 55, "single-block MD5 only"
+    block = bytearray(message)
+    block.append(0x80)
+    block.extend(b"\0" * (56 - len(block)))
+    block.extend((len(message) * 8).to_bytes(8, "little"))
+    block = bytes(block)
+    if rounds == 64:
+        digest = _md5_single_block(block)
+        reference = hashlib.md5(message).digest()
+        assert b"".join(w.to_bytes(4, "little") for w in digest) == reference
+    else:
+        digest = _md5_partial(block, rounds)
+    m_words = [int.from_bytes(block[4 * i : 4 * i + 4], "little") for i in range(16)]
+    g_table = [_md5_g_index(i) for i in range(64)]
+
+    source = _PRELUDE + f"""
+start:
+    li   sp, 0xff00
+    li   s0, 0x67452301      # a
+    li   s1, 0xefcdab89      # b
+    li   gp, 0x98badcfe      # c
+    li   tp, 0x10325476      # d
+    li   t0, 0               # i
+round:
+    li   a0, 16
+    blt  t0, a0, q0
+    li   a0, 32
+    blt  t0, a0, q1
+    li   a0, 48
+    blt  t0, a0, q2
+q3:                           # f = c ^ (b | ~d)
+    not  a1, tp
+    or   a1, s1, a1
+    xor  a1, gp, a1
+    j    f_done
+q0:                           # f = (b & c) | (~b & d)
+    and  a1, s1, gp
+    not  a2, s1
+    and  a2, a2, tp
+    or   a1, a1, a2
+    j    f_done
+q1:                           # f = (d & b) | (~d & c)
+    and  a1, tp, s1
+    not  a2, tp
+    and  a2, a2, gp
+    or   a1, a1, a2
+    j    f_done
+q2:                           # f = b ^ c ^ d
+    xor  a1, s1, gp
+    xor  a1, a1, tp
+f_done:
+    # total = a + f + K[i] + M[g[i]]
+    add  a1, a1, s0
+    slli a2, t0, 2
+    la   a3, k_table
+    add  a3, a3, a2
+    lw   a4, 0(a3)
+    add  a1, a1, a4
+    la   a3, g_table
+    add  a3, a3, t0
+    lbu  a4, 0(a3)
+    slli a4, a4, 2
+    la   a3, msg
+    add  a3, a3, a4
+    lw   a4, 0(a3)
+    add  a1, a1, a4
+    # rotate left by s[i]
+    la   a3, s_table
+    add  a3, a3, t0
+    lbu  a4, 0(a3)
+    sll  a2, a1, a4
+    li   a5, 32
+    sub  a5, a5, a4
+    srl  a1, a1, a5
+    or   a1, a1, a2
+    # (a, b, c, d) = (d, b + rot, b, c)
+    mv   a2, tp              # new a
+    add  a1, a1, s1          # new b
+    mv   a3, s1              # new c... (old b)
+    mv   tp, gp              # new d = old c
+    mv   gp, a3
+    mv   s1, a1
+    mv   s0, a2
+    addi t0, t0, 1
+    li   a0, {rounds}
+    blt  t0, a0, round
+    # add initial state and emit
+    li   t0, OUT
+    li   a0, 0x67452301
+    add  a0, a0, s0
+    sw   a0, 0(t0)
+    li   a0, 0xefcdab89
+    add  a0, a0, s1
+    sw   a0, 4(t0)
+    li   a0, 0x98badcfe
+    add  a0, a0, gp
+    sw   a0, 8(t0)
+    li   a0, 0x10325476
+    add  a0, a0, tp
+    sw   a0, 12(t0)
+    j    halt_ok
+""" + _EPILOGUE + """
+.align 2
+k_table:
+    .word """ + ", ".join(f"{k:#x}" for k in _MD5_K[:64]) + """
+msg:
+    .word """ + ", ".join(f"{w:#x}" for w in m_words) + """
+s_table:
+    .byte """ + ", ".join(str(s) for s in _MD5_S) + """
+g_table:
+    .byte """ + ", ".join(str(g) for g in g_table) + "\n"
+    expected = _expected([(4 * i, word) for i, word in enumerate(digest)])
+    return Workload("md5", source, expected)
+
+
+# ----------------------------------------------------------------------
+# constrained-random workloads (verification stress + campaign variety)
+# ----------------------------------------------------------------------
+def make_random_arith(
+    seed: int = 0, length: int = 60, stores: int = 8
+) -> Workload:
+    """A constrained-random straight-line arithmetic program.
+
+    Useful both as a co-simulation stressor (every generated program is
+    checked against the reference ISS in the test suite) and as extra
+    workload variety for campaigns.  The expected output is computed with a
+    pure-Python model of the same operation sequence.
+    """
+    import random as _random
+
+    rng = _random.Random(seed)
+    regs = ["a0", "a1", "a2", "a3", "a4", "a5", "s0", "s1"]
+    values = {reg: rng.randint(-2048, 2047) & 0xFFFFFFFF for reg in regs}
+    lines = ["start:", "    li t2, OUT"]
+    for reg, value in values.items():
+        signed = value - (1 << 32) if value & 0x80000000 else value
+        lines.append(f"    li {reg}, {signed}")
+
+    def model(op, a, b):
+        sa = a - (1 << 32) if a & 0x80000000 else a
+        sb = b - (1 << 32) if b & 0x80000000 else b
+        sh = b & 31
+        return {
+            "add": a + b, "sub": a - b, "xor": a ^ b, "or": a | b,
+            "and": a & b, "slt": int(sa < sb), "sltu": int(a < b),
+            "sll": a << sh, "srl": a >> sh, "sra": sa >> sh,
+        }[op] & 0xFFFFFFFF
+
+    ops = ["add", "sub", "xor", "or", "and", "slt", "sltu", "sll", "srl", "sra"]
+    for _ in range(length):
+        op = rng.choice(ops)
+        rd, r1, r2 = (rng.choice(regs) for _ in range(3))
+        if op in ("sll", "srl", "sra"):
+            lines.append(f"    andi t0, {r2}, 31")
+            lines.append(f"    {op} {rd}, {r1}, t0")
+            values[rd] = model(op, values[r1], values[r2] & 31)
+        else:
+            lines.append(f"    {op} {rd}, {r1}, {r2}")
+            values[rd] = model(op, values[r1], values[r2])
+    emitted = []
+    for index in range(stores):
+        reg = regs[index % len(regs)]
+        lines.append(f"    sw {reg}, {4 * index}(t2)")
+        emitted.append((4 * index, values[reg]))
+    source = _PRELUDE + "\n".join(lines) + "\n    j halt_ok\n" + _EPILOGUE
+    return Workload(f"random_arith_{seed}", source, _expected(emitted))
+
+
+def make_random_control(seed: int = 0, blocks: int = 10) -> Workload:
+    """Constrained-random program with branches, loads, and stores.
+
+    Blocks of random arithmetic are chained by data-dependent forward
+    branches (always resolvable, so termination is guaranteed), interleaved
+    with loads/stores to a scratch buffer.  The expected output is computed
+    by executing on the reference ISS (the architectural golden model), so
+    the workload's purpose is gate-level-core co-simulation stress and
+    campaign variety rather than ISS validation.
+    """
+    import random as _random
+
+    from repro.isa.assembler import assemble
+    from repro.isa.reference import run_program
+
+    rng = _random.Random(seed ^ 0x5EED)
+    regs = ["a0", "a1", "a2", "a3", "a4", "s0", "s1"]
+    lines = ["start:", "    li sp, 0xff00", "    li t2, OUT", "    la t1, scratch"]
+    for reg in regs:
+        lines.append(f"    li {reg}, {rng.randint(-500, 500)}")
+    ops = ["add", "sub", "xor", "or", "and"]
+    for block in range(blocks):
+        lines.append(f"blk{block}:")
+        for _ in range(rng.randint(3, 7)):
+            op = rng.choice(ops)
+            rd, r1, r2 = (rng.choice(regs) for _ in range(3))
+            lines.append(f"    {op} {rd}, {r1}, {r2}")
+        slot = rng.randrange(8)
+        store_reg = rng.choice(regs)
+        lines.append(f"    sw {store_reg}, {4 * slot}(t1)")
+        load_reg = rng.choice(regs)
+        lines.append(f"    lw {load_reg}, {4 * rng.randrange(8)}(t1)")
+        if block + 1 < blocks:
+            # Data-dependent forward branch: either arm reaches the next
+            # block, exercising taken and not-taken redirect paths.
+            cond = rng.choice(["beqz", "bnez", "bltz", "bgez"])
+            lines.append(f"    {cond} {rng.choice(regs)}, blk{block + 1}")
+            lines.append(f"    xor {rng.choice(regs)}, {rng.choice(regs)}, "
+                         f"{rng.choice(regs)}")
+    for index, reg in enumerate(regs[:4]):
+        lines.append(f"    sw {reg}, {4 * index}(t2)")
+    source = (
+        _PRELUDE + "\n".join(lines) + "\n    j halt_ok\n" + _EPILOGUE
+        + "\n.align 2\nscratch:\n    .space 32\n"
+    )
+    cpu = run_program(assemble(source).image, max_instructions=100_000)
+    return Workload(
+        f"random_control_{seed}", source, tuple(cpu.output_log)
+    )
+
+
+def _md5_partial(block: bytes, rounds: int) -> Tuple[int, int, int, int]:
+    """MD5 with a reduced round count (for scaled-down campaign runs)."""
+    m = [int.from_bytes(block[4 * i : 4 * i + 4], "little") for i in range(16)]
+    a0, b0, c0, d0 = 0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476
+    a, b, c, d = a0, b0, c0, d0
+    for i in range(rounds):
+        if i < 16:
+            f = (b & c) | (~b & d)
+        elif i < 32:
+            f = (d & b) | (~d & c)
+        elif i < 48:
+            f = b ^ c ^ d
+        else:
+            f = c ^ (b | ~d)
+        f &= 0xFFFFFFFF
+        total = (a + f + _MD5_K[i] + m[_md5_g_index(i)]) & 0xFFFFFFFF
+        s = _MD5_S[i]
+        rotated = ((total << s) | (total >> (32 - s))) & 0xFFFFFFFF
+        a, b, c, d = d, (b + rotated) & 0xFFFFFFFF, b, c
+    return (
+        (a0 + a) & 0xFFFFFFFF,
+        (b0 + b) & 0xFFFFFFFF,
+        (c0 + c) & 0xFFFFFFFF,
+        (d0 + d) & 0xFFFFFFFF,
+    )

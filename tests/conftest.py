@@ -1,0 +1,58 @@
+"""Shared fixtures.
+
+The expensive artefacts (built systems, campaign sessions) are session-scoped
+and shared across test modules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.campaign import CampaignConfig, DelayAVFEngine
+from repro.soc.system import build_system
+from repro.workloads.beebs import load_benchmark
+
+
+@pytest.fixture(scope="session")
+def system():
+    """The plain (non-ECC) IbexMini system."""
+    return build_system()
+
+
+@pytest.fixture(scope="session")
+def ecc_system():
+    """The ECC-protected-register-file IbexMini system."""
+    return build_system(use_ecc=True)
+
+
+@pytest.fixture(scope="session")
+def strstr_program():
+    return load_benchmark("libstrstr")
+
+
+@pytest.fixture(scope="session")
+def md5_program():
+    return load_benchmark("md5")
+
+
+@pytest.fixture(scope="session")
+def strstr_engine(system, strstr_program):
+    """A small shared campaign session on the shortest benchmark."""
+    config = CampaignConfig(
+        cycle_count=5,
+        max_wires=16,
+        delay_fractions=(0.5, 0.9),
+        margin_cycles=600,
+    )
+    return DelayAVFEngine(system, strstr_program, config)
+
+
+@pytest.fixture(scope="session")
+def ecc_strstr_engine(ecc_system, strstr_program):
+    config = CampaignConfig(
+        cycle_count=4,
+        max_wires=12,
+        delay_fractions=(0.9,),
+        margin_cycles=600,
+    )
+    return DelayAVFEngine(ecc_system, strstr_program, config)

@@ -1,0 +1,115 @@
+"""Shared test utilities: tiny environments, harness builders, RNG circuits."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.netlist.cells import CellKind, cell_input_count
+from repro.netlist.netlist import CONST0, CONST1, Netlist
+from repro.netlist.validate import validate
+from repro.sim.cyclesim import CycleSimulator, Environment
+
+
+class ScriptedEnv(Environment):
+    """Environment that feeds a fixed per-cycle script of input values."""
+
+    def __init__(self, script: List[Dict[str, int]], halt_at: Optional[int] = None):
+        self.script = script
+        self.halt_at = halt_at
+        self.cycle_count = 0
+        self.seen_outputs: List[Dict[str, int]] = []
+
+    def reset(self) -> Dict[str, int]:
+        self.cycle_count = 0
+        self.seen_outputs = []
+        return self.script[0] if self.script else {}
+
+    def step(self, outputs: Dict[str, int], cycle: int) -> Dict[str, int]:
+        self.seen_outputs.append(dict(outputs))
+        self.cycle_count += 1
+        index = min(self.cycle_count, len(self.script) - 1) if self.script else 0
+        return self.script[index] if self.script else {}
+
+    def snapshot(self):
+        return (self.cycle_count, list(self.seen_outputs))
+
+    def restore(self, snap) -> None:
+        self.cycle_count, seen = snap
+        self.seen_outputs = list(seen)
+
+    def fingerprint(self) -> int:
+        return self.cycle_count
+
+    def observables(self) -> Tuple:
+        return ()
+
+    def halted(self) -> bool:
+        return self.halt_at is not None and self.cycle_count >= self.halt_at
+
+
+def comb_harness(build: Callable[[Netlist], None]) -> CycleSimulator:
+    """Build a netlist via *build* and wrap it in a simulator for
+    :meth:`CycleSimulator.evaluate_combinational` unit tests."""
+    nl = Netlist()
+    build(nl)
+    validate(nl)
+    nl.freeze()
+    return CycleSimulator(nl)
+
+
+def random_circuit(
+    seed: int,
+    num_inputs: int = 6,
+    num_gates: int = 40,
+    num_dffs: int = 5,
+) -> Netlist:
+    """A random acyclic sequential circuit for property tests."""
+    rng = random.Random(seed)
+    nl = Netlist()
+    inputs = nl.add_input("in", num_inputs)
+    dffs = [nl.add_dff(f"r{i}", init=rng.randint(0, 1)) for i in range(num_dffs)]
+    pool = list(inputs) + [d.q for d in dffs] + [CONST0, CONST1]
+    kinds = [
+        CellKind.NOT, CellKind.AND2, CellKind.OR2, CellKind.NAND2,
+        CellKind.NOR2, CellKind.XOR2, CellKind.XNOR2, CellKind.MUX2,
+        CellKind.BUF,
+    ]
+    for _ in range(num_gates):
+        kind = rng.choice(kinds)
+        ins = [rng.choice(pool) for _ in range(cell_input_count(kind))]
+        pool.append(nl.add_cell(kind, ins))
+    for dff in dffs:
+        nl.connect_d(dff, rng.choice(pool))
+    nl.add_output("out", [rng.choice(pool) for _ in range(4)])
+    validate(nl)
+    nl.freeze()
+    return nl
+
+
+def naive_settle(nl: Netlist, state: Dict[int, int]) -> Dict[int, int]:
+    """Reference evaluator: iterate cell evaluation to a fixed point.
+
+    *state* maps root nets (constants, inputs, DFF Q) to values; returns the
+    settled value of every net.  Quadratic and tiny — the oracle for the
+    levelized evaluator.
+    """
+    from repro.netlist.cells import eval_cell
+
+    values = dict(state)
+    values[CONST0] = 0
+    values[CONST1] = 1
+    remaining = set(range(nl.num_cells))
+    while remaining:
+        progressed = False
+        for cell in sorted(remaining):
+            ins = nl.cell_inputs[cell]
+            if all(net in values for net in ins):
+                values[nl.cell_outputs[cell]] = eval_cell(
+                    nl.cell_kinds[cell], [values[n] for n in ins]
+                )
+                remaining.discard(cell)
+                progressed = True
+        if not progressed:
+            raise AssertionError("combinational loop or missing roots")
+    return values

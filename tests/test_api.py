@@ -1,0 +1,37 @@
+"""Top-level package API surface."""
+
+import pytest
+
+import repro
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError, match="no attribute"):
+        repro.does_not_exist
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_benchmark_names_export():
+    assert "md5" in repro.BENCHMARK_NAMES
+
+
+def test_subpackage_imports():
+    import repro.analysis
+    import repro.core
+    import repro.hdl
+    import repro.isa
+    import repro.netlist
+    import repro.sim
+    import repro.soc
+    import repro.timing
+    import repro.workloads
+
+    assert repro.core.DelayAVFEngine is repro.DelayAVFEngine

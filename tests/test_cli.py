@@ -1,0 +1,74 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_structures_command(capsys):
+    assert main(["structures"]) == 0
+    out = capsys.readouterr().out
+    assert "alu" in out and "regfile" in out
+    assert "clock period" in out
+
+
+def test_run_command(capsys):
+    assert main(["run", "libstrstr"]) == 0
+    out = capsys.readouterr().out
+    assert "halted:  True" in out
+    assert "matches expected output: True" in out
+
+
+def test_disasm_command(capsys):
+    assert main(["disasm", "libfibcall", "--limit", "12"]) == 0
+    out = capsys.readouterr().out
+    assert "start:" in out
+    assert "0x0000:" in out
+
+
+def test_paths_command(capsys):
+    assert main(["paths", "decoder"]) == 0
+    out = capsys.readouterr().out
+    assert "decoder" in out and "wires" in out
+
+
+def test_paths_unknown_structure(capsys):
+    assert main(["paths", "nonexistent"]) == 1
+    assert "no wires" in capsys.readouterr().err
+
+
+def test_delayavf_command(capsys):
+    code = main([
+        "delayavf", "libstrstr", "lsu",
+        "--delays", "0.9", "--wires", "6", "--cycles", "3",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "DelayAVF" in out and "90%" in out
+
+
+def test_savf_command(capsys):
+    code = main([
+        "savf", "libstrstr", "lsu", "--bits", "4", "--cycles", "3",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "sAVF" in out
+
+
+def test_savf_logic_structure_errors(capsys):
+    code = main([
+        "savf", "libstrstr", "alu", "--bits", "4", "--cycles", "3",
+    ])
+    assert code == 1
+    assert "no state elements" in capsys.readouterr().err
+
+
+def test_bad_benchmark_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "quicksort"])

@@ -1,0 +1,53 @@
+"""Process-corner derating."""
+
+import pytest
+
+from repro.netlist.cells import CellKind
+from repro.soc.system import build_system
+from repro.timing.corners import STANDARD_CORNERS, corner_library, derate_library
+from repro.timing.liberty import NANGATE45ISH
+from repro.timing.sta import StaticTiming
+
+
+def test_derate_scales_everything():
+    slow = derate_library(NANGATE45ISH, 1.5)
+    for kind in CellKind:
+        base = NANGATE45ISH.cells[kind]
+        scaled = slow.cells[kind]
+        assert scaled.intrinsic_ps == pytest.approx(base.intrinsic_ps * 1.5)
+        assert scaled.load_ps_per_fanout == pytest.approx(
+            base.load_ps_per_fanout * 1.5
+        )
+    assert slow.dff_clk_to_q_ps == pytest.approx(
+        NANGATE45ISH.dff_clk_to_q_ps * 1.5
+    )
+
+
+def test_derate_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        derate_library(NANGATE45ISH, 0.0)
+    with pytest.raises(ValueError):
+        derate_library(NANGATE45ISH, -1.0)
+
+
+def test_corner_names():
+    for corner in STANDARD_CORNERS:
+        lib = corner_library(NANGATE45ISH, corner)
+        assert lib.name.endswith(corner)
+    with pytest.raises(ValueError, match="unknown corner"):
+        corner_library(NANGATE45ISH, "xx")
+
+
+def test_clock_period_scales_linearly(system):
+    """Uniform derating scales the whole STA linearly — so normalized
+    delay fractions d (the DelayAVF axis) are corner-invariant."""
+    slow = build_system(library=corner_library(NANGATE45ISH, "ss"))
+    ratio = slow.clock_period / system.clock_period
+    assert ratio == pytest.approx(STANDARD_CORNERS["ss"], rel=1e-9)
+    # Statically reachable sets at the same *fraction* d are identical.
+    for wire in system.structure_wires("decoder")[::211]:
+        fast_set = system.sta.statically_reachable(
+            wire, 0.7 * system.clock_period
+        )
+        slow_set = slow.sta.statically_reachable(wire, 0.7 * slow.clock_period)
+        assert fast_set == slow_set

@@ -1,0 +1,95 @@
+"""RV32I encodings: encode/extract round trips and reference encodings."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import encoding as enc
+from repro.isa.encoding import encode
+
+reg = st.integers(0, 31)
+
+
+def test_known_encodings():
+    # Cross-checked against the RISC-V spec / GNU as output.
+    assert encode("addi", rd=1, rs1=0, imm=5) == 0x00500093
+    assert encode("add", rd=3, rs1=1, rs2=2) == 0x002081B3
+    assert encode("sub", rd=3, rs1=1, rs2=2) == 0x402081B3
+    assert encode("lui", rd=5, imm=0x12345) == 0x123452B7
+    assert encode("jal", rd=1, imm=8) == 0x008000EF
+    assert encode("sw", rs1=2, rs2=3, imm=12) == 0x00312623
+    assert encode("lw", rd=4, rs1=2, imm=16) == 0x01012203
+    assert encode("beq", rs1=1, rs2=2, imm=-4) == 0xFE208EE3
+    assert encode("srai", rd=1, rs1=1, imm=3) == 0x4030D093
+    assert encode("ecall") == 0x00000073
+    assert encode("ebreak") == 0x00100073
+
+
+@settings(max_examples=50)
+@given(rd=reg, rs1=reg, imm=st.integers(-2048, 2047))
+def test_i_format_roundtrip(rd, rs1, imm):
+    word = encode("addi", rd=rd, rs1=rs1, imm=imm)
+    assert enc.opcode_of(word) == enc.OPCODE_OP_IMM
+    assert enc.rd_of(word) == rd
+    assert enc.rs1_of(word) == rs1
+    assert enc.imm_i(word) == imm
+
+
+@settings(max_examples=50)
+@given(rs1=reg, rs2=reg, imm=st.integers(-2048, 2047))
+def test_s_format_roundtrip(rs1, rs2, imm):
+    word = encode("sw", rs1=rs1, rs2=rs2, imm=imm)
+    assert enc.rs1_of(word) == rs1
+    assert enc.rs2_of(word) == rs2
+    assert enc.imm_s(word) == imm
+
+
+@settings(max_examples=50)
+@given(rs1=reg, rs2=reg, imm=st.integers(-2048, 2046).map(lambda v: v * 2))
+def test_b_format_roundtrip(rs1, rs2, imm):
+    word = encode("bne", rs1=rs1, rs2=rs2, imm=imm)
+    assert enc.imm_b(word) == imm
+
+
+@settings(max_examples=50)
+@given(rd=reg, imm=st.integers(0, (1 << 20) - 1))
+def test_u_format_roundtrip(rd, imm):
+    word = encode("lui", rd=rd, imm=imm)
+    assert enc.imm_u(word) == imm << 12
+
+
+@settings(max_examples=50)
+@given(rd=reg, imm=st.integers(-(1 << 19), (1 << 19) - 1).map(lambda v: v * 2))
+def test_j_format_roundtrip(rd, imm):
+    word = encode("jal", rd=rd, imm=imm)
+    assert enc.imm_j(word) == imm
+
+
+def test_branch_offset_must_be_even():
+    with pytest.raises(ValueError, match="even"):
+        encode("beq", rs1=0, rs2=0, imm=3)
+
+
+def test_immediate_range_checks():
+    with pytest.raises(ValueError):
+        encode("addi", rd=1, rs1=1, imm=5000)
+    with pytest.raises(ValueError):
+        encode("slli", rd=1, rs1=1, imm=32)
+    with pytest.raises(ValueError):
+        encode("lui", rd=1, imm=1 << 20)
+
+
+def test_register_range_checks():
+    with pytest.raises(ValueError, match="not a valid register"):
+        encode("add", rd=32, rs1=0, rs2=0)
+
+
+def test_unknown_instruction():
+    with pytest.raises(ValueError, match="unknown instruction"):
+        encode("mul", rd=1, rs1=2, rs2=3)
+
+
+def test_all_instructions_encode():
+    for name, (fmt, *_rest) in enc.INSTRUCTIONS.items():
+        word = encode(name, rd=1, rs1=2, rs2=3, imm=4 if fmt != "U" else 1)
+        assert 0 <= word < (1 << 32)

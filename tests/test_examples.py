@@ -1,0 +1,34 @@
+"""Examples: all must at least compile; the cheap one runs end to end."""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert {"quickstart.py", "ecc_case_study.py", "structure_sweep.py"} <= names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_custom_core_example_runs():
+    """The smallest example (its own tiny netlist) runs in seconds."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "custom_core_analysis.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "DelayAVF" in result.stdout

@@ -1,0 +1,48 @@
+"""Failure-rate (FIT) estimation from DelayAVF."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.failure_rate import (
+    FailureRateEstimate,
+    rank_structures,
+    structure_failure_fit,
+)
+
+
+def test_failure_fit_product():
+    est = structure_failure_fit(0.25, fit_per_wire=0.002, num_wires=1000, structure="alu")
+    assert est.raw_fault_fit == pytest.approx(2.0)
+    assert est.failure_fit == pytest.approx(0.5)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        structure_failure_fit(1.5, 0.1, 10)
+    with pytest.raises(ValueError):
+        structure_failure_fit(0.5, -0.1, 10)
+    with pytest.raises(ValueError):
+        structure_failure_fit(0.5, 0.1, -1)
+
+
+@given(
+    avf=st.floats(0, 1),
+    fit=st.floats(0, 100),
+    wires=st.integers(0, 100000),
+)
+def test_failure_fit_bounds(avf, fit, wires):
+    est = structure_failure_fit(avf, fit, wires)
+    assert 0.0 <= est.failure_fit <= fit * wires + 1e-9
+
+
+def test_ranking():
+    estimates = {
+        "alu": FailureRateEstimate("alu", 0.04, 100.0),      # 4.0
+        "regfile": FailureRateEstimate("regfile", 0.01, 500.0),  # 5.0
+        "decoder": FailureRateEstimate("decoder", 0.03, 30.0),   # 0.9
+    }
+    ranked = rank_structures(estimates)
+    assert [e.structure for e in ranked] == ["regfile", "alu", "decoder"]
+    # The ranking deliberately differs from a pure-AVF ranking: the regfile
+    # has the lowest DelayAVF but the most wires exposed to defects.

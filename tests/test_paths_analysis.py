@@ -1,0 +1,103 @@
+"""Path-length distributions (Fig. 6 machinery) and report rendering."""
+
+import pytest
+
+from repro.analysis.figures import render_grouped_bars, render_histogram
+from repro.analysis.tables import render_table
+from repro.timing.paths import PathDistribution, path_length_distribution
+
+
+def test_distribution_on_core(system):
+    wires = system.structure_wires("alu")
+    dist = path_length_distribution(system.sta, "alu", wires)
+    assert dist.structure == "alu"
+    assert dist.clock_period == system.clock_period
+    assert 0 < len(dist.lengths) <= len(wires)
+    assert all(0 < length <= system.clock_period + 1e-6 for length in dist.lengths)
+
+
+def test_normalized_in_unit_interval(system):
+    wires = system.structure_wires("decoder")
+    dist = path_length_distribution(system.sta, "decoder", wires)
+    assert all(0 < v <= 1.0 + 1e-9 for v in dist.normalized)
+
+
+def test_histogram_covers_all_paths(system):
+    wires = system.structure_wires("lsu")
+    dist = path_length_distribution(system.sta, "lsu", wires)
+    bins = dist.histogram(bins=10)
+    assert len(bins) == 10
+    assert sum(count for _, _, count in bins) == len(dist.lengths)
+
+
+def test_fraction_reachable_consistent_with_static_reach(system):
+    """fraction_reachable(d) == fraction of wires with a non-empty
+    statically reachable set at delay d (they are the same predicate)."""
+    wires = system.structure_wires("decoder")[::31]
+    dist = path_length_distribution(system.sta, "decoder", wires)
+    for frac in (0.3, 0.7):
+        expected = sum(
+            1
+            for w in wires
+            if system.sta.statically_reachable(w, frac * system.clock_period)
+        ) / len(wires)
+        # The distribution drops unreachable wires; align denominators.
+        reachable_count = dist.fraction_reachable(frac) * len(dist.lengths)
+        assert reachable_count == pytest.approx(expected * len(wires))
+
+
+def test_fraction_reachable_monotone():
+    dist = PathDistribution("x", 100.0, (10.0, 50.0, 90.0, 99.0))
+    values = [dist.fraction_reachable(f) for f in (0.05, 0.2, 0.6, 0.95)]
+    assert values == sorted(values)
+    assert dist.fraction_reachable(0.005) == 0.0
+    assert dist.fraction_reachable(0.95) == 1.0
+
+
+def test_empty_distribution():
+    dist = PathDistribution("x", 100.0, ())
+    assert dist.fraction_reachable(0.5) == 0.0
+    assert dist.histogram()[0][2] == 0
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def test_render_table_alignment():
+    text = render_table(
+        ["name", "value"],
+        [["alu", 1.25], ["decoder", 0.5]],
+        title="T",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert len(set(len(line) for line in lines[1:])) <= 2  # aligned
+
+
+def test_render_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [[1]])
+
+
+def test_render_grouped_bars():
+    text = render_grouped_bars(
+        {"g1": {"a": 1.0, "b": 0.5}, "g2": {"a": 0.25}},
+        width=8,
+        title="fig",
+    )
+    assert "fig" in text
+    assert text.count("|") == 6
+    # the largest value fills the bar
+    assert "########" in text
+
+
+def test_render_histogram():
+    text = render_histogram([(0.0, 0.5, 3), (0.5, 1.0, 1)], width=6)
+    assert "[0.00, 0.50)" in text
+    assert "######" in text
+
+
+def test_render_empty_series():
+    assert render_grouped_bars({}) == ""
+    assert render_histogram([]) == ""

@@ -1,0 +1,68 @@
+"""Measured-results report assembly."""
+
+from pathlib import Path
+
+from repro.analysis.report import (
+    MARKER,
+    build_measured_section,
+    collect_result_files,
+    splice_into_document,
+    update_experiments_md,
+)
+
+
+def _make_results(tmp_path: Path) -> Path:
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "table1_structures.txt").write_text("T1 CONTENT\n")
+    (results / "fig7_structure_delayavf.txt").write_text("F7 CONTENT\n")
+    (results / "zz_custom.txt").write_text("CUSTOM\n")
+    return results
+
+
+def test_collect_orders_preferred_first(tmp_path):
+    results = _make_results(tmp_path)
+    stems = [p.stem for p in collect_result_files(results)]
+    assert stems == ["table1_structures", "fig7_structure_delayavf", "zz_custom"]
+
+
+def test_build_section_embeds_content(tmp_path):
+    section = build_measured_section(_make_results(tmp_path))
+    assert section.startswith(MARKER)
+    assert "T1 CONTENT" in section and "CUSTOM" in section
+    assert "### table1_structures" in section
+
+
+def test_build_section_empty_dir(tmp_path):
+    empty = tmp_path / "results"
+    empty.mkdir()
+    section = build_measured_section(empty)
+    assert "no bench results" in section
+
+
+def test_splice_replaces_tail():
+    document = "# Title\n\nIntro.\n\n" + MARKER + "\n\nOLD STUFF\n"
+    spliced = splice_into_document(document, MARKER + "\n\nNEW\n")
+    assert "OLD STUFF" not in spliced
+    assert "NEW" in spliced
+    assert spliced.startswith("# Title")
+
+
+def test_splice_appends_when_marker_missing():
+    spliced = splice_into_document("# Title\n", MARKER + "\n\nNEW\n")
+    assert spliced.count(MARKER) == 1
+    assert "# Title" in spliced
+
+
+def test_update_experiments_md_roundtrip(tmp_path):
+    results = _make_results(tmp_path)
+    doc = tmp_path / "EXPERIMENTS.md"
+    doc.write_text("# Exp\n\nhand-written\n\n" + MARKER + "\n\nstale\n")
+    update_experiments_md(doc, results)
+    text = doc.read_text()
+    assert "hand-written" in text
+    assert "stale" not in text
+    assert "T1 CONTENT" in text
+    # Idempotent.
+    update_experiments_md(doc, results)
+    assert doc.read_text() == text

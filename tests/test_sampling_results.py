@@ -1,0 +1,155 @@
+"""Sampling plans and result aggregation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.group_ace import Outcome
+from repro.core.results import (
+    DelayAVFResult,
+    InjectionRecord,
+    geometric_mean,
+    normalize,
+)
+from repro.core.sampling import sample_cycles, sample_wires
+
+
+# ----------------------------------------------------------------------
+# sampling
+# ----------------------------------------------------------------------
+@settings(max_examples=50)
+@given(total=st.integers(5, 10000), count=st.integers(1, 50))
+def test_sample_cycles_properties(total, count):
+    cycles = sample_cycles(total, count=count, warmup=2)
+    assert cycles == sorted(set(cycles))
+    assert all(2 <= c < total for c in cycles)
+    assert len(cycles) <= count
+
+
+def test_sample_cycles_equally_spaced():
+    cycles = sample_cycles(1002, count=10, warmup=2)
+    gaps = [b - a for a, b in zip(cycles, cycles[1:])]
+    assert len(cycles) == 10
+    assert max(gaps) - min(gaps) <= 1  # equal spacing up to rounding
+
+
+def test_sample_cycles_fraction():
+    cycles = sample_cycles(1002, fraction=0.04, warmup=2)
+    assert len(cycles) == round(1000 * 0.04)
+
+
+def test_sample_cycles_requires_one_mode():
+    with pytest.raises(ValueError):
+        sample_cycles(100, count=5, fraction=0.1)
+    with pytest.raises(ValueError):
+        sample_cycles(100)
+
+
+def test_sample_cycles_tiny_program():
+    assert sample_cycles(2, count=5, warmup=2) == []
+    assert sample_cycles(3, count=5, warmup=2) == [2]
+
+
+def test_sample_wires_deterministic_and_uniform():
+    wires = list(range(1000))
+    a = sample_wires(wires, 50, seed=7)
+    b = sample_wires(wires, 50, seed=7)
+    c = sample_wires(wires, 50, seed=8)
+    assert a == b
+    assert a != c
+    assert len(set(a)) == 50
+
+
+def test_sample_wires_none_returns_all():
+    wires = list(range(10))
+    assert sample_wires(wires, None, seed=0) == wires
+    assert sample_wires(wires, 99, seed=0) == wires
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+def _record(
+    static=True, errors=0, outcome=Outcome.MASKED, or_ace=None, d=0.5,
+):
+    return InjectionRecord(
+        wire_index=0,
+        cycle=0,
+        delay_fraction=d,
+        statically_reachable=static,
+        num_statically_reachable=3 if static else 0,
+        num_errors=errors,
+        outcome=outcome,
+        or_ace=or_ace,
+    )
+
+
+def test_record_properties():
+    r = _record(errors=2, outcome=Outcome.SDC, or_ace=False)
+    assert r.dynamically_reachable and r.multi_bit and r.delay_ace
+    r = _record(errors=1, outcome=Outcome.MASKED, or_ace=True)
+    assert r.dynamically_reachable and not r.multi_bit and not r.delay_ace
+
+
+def test_empty_result_rates():
+    result = DelayAVFResult("alu", "md5", 0.5)
+    assert result.delay_avf == 0.0
+    assert result.static_reach_rate == 0.0
+    assert result.multi_bit_fraction == 0.0
+    assert result.relative_change == 0.0
+
+
+def test_result_rates():
+    result = DelayAVFResult("alu", "md5", 0.5, records=[
+        _record(static=False),
+        _record(static=True, errors=0),
+        _record(static=True, errors=1, outcome=Outcome.SDC, or_ace=True),
+        _record(static=True, errors=2, outcome=Outcome.MASKED, or_ace=True),
+        _record(static=True, errors=3, outcome=Outcome.DUE, or_ace=False),
+    ])
+    assert result.samples == 5
+    assert result.static_reach_rate == pytest.approx(4 / 5)
+    assert result.dynamic_reach_rate == pytest.approx(3 / 5)
+    assert result.delay_avf == pytest.approx(2 / 5)
+    assert result.or_delay_avf == pytest.approx(2 / 5)
+    assert result.sdc_rate == pytest.approx(1 / 5)
+    assert result.due_rate == pytest.approx(1 / 5)
+    assert result.multi_bit_fraction == pytest.approx(2 / 3)
+    # interference: or_ace and not failure -> 1 of 3 error sets
+    assert result.interference_rate == pytest.approx(1 / 3)
+    # compounding: failure and not or_ace -> 1 of 3 error sets
+    assert result.compounding_rate == pytest.approx(1 / 3)
+
+
+def test_relative_change():
+    result = DelayAVFResult("alu", "md5", 0.9, records=[
+        _record(static=True, errors=1, outcome=Outcome.SDC, or_ace=False),
+        _record(static=True, errors=1, outcome=Outcome.SDC, or_ace=True),
+    ])
+    assert result.delay_avf == 1.0
+    assert result.or_delay_avf == 0.5
+    assert result.relative_change == pytest.approx(0.5)
+
+
+def test_relative_change_infinite_when_only_orace():
+    result = DelayAVFResult("alu", "md5", 0.9, records=[
+        _record(static=True, errors=1, outcome=Outcome.MASKED, or_ace=True),
+    ])
+    assert result.delay_avf == 0.0
+    assert math.isinf(result.relative_change)
+
+
+def test_geometric_mean():
+    assert geometric_mean([]) == 0.0
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geometric_mean([0.0, 0.0]) == 0.0
+    # The epsilon floor keeps a single zero from nuking the mean entirely.
+    assert 0 < geometric_mean([0.0, 1.0]) < 1.0
+
+
+def test_normalize():
+    assert normalize({"a": 2.0, "b": 1.0}) == {"a": 1.0, "b": 0.5}
+    assert normalize({"a": 0.0}) == {"a": 0.0}
+    assert normalize({}) == {}

@@ -1,0 +1,94 @@
+"""Gate-level ALU vs. Python semantics over random operands."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import comb_harness
+from repro.soc.alu import build_alu
+
+u32 = st.integers(0, 0xFFFFFFFF)
+
+OPS = ["add", "sub", "and", "or", "xor", "slt", "sltu", "sll", "srl", "sra"]
+
+
+@pytest.fixture(scope="module")
+def alu_sim():
+    def build(nl):
+        a = nl.add_input("a", 32)
+        b = nl.add_input("b", 32)
+        op = nl.add_input("op", 10)
+        cmp_sel = nl.add_input("cmp", 3)
+        outs = build_alu(nl, a, b, list(op), list(cmp_sel))
+        nl.add_output("result", outs.result)
+        nl.add_output("adder", outs.adder_result)
+        nl.add_output("cmp_result", [outs.cmp_result])
+
+    return comb_harness(build)
+
+
+def run_alu(alu_sim, op, a, b, cmp_sel=0):
+    return alu_sim.evaluate_combinational(
+        {"a": a, "b": b, "op": 1 << OPS.index(op), "cmp": cmp_sel}
+    )
+
+
+def model(op, a, b):
+    sa = a - (1 << 32) if a & 0x80000000 else a
+    sb = b - (1 << 32) if b & 0x80000000 else b
+    sh = b & 31
+    table = {
+        "add": a + b,
+        "sub": a - b,
+        "and": a & b,
+        "or": a | b,
+        "xor": a ^ b,
+        "slt": int(sa < sb),
+        "sltu": int(a < b),
+        "sll": a << sh,
+        "srl": a >> sh,
+        "sra": sa >> sh,
+    }
+    return table[op] & 0xFFFFFFFF
+
+
+@pytest.mark.parametrize("op", OPS)
+@settings(max_examples=25)
+@given(a=u32, b=u32)
+def test_all_ops_match_model(alu_sim, op, a, b):
+    assert run_alu(alu_sim, op, a, b)["result"] == model(op, a, b)
+
+
+@settings(max_examples=25)
+@given(a=u32, b=u32)
+def test_adder_output_on_sub(alu_sim, a, b):
+    out = run_alu(alu_sim, "sub", a, b)
+    assert out["adder"] == (a - b) & 0xFFFFFFFF
+
+
+@settings(max_examples=25)
+@given(a=u32, b=u32, sel=st.integers(0, 2))
+def test_branch_comparisons(alu_sim, a, b, sel):
+    sa = a - (1 << 32) if a & 0x80000000 else a
+    sb = b - (1 << 32) if b & 0x80000000 else b
+    expected = [int(a == b), int(sa < sb), int(a < b)][sel]
+    # Comparisons require the subtract path active (as the decoder arranges).
+    op = "sub" if sel else "sub"
+    out = alu_sim.evaluate_combinational(
+        {"a": a, "b": b, "op": 1 << OPS.index(op), "cmp": 1 << sel}
+    )
+    assert out["cmp_result"] == expected
+
+
+def test_edge_values(alu_sim):
+    cases = [
+        ("add", 0xFFFFFFFF, 1, 0),
+        ("sub", 0, 1, 0xFFFFFFFF),
+        ("sll", 1, 31, 0x80000000),
+        ("sra", 0x80000000, 31, 0xFFFFFFFF),
+        ("srl", 0x80000000, 31, 1),
+        ("slt", 0x80000000, 0, 1),
+        ("sltu", 0x80000000, 0, 0),
+    ]
+    for op, a, b, expected in cases:
+        assert run_alu(alu_sim, op, a, b)["result"] == expected, op
