@@ -10,6 +10,13 @@ variables (the paper's campaign ran ~24 h on a 48-core server):
 - ``REPRO_BENCH_WIRES``      wires sampled per structure   (default 24)
 - ``REPRO_BENCH_CYCLES``     injection cycles per workload (default 6)
 - ``REPRO_BENCH_SAVF_BITS``  state bits sampled for sAVF   (default 16)
+- ``REPRO_BENCH_JOBS``       campaign worker processes     (default 1)
+- ``REPRO_BENCH_CACHE``      persistent verdict-cache dir  (default off)
+
+With ``REPRO_BENCH_JOBS > 1`` campaigns shard over a process pool (each
+worker rebuilds its session from a picklable spec); with ``REPRO_BENCH_CACHE``
+set, GroupACE verdicts persist across bench invocations, so re-runs
+warm-start.  Both paths produce records identical to the serial engine.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from pathlib import Path
 from typing import Optional, Tuple
 
 from repro.core.campaign import CampaignConfig, DelayAVFEngine
+from repro.core.executor import SessionSpec
 from repro.core.results import StructureCampaignResult
 from repro.core.savf import SAVFEngine
 from repro.soc.system import build_system
@@ -28,6 +36,8 @@ from repro.workloads.beebs import BENCHMARK_NAMES, load_benchmark
 WIRES = int(os.environ.get("REPRO_BENCH_WIRES", "24"))
 CYCLES = int(os.environ.get("REPRO_BENCH_CYCLES", "6"))
 SAVF_BITS = int(os.environ.get("REPRO_BENCH_SAVF_BITS", "16"))
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE", "") or None
 
 DELAY_SWEEP = (0.1, 0.3, 0.5, 0.7, 0.9)
 
@@ -58,16 +68,35 @@ def system(ecc: bool = False):
     return build_system(use_ecc=ecc)
 
 
-@lru_cache(maxsize=None)
 def engine(benchmark: str, ecc: bool = False) -> DelayAVFEngine:
+    """The shared campaign engine for one (benchmark, ecc) pair.
+
+    Normalizes the arguments before the cache lookup so positional and
+    keyword call styles share one engine (lru_cache keys them differently).
+    """
+    return _engine(benchmark, bool(ecc))
+
+
+@lru_cache(maxsize=None)
+def _engine(benchmark: str, ecc: bool) -> DelayAVFEngine:
     config = CampaignConfig(
         delay_fractions=DELAY_SWEEP,
         cycle_count=CYCLES,
         max_wires=WIRES,
         margin_cycles=2000,
         seed=0,
+        jobs=JOBS,
+        cache_dir=CACHE_DIR,
     )
-    return DelayAVFEngine(system(ecc), load_benchmark(benchmark), config)
+    # The spec lets ParallelExecutor workers rebuild the session; in-process
+    # the engine still shares the lru-cached system across benchmarks.
+    spec = SessionSpec(
+        system_factory=build_system,
+        program=load_benchmark(benchmark),
+        config=config,
+        factory_kwargs=(("use_ecc", ecc),),
+    )
+    return DelayAVFEngine(system(ecc), spec.program, config, spec=spec)
 
 
 @lru_cache(maxsize=None)
@@ -91,7 +120,7 @@ def ecc_regfile_result(benchmark: str, delay: float = 0.9):
     Table III's compounding rates need a bigger wire sample than the default
     to be visible.  Shared by both benches.
     """
-    return engine(benchmark, ecc=True).run_structure(
+    return engine(benchmark, True).run_structure(
         "regfile", delay_fractions=(delay,), max_wires=4 * WIRES
     )
 

@@ -7,6 +7,10 @@ valid-looking codewords or uncorrectable patterns).
 
 DelayAVF here is reported at d = 50% of the clock period; sAVF uses
 single-bit flips over sampled state bits and cycles.
+
+Campaigns run through the planned/sharded engine shared via `_shared.engine`
+(`REPRO_BENCH_JOBS` workers, optional `REPRO_BENCH_CACHE` verdict cache);
+the enlarged ECC regfile sweep in particular warm-starts from the cache.
 """
 
 import _shared

@@ -3,11 +3,17 @@
 Paper (Observation 1): the ALU has the highest DelayAVF (up to ~5× the
 register file), followed by the decoder, then the register file; DelayAVF
 generally grows with the delay duration d.
+
+Campaigns run through the planned/sharded engine (`REPRO_BENCH_JOBS` workers,
+optional `REPRO_BENCH_CACHE` verdict cache); the accumulated campaign
+telemetry is printed after the figure so speedups are attributable.
 """
 
 import _shared
 from repro.analysis.figures import render_grouped_bars
+from repro.analysis.report import render_telemetry
 from repro.core.results import geometric_mean, normalize
+from repro.core.telemetry import CampaignTelemetry
 from repro.workloads.beebs import BENCHMARK_NAMES
 
 STRUCTURES = ("alu", "decoder", "regfile")
@@ -41,6 +47,16 @@ def test_fig7_structure_delayavf(benchmark):
         ),
     )
     _shared.save_report("fig7_structure_delayavf", text)
+
+    # Aggregate campaign telemetry across every engine this bench touched
+    # (cache-hit rates and phase wall times explain warm-vs-cold speedups).
+    combined = CampaignTelemetry()
+    for bench in BENCHMARK_NAMES:
+        combined.merge(_shared.engine(bench).telemetry)
+    print()
+    print(render_telemetry(
+        combined, title=f"fig7 campaign telemetry (jobs={_shared.JOBS})"
+    ))
 
     # Shape: mean-over-d ordering ALU > regfile (paper: ~5x); DelayAVF at
     # large d exceeds DelayAVF at the smallest d for every structure.

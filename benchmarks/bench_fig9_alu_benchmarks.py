@@ -2,6 +2,9 @@
 
 Paper (Observation 3): large variation across benchmarks; md5's
 random-looking hash computation gives the ALU its highest DelayAVF.
+
+Campaigns run through the planned/sharded engine shared via `_shared.engine`
+(`REPRO_BENCH_JOBS` workers, optional `REPRO_BENCH_CACHE` verdict cache).
 """
 
 import _shared

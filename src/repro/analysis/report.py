@@ -9,7 +9,9 @@ latest bench run.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List
+from typing import List, Optional
+
+from repro.core.telemetry import COUNTER_ORDER, PHASE_ORDER, CampaignTelemetry
 
 #: EXPERIMENTS.md content below this marker is machine-generated.
 MARKER = "## Measured results"
@@ -27,6 +29,33 @@ PREFERRED_ORDER = [
     "ablation_optimizations",
     "macro_substructures",
 ]
+
+
+def render_telemetry(
+    telemetry: Optional[CampaignTelemetry], title: str = "campaign telemetry"
+) -> str:
+    """Render campaign counters and phase timers as an aligned text block."""
+    if telemetry is None:
+        return f"{title}: (none recorded)"
+    known = {name: position for position, name in enumerate(COUNTER_ORDER)}
+    counters = sorted(
+        telemetry.counters.items(),
+        key=lambda item: (known.get(item[0], len(known)), item[0]),
+    )
+    known_phases = {name: position for position, name in enumerate(PHASE_ORDER)}
+    phases = sorted(
+        telemetry.phase_seconds.items(),
+        key=lambda item: (known_phases.get(item[0], len(known_phases)), item[0]),
+    )
+    width = max(
+        (len(name) for name, _ in counters + phases), default=0
+    )
+    lines = [title]
+    for name, value in counters:
+        lines.append(f"  {name:<{width}}  {value}")
+    for name, seconds in phases:
+        lines.append(f"  {name:<{width}}  {seconds * 1000.0:.1f} ms")
+    return "\n".join(lines)
 
 
 def collect_result_files(results_dir: Path) -> List[Path]:

@@ -7,6 +7,7 @@ Examples::
     python -m repro disasm libstrstr --limit 20
     python -m repro paths alu
     python -m repro delayavf md5 alu --delays 0.5 0.9 --wires 24 --cycles 6
+    python -m repro delayavf md5 alu --jobs 4 --cache-dir .verdicts --stats
     python -m repro savf libstrstr regfile --bits 24 --ecc
 """
 
@@ -17,8 +18,10 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.figures import render_histogram
+from repro.analysis.report import render_telemetry
 from repro.analysis.tables import render_table
 from repro.core.campaign import CampaignConfig, DelayAVFEngine
+from repro.core.executor import SessionSpec
 from repro.core.savf import SAVFEngine
 from repro.isa.disasm import disassemble
 from repro.netlist.stats import structure_stats
@@ -65,6 +68,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--wires", type=int, default=24)
     p.add_argument("--cycles", type=int, default=6)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (>1 shards the campaign over a process pool)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="directory for the persistent verdict cache (warm-starts reruns)",
+    )
+    p.add_argument(
+        "--stats", action="store_true",
+        help="print campaign telemetry (cache hits, skips, phase times)",
+    )
     _add_common(p)
 
     p = sub.add_parser("savf", help="run a particle-strike sAVF campaign")
@@ -140,15 +155,25 @@ def cmd_paths(args) -> int:
 
 
 def cmd_delayavf(args) -> int:
-    system = build_system(use_ecc=args.ecc)
     config = CampaignConfig(
         delay_fractions=tuple(args.delays),
         cycle_count=args.cycles,
         max_wires=args.wires,
         seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
-    engine = DelayAVFEngine(system, load_benchmark(args.benchmark), config)
-    result = engine.run_structure(args.structure)
+    spec = SessionSpec(
+        system_factory=build_system,
+        program=load_benchmark(args.benchmark),
+        config=config,
+        factory_kwargs=(("use_ecc", args.ecc),),
+    )
+    engine = DelayAVFEngine.from_spec(spec)
+    try:
+        result = engine.run_structure(args.structure)
+    finally:
+        engine.close()
     rows = []
     for delay in config.delay_fractions:
         r = result.by_delay[delay]
@@ -166,6 +191,12 @@ def cmd_delayavf(args) -> int:
             "cycles sampled"
         ),
     ))
+    if args.stats:
+        print()
+        print(render_telemetry(
+            result.telemetry,
+            title=f"campaign telemetry (jobs={args.jobs})",
+        ))
     return 0
 
 

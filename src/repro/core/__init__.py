@@ -13,14 +13,26 @@ Implements Section V's two-step methodology (Eq. 4):
 - :mod:`repro.core.orace` — ORACE / OrDelayAVF and the ACE interference /
   compounding accounting (Section VII),
 - :mod:`repro.core.campaign` — the statistical fault-injection campaign
-  engine tying everything together with the paper's §V-C optimizations.
+  engine tying everything together with the paper's §V-C optimizations,
+- :mod:`repro.core.plan` / :mod:`repro.core.executor` — campaign planning
+  into per-cycle work shards and pluggable serial/process-pool execution,
+- :mod:`repro.core.cache` — the persistent content-addressed verdict cache,
+- :mod:`repro.core.telemetry` — campaign counters and phase timers.
 """
 
 from repro.core.attribution import InstructionAttributor
+from repro.core.cache import VerdictCache
 from repro.core.campaign import CampaignConfig, CampaignSession, DelayAVFEngine
 from repro.core.delay_model import DelayFault
+from repro.core.executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    SessionSpec,
+)
 from repro.core.failure_rate import structure_failure_fit
 from repro.core.group_ace import GroupAceAnalyzer, Outcome
+from repro.core.plan import CampaignPlan, WorkShard, build_plan
 from repro.core.results import (
     DelayAVFResult,
     InjectionRecord,
@@ -31,20 +43,30 @@ from repro.core.results import (
 )
 from repro.core.sampling import sample_cycles, sample_wires
 from repro.core.savf import SAVFEngine
+from repro.core.telemetry import CampaignTelemetry
 
 __all__ = [
     "CampaignConfig",
+    "CampaignPlan",
     "CampaignSession",
+    "CampaignTelemetry",
     "DelayAVFEngine",
     "DelayAVFResult",
     "DelayFault",
+    "Executor",
     "GroupAceAnalyzer",
     "InjectionRecord",
     "InstructionAttributor",
     "Outcome",
+    "ParallelExecutor",
     "SAVFEngine",
     "SAVFResult",
+    "SerialExecutor",
+    "SessionSpec",
     "StructureCampaignResult",
+    "VerdictCache",
+    "WorkShard",
+    "build_plan",
     "geometric_mean",
     "normalize",
     "sample_cycles",

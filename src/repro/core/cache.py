@@ -1,0 +1,314 @@
+"""Persistent, content-addressed verdict cache for GroupACE outcomes.
+
+GroupACE runs dominate campaign cost (each is a resumed full-program
+simulation), yet their verdicts depend only on
+
+- the netlist (which gates, DFFs, and ports exist and how they connect),
+- the program (its image decides the golden behaviour), and
+- the verdict-relevant campaign knobs (the DUE budget),
+
+never on *which wire or delay* produced a state-error set.  So verdicts are
+cached on disk under a content-addressed scope key: repeated benches, CLI
+runs, and parallel workers all warm-start from the same store, and a stale
+netlist or workload silently misses into a fresh scope instead of returning
+wrong answers.
+
+The store is one JSON file per scope (``verdicts-<scope16>.json``) holding a
+metadata header and a flat verdict map.  :meth:`VerdictCache.flush` re-reads
+the file and merges before an atomic replace, so concurrent workers of a
+parallel campaign can share one cache directory without corrupting it (last
+writer wins per key; verdicts are deterministic, so collisions agree).
+
+The metadata header also records the workload's fault-free run length and an
+observables digest, which lets :class:`repro.core.campaign.CampaignSession`
+skip its probe pass on warm starts (see its docstring).
+
+On top of the verdict map the store keeps a second, finer-grained table of
+completed *injection records* keyed by (structure, cycle, wire index, delay,
+ORACE flag, clock period).  A verdict hit still has to rebuild the cycle's
+waveforms and re-derive the dynamically reachable set (the timing-aware event
+sim) before it can ask for the verdict; a record hit skips all of that — a
+fully warm shard never touches the event simulator at all, which is where
+warm-restart campaign speedups actually come from.  Records are derived data
+(every field is reproducible from the scope + key), so the same
+last-writer-wins merge applies.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.core.group_ace import Outcome
+
+#: Bump when the on-disk layout or key derivation changes.
+CACHE_FORMAT = 1
+
+
+def _sha256(*parts: str) -> str:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def netlist_signature(netlist) -> str:
+    """Content hash of everything that can change simulated behaviour."""
+    return _sha256(
+        netlist.name,
+        repr([int(kind) for kind in netlist.cell_kinds]),
+        repr([tuple(inputs) for inputs in netlist.cell_inputs]),
+        repr(list(netlist.cell_outputs)),
+        repr([(d.index, d.q, d.d, d.init) for d in netlist.dffs]),
+        repr(sorted((name, tuple(nets)) for name, nets in netlist.input_ports.items())),
+        repr(sorted((name, tuple(nets)) for name, nets in netlist.output_ports.items())),
+    )
+
+
+def program_signature(program) -> str:
+    """Content hash of a workload (name is informational; the image decides)."""
+    return _sha256(
+        program.name,
+        str(program.entry),
+        hashlib.sha256(program.image).hexdigest(),
+    )
+
+
+def observables_digest(observables: Iterable) -> str:
+    return _sha256(repr(tuple(observables)))
+
+
+def campaign_scope_key(netlist, program, config) -> str:
+    """Scope key: netlist + program + the verdict-relevant config knobs.
+
+    ``margin_cycles`` bounds the DUE budget and ``max_run_cycles`` bounds the
+    golden run, so both participate; sampling knobs (wires, cycles, seeds,
+    delays) deliberately do not — verdicts are reusable across campaigns.
+    """
+    return _sha256(
+        f"format={CACHE_FORMAT}",
+        netlist_signature(netlist),
+        program_signature(program),
+        f"margin={config.margin_cycles}",
+        f"max_run={config.max_run_cycles}",
+    )
+
+
+def verdict_key(
+    cycle: int, at_next_boundary: bool, overrides_items: Tuple[Tuple[int, int], ...]
+) -> str:
+    """Stable string key for one (checkpoint, boundary, error-set) verdict."""
+    errors = ",".join(f"{dff}:{value}" for dff, value in overrides_items)
+    return f"{cycle}|{int(at_next_boundary)}|{errors}"
+
+
+def record_key(
+    structure: str,
+    cycle: int,
+    wire_index: int,
+    delay_fraction: float,
+    with_orace: bool,
+    clock_period: float,
+) -> str:
+    """Stable string key for one completed injection record.
+
+    Wire indices are positions in ``system.structure_wires(structure)``, a
+    deterministic enumeration of the netlist (which the scope key hashes), so
+    they are stable across processes.  The clock period pins the timing view:
+    the dynamically reachable set baked into a record depends on absolute
+    delays, unlike the timing-agnostic verdicts above.
+    """
+    return (
+        f"{structure}|{cycle}|{wire_index}|{delay_fraction!r}"
+        f"|{int(bool(with_orace))}|{clock_period!r}"
+    )
+
+
+def record_to_payload(record) -> list:
+    """Portable JSON form of an :class:`~repro.core.results.InjectionRecord`.
+
+    Only the derived fields are stored; the identifying ones (wire index,
+    cycle, delay) live in the key and are re-supplied on load.
+    """
+    return [
+        int(record.statically_reachable),
+        record.num_statically_reachable,
+        record.num_errors,
+        record.outcome.value,
+        None if record.or_ace is None else int(record.or_ace),
+    ]
+
+
+def record_from_payload(payload, wire_index: int, cycle: int, delay_fraction: float):
+    from repro.core.results import InjectionRecord
+
+    reachable, num_static, num_errors, outcome, or_ace = payload
+    return InjectionRecord(
+        wire_index=wire_index,
+        cycle=cycle,
+        delay_fraction=delay_fraction,
+        statically_reachable=bool(reachable),
+        num_statically_reachable=num_static,
+        num_errors=num_errors,
+        outcome=Outcome(outcome),
+        or_ace=None if or_ace is None else bool(or_ace),
+    )
+
+
+@contextlib.contextmanager
+def _flush_lock(path: Path):
+    """Advisory inter-process lock serializing read-merge-write flushes.
+
+    Without it, two workers flushing the same scope concurrently can both
+    read the same base state and the second atomic replace silently drops
+    the first writer's new entries.  Falls back to unlocked flushes where
+    ``fcntl`` is unavailable.
+    """
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    lock_path = path.with_name(path.name + ".lock")
+    with open(lock_path, "a") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+
+
+class VerdictCache:
+    """On-disk verdict store for one campaign scope."""
+
+    def __init__(self, directory, scope_key: str):
+        self.directory = Path(directory)
+        self.scope_key = scope_key
+        self.path = self.directory / f"verdicts-{scope_key[:16]}.json"
+        self._verdicts: Dict[str, str] = {}
+        self._records: Dict[str, list] = {}
+        self._meta: Dict[str, object] = {}
+        self._dirty = False
+        self._load(self.path, replace=True)
+
+    @classmethod
+    def open(cls, directory, netlist, program, config) -> "VerdictCache":
+        """Open (creating lazily) the cache scoped to this exact campaign."""
+        return cls(directory, campaign_scope_key(netlist, program, config))
+
+    # ------------------------------------------------------------------
+    def _load(self, path: Path, replace: bool) -> None:
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            payload = {}
+        if payload.get("scope") != self.scope_key:
+            payload = {}
+        stored = payload.get("verdicts", {})
+        stored_records = payload.get("records", {})
+        if replace:
+            self._verdicts = dict(stored)
+            self._records = dict(stored_records)
+            self._meta = dict(payload.get("meta", {}))
+        else:
+            # Merge-under: our in-memory entries win (they are newer but
+            # deterministic, so any overlap agrees anyway).
+            merged = dict(stored)
+            merged.update(self._verdicts)
+            self._verdicts = merged
+            records = dict(stored_records)
+            records.update(self._records)
+            self._records = records
+            meta = dict(payload.get("meta", {}))
+            meta.update(self._meta)
+            self._meta = meta
+
+    # ------------------------------------------------------------------
+    def get_verdict(self, key: str) -> Optional[Outcome]:
+        value = self._verdicts.get(key)
+        return Outcome(value) if value is not None else None
+
+    def put_verdict(self, key: str, outcome: Outcome) -> None:
+        if self._verdicts.get(key) != outcome.value:
+            self._verdicts[key] = outcome.value
+            self._dirty = True
+
+    def lookup(
+        self,
+        cycle: int,
+        at_next_boundary: bool,
+        overrides_items: Tuple[Tuple[int, int], ...],
+    ) -> Optional[Outcome]:
+        return self.get_verdict(verdict_key(cycle, at_next_boundary, overrides_items))
+
+    def store(
+        self,
+        cycle: int,
+        at_next_boundary: bool,
+        overrides_items: Tuple[Tuple[int, int], ...],
+        outcome: Outcome,
+    ) -> None:
+        self.put_verdict(verdict_key(cycle, at_next_boundary, overrides_items), outcome)
+
+    def get_record(self, key: str) -> Optional[list]:
+        return self._records.get(key)
+
+    def put_record(self, key: str, payload: list) -> None:
+        if self._records.get(key) != payload:
+            self._records[key] = payload
+            self._dirty = True
+
+    def __len__(self) -> int:
+        return len(self._verdicts)
+
+    # ------------------------------------------------------------------
+    def workload_meta(self) -> Optional[Tuple[int, str]]:
+        """``(total_cycles, observables_digest)`` of the fault-free run."""
+        cycles = self._meta.get("total_cycles")
+        digest = self._meta.get("observables_sha")
+        if isinstance(cycles, int) and isinstance(digest, str):
+            return cycles, digest
+        return None
+
+    def record_workload(self, total_cycles: int, observables: Iterable) -> None:
+        digest = observables_digest(observables)
+        if self.workload_meta() != (total_cycles, digest):
+            self._meta["total_cycles"] = total_cycles
+            self._meta["observables_sha"] = digest
+            self._dirty = True
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Merge with the on-disk state and atomically rewrite the file."""
+        if not self._dirty:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with _flush_lock(self.path):
+            self._load(self.path, replace=False)
+            payload = {
+                "format": CACHE_FORMAT,
+                "scope": self.scope_key,
+                "meta": self._meta,
+                "verdicts": self._verdicts,
+                "records": self._records,
+            }
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=self.path.name, suffix=".tmp", dir=self.directory
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(payload, handle)
+                os.replace(tmp_name, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        self._dirty = False

@@ -7,10 +7,15 @@ shared across structures and delay sweeps:
   sampled injection cycles,
 - the fault-free event-driven waveforms of each sampled cycle (computed once
   and reused by every wire and delay examined there),
-- the GroupACE and ORACE analyzers with their cross-injection caches.
+- the GroupACE and ORACE analyzers with their cross-injection caches (and,
+  when configured, a persistent on-disk verdict cache),
+- the shared :class:`repro.core.telemetry.CampaignTelemetry` instance.
 
-:class:`DelayAVFEngine` runs structure campaigns on top of a session,
-producing :class:`repro.core.results.StructureCampaignResult` records.
+:class:`DelayAVFEngine` runs structure campaigns on top of a session in three
+explicit layers: *planning* (:mod:`repro.core.plan` expands the campaign into
+per-cycle work shards), *execution* (:mod:`repro.core.executor` runs shards
+serially or on a process pool), and *merging* (deterministic assembly into a
+:class:`repro.core.results.StructureCampaignResult`).
 """
 
 from __future__ import annotations
@@ -18,14 +23,30 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.cache import (
+    observables_digest,
+    program_signature,
+    record_key,
+    record_to_payload,
+)
 from repro.core.delay_model import DEFAULT_DELAY_FRACTIONS
 from repro.core.delayavf import DelayAceEvaluator
 from repro.core.dynamic_reach import DynamicReachability
+from repro.core.executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    SessionSpec,
+    merge_shard_results,
+    open_configured_cache,
+)
 from repro.core.group_ace import GroupAceAnalyzer
 from repro.core.orace import OraceAnalyzer
+from repro.core.plan import build_plan
 from repro.core.results import DelayAVFResult, StructureCampaignResult
-from repro.core.sampling import sample_cycles, sample_wires
+from repro.core.sampling import sample_cycles
 from repro.core.static_reach import StaticReachability
+from repro.core.telemetry import CampaignTelemetry
 from repro.isa.assembler import Program
 from repro.sim.cyclesim import Checkpoint, RunResult
 from repro.sim.eventsim import CycleWaveforms
@@ -50,49 +71,192 @@ class CampaignConfig:
     compute_orace: bool = True
     #: GroupACE runs packed per bit-plane batch (1 disables batching)
     batch_lanes: int = 8
+    #: worker processes per structure campaign (>1 selects ParallelExecutor;
+    #: requires the engine to be built from a picklable SessionSpec)
+    jobs: int = 1
+    #: directory for the persistent verdict cache ('' / None disables it)
+    cache_dir: Optional[str] = None
 
 
 class CampaignSession:
-    """Shared golden-run state for one (system, program) pair."""
+    """Shared golden-run state for one (system, program) pair.
 
-    def __init__(self, system, program: Program, config: CampaignConfig):
+    The golden state normally needs two full runs: a *probe* pass to learn
+    the cycle count (the equally spaced injection cycles depend on it) and an
+    instrumented pass recording fingerprints + checkpoints at those cycles.
+    The probe is skipped whenever the workload's fault-free length is already
+    known — from an earlier session on the same system object (in-process
+    memo) or from a persistent verdict cache's workload metadata — and the
+    instrumented run is then verified against the recorded observables
+    instead of a fresh probe.  The remaining double-run case is the first
+    cold session for a (system, program) pair, where the checkpoint positions
+    genuinely cannot be known before a full run has measured the length.
+
+    Everything is materialized lazily: constructing a session runs nothing.
+    ``total_cycles``/``sampled_cycles`` resolve from the memo or cache
+    metadata (falling back to the probe run), and the instrumented golden run
+    plus the analyzers that need it appear on first use.  A campaign served
+    entirely from the persistent record cache therefore never simulates at
+    all — which is what makes warm worker processes cheap.
+    """
+
+    def __init__(
+        self,
+        system,
+        program: Program,
+        config: CampaignConfig,
+        telemetry: Optional[CampaignTelemetry] = None,
+        verdict_cache=None,
+    ):
         self.system = system
         self.program = program
         self.config = config
-        # Pass 1: plain run to learn the cycle count.
-        probe = system.run_program(program, max_cycles=config.max_run_cycles)
-        if not probe.halted:
-            raise RuntimeError(
-                f"workload {program.name!r} did not halt within "
-                f"{config.max_run_cycles} cycles"
-            )
-        self.total_cycles = probe.cycles
-        self.sampled_cycles: List[int] = sample_cycles(
-            probe.cycles,
-            count=config.cycle_count,
-            fraction=config.cycle_fraction,
-            warmup=config.warmup_cycles,
-        )
-        # Pass 2: record fingerprints + checkpoints at the sampled cycles.
-        self.golden: RunResult = system.run_program(
-            program,
-            max_cycles=config.max_run_cycles,
-            checkpoint_cycles=self.sampled_cycles,
-            record_fingerprints=True,
-        )
-        assert self.golden.cycles == probe.cycles
-        assert self.golden.observables == probe.observables
+        self.telemetry = telemetry if telemetry is not None else CampaignTelemetry()
+        self.verdict_cache = verdict_cache
 
-        self.static = StaticReachability(system.sta)
-        self.dynamic = DynamicReachability(system.event_sim, self.static)
-        self.group_ace = GroupAceAnalyzer(
-            system, program, self.golden, margin_cycles=config.margin_cycles
-        )
-        self.orace = OraceAnalyzer(self.group_ace)
-        self.evaluator = DelayAceEvaluator(
-            self.static, self.dynamic, self.group_ace, self.orace
-        )
+        memo = getattr(system, "_workload_memo", None)
+        if memo is None:
+            memo = {}
+            system._workload_memo = memo
+        self._memo = memo
+        self._psig = program_signature(program)
+        self._total_cycles: Optional[int] = None
+        self._sampled_cycles: Optional[List[int]] = None
+        self._golden: Optional[RunResult] = None
+        self._static: Optional[StaticReachability] = None
+        self._dynamic: Optional[DynamicReachability] = None
+        self._group_ace: Optional[GroupAceAnalyzer] = None
+        self._orace: Optional[OraceAnalyzer] = None
+        self._evaluator: Optional[DelayAceEvaluator] = None
         self._waveforms: Dict[int, CycleWaveforms] = {}
+
+    # ------------------------------------------------------------------
+    def _known_length(self):
+        """``(cycles, observables, digest)`` known without running, else Nones."""
+        if self._psig in self._memo:
+            cycles, observables = self._memo[self._psig]
+            return cycles, observables, None
+        if self.verdict_cache is not None:
+            meta = self.verdict_cache.workload_meta()
+            if meta is not None and meta[0] <= self.config.max_run_cycles:
+                return meta[0], None, meta[1]
+        return None, None, None
+
+    def _record_workload(self, run: RunResult) -> None:
+        self._memo[self._psig] = (run.cycles, run.observables)
+        if self.verdict_cache is not None:
+            self.verdict_cache.record_workload(run.cycles, run.observables)
+
+    def _halt_error(self) -> RuntimeError:
+        return RuntimeError(
+            f"workload {self.program.name!r} did not halt within "
+            f"{self.config.max_run_cycles} cycles"
+        )
+
+    @property
+    def total_cycles(self) -> int:
+        if self._total_cycles is None:
+            known, _, _ = self._known_length()
+            if known is None:
+                # Pass 1 (cold only): plain probe run to learn the length.
+                with self.telemetry.timer("golden"):
+                    self.telemetry.incr("probe_runs")
+                    probe = self.system.run_program(
+                        self.program, max_cycles=self.config.max_run_cycles
+                    )
+                if not probe.halted:
+                    raise self._halt_error()
+                self._record_workload(probe)
+                known = probe.cycles
+            else:
+                self.telemetry.incr("probe_skips")
+            self._total_cycles = known
+        return self._total_cycles
+
+    @property
+    def sampled_cycles(self) -> List[int]:
+        if self._sampled_cycles is None:
+            self._sampled_cycles = sample_cycles(
+                self.total_cycles,
+                count=self.config.cycle_count,
+                fraction=self.config.cycle_fraction,
+                warmup=self.config.warmup_cycles,
+            )
+        return self._sampled_cycles
+
+    @property
+    def golden(self) -> RunResult:
+        if self._golden is None:
+            expected = self.total_cycles  # may probe (cold start)
+            _, known_observables, known_digest = self._known_length()
+            cycles = self.sampled_cycles
+            # Pass 2: record fingerprints + checkpoints at the sampled cycles.
+            with self.telemetry.timer("golden"):
+                self.telemetry.incr("golden_runs")
+                golden = self.system.run_program(
+                    self.program,
+                    max_cycles=self.config.max_run_cycles,
+                    checkpoint_cycles=cycles,
+                    record_fingerprints=True,
+                )
+            if not golden.halted:
+                raise self._halt_error()
+            # Verify against whatever we know: the probe's observables (cold)
+            # or the memoized/persisted golden behaviour (warm start).
+            assert golden.cycles == expected
+            if known_observables is not None:
+                assert golden.observables == known_observables
+            elif known_digest is not None:
+                assert observables_digest(golden.observables) == known_digest
+            self._record_workload(golden)
+            self._golden = golden
+        return self._golden
+
+    # ------------------------------------------------------------------
+    @property
+    def static(self) -> StaticReachability:
+        if self._static is None:
+            self._static = StaticReachability(self.system.sta)
+        return self._static
+
+    @property
+    def dynamic(self) -> DynamicReachability:
+        if self._dynamic is None:
+            self._dynamic = DynamicReachability(
+                self.system.event_sim, self.static, telemetry=self.telemetry
+            )
+        return self._dynamic
+
+    @property
+    def group_ace(self) -> GroupAceAnalyzer:
+        if self._group_ace is None:
+            self._group_ace = GroupAceAnalyzer(
+                self.system,
+                self.program,
+                self.golden,
+                margin_cycles=self.config.margin_cycles,
+                verdict_cache=self.verdict_cache,
+                telemetry=self.telemetry,
+            )
+        return self._group_ace
+
+    @property
+    def orace(self) -> OraceAnalyzer:
+        if self._orace is None:
+            self._orace = OraceAnalyzer(self.group_ace)
+        return self._orace
+
+    @property
+    def evaluator(self) -> DelayAceEvaluator:
+        if self._evaluator is None:
+            self._evaluator = DelayAceEvaluator(
+                self.static,
+                self.dynamic,
+                self.group_ace,
+                self.orace,
+                telemetry=self.telemetry,
+            )
+        return self._evaluator
 
     def checkpoint(self, cycle: int) -> Checkpoint:
         return self.golden.checkpoints[cycle]
@@ -101,20 +265,49 @@ class CampaignSession:
         """Fault-free event-simulated waveforms of one sampled cycle."""
         waves = self._waveforms.get(cycle)
         if waves is None:
-            ckpt = self.checkpoint(cycle)
-            waves = self.system.event_sim.simulate_cycle(
-                ckpt.prev_settled, ckpt.dff_values, ckpt.input_values, cycle=cycle
-            )
+            with self.telemetry.timer("waveforms"):
+                ckpt = self.checkpoint(cycle)
+                waves = self.system.event_sim.simulate_cycle(
+                    ckpt.prev_settled, ckpt.dff_values, ckpt.input_values, cycle=cycle
+                )
+            self.telemetry.incr("waveforms_built")
             self._waveforms[cycle] = waves
         return waves
 
 
 class DelayAVFEngine:
-    """Runs DelayAVF campaigns for one workload on one system."""
+    """Runs DelayAVF campaigns for one workload on one system.
 
-    def __init__(self, system, program: Program, config: Optional[CampaignConfig] = None):
+    The engine owns the session and orchestrates plan → execute → merge.  To
+    run campaigns on a process pool (``config.jobs > 1`` or an explicit
+    :class:`ParallelExecutor`), construct the engine from a picklable
+    :class:`SessionSpec` via :meth:`from_spec` so workers can rebuild the
+    session.
+    """
+
+    def __init__(
+        self,
+        system,
+        program: Program,
+        config: Optional[CampaignConfig] = None,
+        spec: Optional[SessionSpec] = None,
+    ):
         self.config = config if config is not None else CampaignConfig()
-        self.session = CampaignSession(system, program, self.config)
+        self.spec = spec
+        self.verdict_cache = open_configured_cache(system, program, self.config)
+        self.session = CampaignSession(
+            system, program, self.config, verdict_cache=self.verdict_cache
+        )
+        self.telemetry = self.session.telemetry
+        self._executor: Optional[Executor] = None
+        # Resolve the workload length up front: free on warm starts (memo or
+        # cache metadata) and fails fast on non-halting workloads when cold.
+        self.session.total_cycles
+
+    @classmethod
+    def from_spec(cls, spec: SessionSpec) -> "DelayAVFEngine":
+        """Build the engine (and its system) from a picklable spec."""
+        return cls(spec.build_system(), spec.program, spec.config, spec=spec)
 
     @property
     def system(self):
@@ -125,88 +318,83 @@ class DelayAVFEngine:
         return self.session.program
 
     # ------------------------------------------------------------------
+    def default_executor(self) -> Executor:
+        """The executor selected by ``config.jobs`` (kept across campaigns)."""
+        if self._executor is None:
+            if self.config.jobs > 1:
+                self._executor = ParallelExecutor(self.config.jobs)
+            else:
+                self._executor = SerialExecutor()
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down any worker pool and flush the verdict cache."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+        if self.verdict_cache is not None:
+            self.verdict_cache.flush()
+
+    # ------------------------------------------------------------------
     def run_structure(
         self,
         structure: str,
         delay_fractions: Optional[Sequence[float]] = None,
         max_wires: Optional[int] = None,
         seed: Optional[int] = None,
+        executor: Optional[Executor] = None,
     ) -> StructureCampaignResult:
         """Estimate DelayAVF of *structure* across the delay sweep.
 
-        Loops are ordered cycle-outermost so the fault-free waveforms and
-        GroupACE caches are reused maximally (the paper's §V-C caching).
+        The plan orders shards cycle-outermost so the fault-free waveforms
+        and GroupACE caches are reused maximally (the paper's §V-C caching);
+        the executor (serial by default, process-pool when ``config.jobs >
+        1`` or passed explicitly) decides where shards run.  Results merge
+        deterministically by (cycle, wire, delay), so every executor yields
+        identical records.
         """
-        config = self.config
-        delays = tuple(
-            delay_fractions if delay_fractions is not None else config.delay_fractions
-        )
-        wires = self.system.structure_wires(structure)
-        chosen = sample_wires(
-            wires,
-            max_wires if max_wires is not None else config.max_wires,
-            seed if seed is not None else config.seed,
-        )
-        wire_indices = {wire: wires.index(wire) for wire in chosen}
-        result = StructureCampaignResult(
-            structure=structure,
-            benchmark=self.program.name,
-            wire_count=len(wires),
-            sampled_wires=len(chosen),
-            sampled_cycles=tuple(self.session.sampled_cycles),
-            by_delay={
-                d: DelayAVFResult(
-                    structure=structure,
-                    benchmark=self.program.name,
-                    delay_fraction=d,
-                )
-                for d in delays
-            },
-        )
-        for cycle in self.session.sampled_cycles:
-            waves = self.session.waveforms(cycle)
-            checkpoint = self.session.checkpoint(cycle)
-            if config.batch_lanes > 1:
-                self._prefetch_group_ace(waves, checkpoint, chosen, delays)
-            for wire in chosen:
-                for delay in delays:
-                    record = self.session.evaluator.evaluate(
-                        waves,
-                        checkpoint,
-                        wire,
-                        wire_indices[wire],
-                        delay,
-                        with_orace=config.compute_orace,
-                    )
-                    result.by_delay[delay].records.append(record)
-        return result
-
-    def _prefetch_group_ace(self, waves, checkpoint, wires, delays) -> None:
-        """Batch-resolve this cycle's GroupACE (and ORACE) queries.
-
-        Collects every dynamically reachable set the evaluation pass will
-        need — plus the per-member singleton sets ORACE requires for
-        multi-bit errors — and resolves them lane-parallel, so the scalar
-        evaluation pass afterwards is pure cache hits.
-        """
-        session = self.session
-        pending = []
-        for wire in wires:
-            if not waves.toggles(wire.net):
-                continue
-            for delay in delays:
-                errors = session.dynamic.reachable_set(waves, wire, delay)
-                if not errors:
-                    continue
-                pending.append(errors)
-                if self.config.compute_orace and len(errors) > 1:
-                    pending.extend(
-                        {dff: value} for dff, value in errors.items()
-                    )
-        if pending:
-            session.group_ace.prefetch(
-                checkpoint, pending, lanes=self.config.batch_lanes
+        before = self.telemetry.snapshot()
+        with self.telemetry.timer("plan"):
+            plan = build_plan(
+                structure,
+                self.program.name,
+                self.system.structure_wires(structure),
+                self.session.sampled_cycles,
+                self.config,
+                delay_fractions=delay_fractions,
+                max_wires=max_wires,
+                seed=seed,
             )
+        executor = executor if executor is not None else self.default_executor()
+        with self.telemetry.timer("execute"):
+            shard_results = executor.execute(plan, session=self.session, spec=self.spec)
+        with self.telemetry.timer("merge"):
+            result = merge_shard_results(plan, shard_results)
+        # Worker telemetry arrives as per-shard snapshot deltas; fold it into
+        # the session-wide telemetry, then report this campaign's slice.
+        for shard_result in shard_results:
+            if shard_result.telemetry is not None:
+                self.telemetry.merge_snapshot(shard_result.telemetry)
+        result.telemetry = CampaignTelemetry.from_snapshot(
+            self.telemetry.diff(before)
+        )
+        if self.verdict_cache is not None:
+            # Persist every merged record from the owning process too: worker
+            # flushes already wrote them shard-by-shard, but this guarantees
+            # a complete record table even if a worker died mid-campaign.
+            with_orace = bool(self.config.compute_orace)
+            clock = self.system.clock_period
+            for delay, delay_result in result.by_delay.items():
+                for record in delay_result.records:
+                    self.verdict_cache.put_record(
+                        record_key(
+                            plan.structure, record.cycle, record.wire_index,
+                            delay, with_orace, clock,
+                        ),
+                        record_to_payload(record),
+                    )
+            self.verdict_cache.flush()
+        return result
 
     def estimate(
         self,
@@ -219,7 +407,9 @@ class DelayAVFEngine:
         """Convenience single-delay estimate (used by the quickstart).
 
         *max_cycles* further restricts the session's sampled cycles (it
-        cannot exceed the session's ``cycle_count``).
+        cannot exceed the session's ``cycle_count``).  The returned result is
+        a copy restricted to those cycles; the underlying campaign result is
+        never mutated.
         """
         campaign = self.run_structure(
             structure, delay_fractions=(delay_fraction,), max_wires=max_wires,
@@ -227,6 +417,7 @@ class DelayAVFEngine:
         )
         result = campaign.by_delay[delay_fraction]
         if max_cycles is not None:
-            kept = set(self.session.sampled_cycles[:max_cycles])
-            result.records = [r for r in result.records if r.cycle in kept]
+            result = result.restricted_to_cycles(
+                self.session.sampled_cycles[:max_cycles]
+            )
         return result

@@ -17,6 +17,7 @@ from repro.core.group_ace import GroupAceAnalyzer, Outcome
 from repro.core.orace import OraceAnalyzer
 from repro.core.results import InjectionRecord
 from repro.core.static_reach import StaticReachability
+from repro.core.telemetry import CampaignTelemetry
 from repro.netlist.netlist import Wire
 from repro.sim.cyclesim import Checkpoint
 from repro.sim.eventsim import CycleWaveforms
@@ -31,11 +32,13 @@ class DelayAceEvaluator:
         dynamic: DynamicReachability,
         group_ace: GroupAceAnalyzer,
         orace: Optional[OraceAnalyzer] = None,
+        telemetry: Optional[CampaignTelemetry] = None,
     ):
         self.static = static
         self.dynamic = dynamic
         self.group_ace = group_ace
         self.orace = orace
+        self.telemetry = telemetry if telemetry is not None else CampaignTelemetry()
 
     def evaluate(
         self,
@@ -47,8 +50,10 @@ class DelayAceEvaluator:
         with_orace: bool = True,
     ) -> InjectionRecord:
         """Full two-step evaluation of one (wire, cycle, delay) injection."""
+        self.telemetry.incr("injections")
         static_set = self.static.reachable_set(wire, delay_fraction)
         if not static_set:
+            self.telemetry.incr("static_unreachable")
             return InjectionRecord(
                 wire_index=wire_index,
                 cycle=waves.cycle,
@@ -60,6 +65,7 @@ class DelayAceEvaluator:
             )
         errors = self.dynamic.reachable_set(waves, wire, delay_fraction)
         if not errors:
+            self.telemetry.incr("dynamic_empty")
             return InjectionRecord(
                 wire_index=wire_index,
                 cycle=waves.cycle,
@@ -69,6 +75,8 @@ class DelayAceEvaluator:
                 num_errors=0,
                 outcome=Outcome.MASKED,
             )
+        if len(errors) > 1:
+            self.telemetry.incr("multi_bit_sets")
         outcome = self.group_ace.outcome_of_state_errors(checkpoint, errors)
         or_ace = None
         if with_orace and self.orace is not None:

@@ -14,9 +14,10 @@ short-circuits:
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.static_reach import StaticReachability
+from repro.core.telemetry import CampaignTelemetry
 from repro.netlist.netlist import Wire
 from repro.sim.eventsim import CycleWaveforms, EventSimulator
 
@@ -24,9 +25,15 @@ from repro.sim.eventsim import CycleWaveforms, EventSimulator
 class DynamicReachability:
     """Timing-aware dynamically-reachable-set computation."""
 
-    def __init__(self, event_sim: EventSimulator, static: StaticReachability):
+    def __init__(
+        self,
+        event_sim: EventSimulator,
+        static: StaticReachability,
+        telemetry: Optional[CampaignTelemetry] = None,
+    ):
         self.event_sim = event_sim
         self.static = static
+        self.telemetry = telemetry if telemetry is not None else CampaignTelemetry()
 
     def reachable_set(
         self, waves: CycleWaveforms, wire: Wire, delay_fraction: float
@@ -39,13 +46,16 @@ class DynamicReachability:
         pass and the per-record evaluation share one computation.
         """
         if not waves.toggles(wire.net):
+            self.telemetry.incr("toggle_skips")
             return {}
         if not self.static.is_reachable(wire, delay_fraction):
             return {}
         key = (wire, delay_fraction)
         cached = waves.resim_cache.get(key)
         if cached is not None:
+            self.telemetry.incr("resim_cache_hits")
             return dict(cached)
+        self.telemetry.incr("cone_resims")
         extra = delay_fraction * self.static.sta.clock_period
         errors = self.event_sim.resimulate(waves, wire, extra)
         # Exactness check (Definition 3): every erroneous latch must be

@@ -1,0 +1,316 @@
+"""Campaign execution: pluggable executors over planned work shards.
+
+The campaign engine plans a structure campaign into per-cycle
+:class:`repro.core.plan.WorkShard` descriptors and hands them to an
+:class:`Executor`:
+
+- :class:`SerialExecutor` runs every shard in-process against the engine's
+  live :class:`repro.core.campaign.CampaignSession` (the historical
+  behaviour, and the default).
+- :class:`ParallelExecutor` fans shards out to a ``ProcessPoolExecutor``.
+  Each worker rebuilds the session once from a picklable
+  :class:`SessionSpec` (system factory + program + config) and then serves
+  shards from its warm caches; the pool is kept alive across
+  ``run_structure`` calls so consecutive structure campaigns reuse worker
+  sessions exactly like the serial engine reuses its one session.
+
+Shard results are merged deterministically in plan order, so serial and
+parallel runs produce identical :class:`StructureCampaignResult` records —
+the executors differ only in wall-clock time and telemetry.
+"""
+
+from __future__ import annotations
+
+import abc
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cache import record_from_payload, record_key, record_to_payload
+from repro.core.plan import CampaignPlan, WorkShard
+from repro.core.results import DelayAVFResult, InjectionRecord, StructureCampaignResult
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Everything a worker needs to rebuild a campaign session.
+
+    ``system_factory`` must be picklable by reference (a module-level
+    callable, e.g. :func:`repro.soc.system.build_system`); ``factory_kwargs``
+    is a tuple of ``(name, value)`` pairs so the spec stays hashable-free but
+    comparable and picklable.
+    """
+
+    system_factory: Callable[..., Any]
+    program: Any  #: :class:`repro.isa.assembler.Program`
+    config: Any  #: :class:`repro.core.campaign.CampaignConfig`
+    factory_kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    def build_system(self):
+        return self.system_factory(**dict(self.factory_kwargs))
+
+    def build_session(self):
+        """Rebuild the full campaign session (golden run, analyzers, cache)."""
+        from repro.core.campaign import CampaignSession
+
+        system = self.build_system()
+        return CampaignSession(
+            system,
+            self.program,
+            self.config,
+            verdict_cache=open_configured_cache(system, self.program, self.config),
+        )
+
+
+def open_configured_cache(system, program, config):
+    """The :class:`VerdictCache` named by ``config.cache_dir`` (or ``None``)."""
+    if not getattr(config, "cache_dir", None):
+        return None
+    from repro.core.cache import VerdictCache
+
+    return VerdictCache.open(config.cache_dir, system.netlist, program, config)
+
+
+@dataclass
+class ShardResult:
+    """One executed shard: per-delay records plus the worker's telemetry."""
+
+    shard_index: int
+    by_delay: Dict[float, List[InjectionRecord]]
+    telemetry: Optional[Dict[str, Dict]] = None  #: telemetry snapshot delta
+
+
+# ----------------------------------------------------------------------
+# The shard inner loop (shared verbatim by both executors)
+# ----------------------------------------------------------------------
+def execute_shard(session, plan: CampaignPlan, shard: WorkShard) -> ShardResult:
+    """Run every (wire, delay) injection of one sampled cycle.
+
+    Loops are wire-outer / delay-inner within the shard — combined with the
+    plan's cycle-per-shard decomposition this reproduces the legacy engine's
+    cycle-outermost §V-C cache-reuse order exactly.
+
+    Completed injections are served from the persistent record cache when one
+    is attached; the shard only builds waveforms and checkpoints (the
+    expensive timing-aware event simulation) for the injections it actually
+    has to evaluate, so a fully warm shard never touches the event simulator.
+    """
+    config = session.config
+    telemetry = session.telemetry
+    cache = session.verdict_cache
+    with_orace = bool(config.compute_orace)
+    wires = session.system.structure_wires(plan.structure)
+    chosen = [(index, wires[index]) for index in shard.wire_indices]
+
+    def key_of(index: int, delay: float) -> str:
+        return record_key(
+            plan.structure, shard.cycle, index, delay,
+            with_orace, session.system.clock_period,
+        )
+
+    cached: Dict[Tuple[int, float], InjectionRecord] = {}
+    if cache is not None:
+        for index, _ in chosen:
+            for delay in shard.delay_fractions:
+                payload = cache.get_record(key_of(index, delay))
+                if payload is not None:
+                    cached[(index, delay)] = record_from_payload(
+                        payload, index, shard.cycle, delay
+                    )
+        telemetry.incr("record_cache_hits", len(cached))
+
+    pending = [
+        (index, wire, [d for d in shard.delay_fractions if (index, d) not in cached])
+        for index, wire in chosen
+        if any((index, d) not in cached for d in shard.delay_fractions)
+    ]
+    waves = checkpoint = None
+    if pending:
+        waves = session.waveforms(shard.cycle)
+        checkpoint = session.checkpoint(shard.cycle)
+        if config.batch_lanes > 1:
+            with telemetry.timer("prefetch"):
+                _prefetch_group_ace(session, waves, checkpoint, pending)
+
+    by_delay: Dict[float, List[InjectionRecord]] = {
+        delay: [] for delay in shard.delay_fractions
+    }
+    with telemetry.timer("evaluate"):
+        for index, wire in chosen:
+            for delay in shard.delay_fractions:
+                record = cached.get((index, delay))
+                if record is None:
+                    record = session.evaluator.evaluate(
+                        waves,
+                        checkpoint,
+                        wire,
+                        index,
+                        delay,
+                        with_orace=with_orace,
+                    )
+                    if cache is not None:
+                        cache.put_record(
+                            key_of(index, delay), record_to_payload(record)
+                        )
+                by_delay[delay].append(record)
+    return ShardResult(shard_index=shard.index, by_delay=by_delay)
+
+
+def _prefetch_group_ace(session, waves, checkpoint, pending) -> None:
+    """Batch-resolve this cycle's GroupACE (and ORACE) queries.
+
+    ``pending`` is a list of ``(wire_index, wire, delays)`` still to be
+    evaluated.  Collects every dynamically reachable set the evaluation pass
+    will need — plus the per-member singleton sets ORACE requires for
+    multi-bit errors — and resolves them lane-parallel, so the scalar
+    evaluation pass afterwards is pure cache hits.
+    """
+    config = session.config
+    queries = []
+    for _, wire, delays in pending:
+        if not waves.toggles(wire.net):
+            continue
+        for delay in delays:
+            errors = session.dynamic.reachable_set(waves, wire, delay)
+            if not errors:
+                continue
+            queries.append(errors)
+            if config.compute_orace and len(errors) > 1:
+                queries.extend({dff: value} for dff, value in errors.items())
+    if queries:
+        session.group_ace.prefetch(
+            checkpoint, queries, lanes=config.batch_lanes
+        )
+
+
+def merge_shard_results(
+    plan: CampaignPlan, shard_results: Sequence[ShardResult]
+) -> StructureCampaignResult:
+    """Deterministic merge: shard (= cycle) order, then shard-internal order.
+
+    Keyed by ``shard_index`` so out-of-order completion (a parallel pool) and
+    in-order completion (the serial executor) assemble byte-identical
+    results.
+    """
+    result = StructureCampaignResult(
+        structure=plan.structure,
+        benchmark=plan.benchmark,
+        wire_count=plan.wire_count,
+        sampled_wires=len(plan.wire_indices),
+        sampled_cycles=plan.sampled_cycles,
+        by_delay={
+            delay: DelayAVFResult(
+                structure=plan.structure,
+                benchmark=plan.benchmark,
+                delay_fraction=delay,
+            )
+            for delay in plan.delay_fractions
+        },
+    )
+    for shard_result in sorted(shard_results, key=lambda s: s.shard_index):
+        for delay in plan.delay_fractions:
+            result.by_delay[delay].records.extend(shard_result.by_delay[delay])
+    return result
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+class Executor(abc.ABC):
+    """Strategy for running a plan's shards against session state."""
+
+    @abc.abstractmethod
+    def execute(
+        self,
+        plan: CampaignPlan,
+        session=None,
+        spec: Optional[SessionSpec] = None,
+    ) -> List[ShardResult]:
+        """Run every shard of *plan*; results may arrive in any order."""
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release executor resources (worker pools); idempotent."""
+
+
+class SerialExecutor(Executor):
+    """In-process execution against a live session (default behaviour)."""
+
+    def execute(self, plan, session=None, spec=None):
+        if session is None:
+            if spec is None:
+                raise ValueError("SerialExecutor needs a session or a spec")
+            session = spec.build_session()
+        return [execute_shard(session, plan, shard) for shard in plan.shards]
+
+
+# Per-worker-process session, built once by the pool initializer.
+_WORKER_SESSION = None
+
+
+def _worker_init(spec: SessionSpec) -> None:
+    global _WORKER_SESSION
+    _WORKER_SESSION = spec.build_session()
+
+
+def _worker_run_shard(item: Tuple[CampaignPlan, WorkShard]) -> ShardResult:
+    plan, shard = item
+    session = _WORKER_SESSION
+    before = session.telemetry.snapshot()
+    result = execute_shard(session, plan, shard)
+    result.telemetry = session.telemetry.diff(before)
+    if session.verdict_cache is not None:
+        session.verdict_cache.flush()
+    return result
+
+
+class ParallelExecutor(Executor):
+    """Process-pool execution from a rebuilt-per-worker session.
+
+    The pool (and with it every worker's session and caches) persists across
+    :meth:`execute` calls until :meth:`close` or a different spec arrives.
+    Requires a picklable :class:`SessionSpec` — construct the engine via
+    :meth:`repro.core.campaign.DelayAVFEngine.from_spec` (or pass ``spec=``)
+    to use it.
+    """
+
+    def __init__(self, jobs: int = 2, mp_context=None):
+        self.jobs = max(1, int(jobs))
+        self._mp_context = mp_context
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._spec: Optional[SessionSpec] = None
+
+    def execute(self, plan, session=None, spec=None):
+        if spec is None:
+            raise ValueError(
+                "ParallelExecutor needs a picklable SessionSpec; construct "
+                "the engine via DelayAVFEngine.from_spec(...)"
+            )
+        pool = self._ensure_pool(spec)
+        return list(
+            pool.map(_worker_run_shard, [(plan, shard) for shard in plan.shards])
+        )
+
+    def _ensure_pool(self, spec: SessionSpec) -> ProcessPoolExecutor:
+        if self._pool is not None and self._spec != spec:
+            self.close()
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=self._mp_context,
+                initializer=_worker_init,
+                initargs=(spec,),
+            )
+            self._spec = spec
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._spec = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -23,8 +23,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.telemetry import CampaignTelemetry
 from repro.isa.assembler import Program
 from repro.sim.cyclesim import Checkpoint, CycleSimulator, RunResult
 from repro.sim.packed import MAX_LANES, PackedCycleSimulator
@@ -63,6 +64,8 @@ class GroupAceAnalyzer:
         program: Program,
         golden: RunResult,
         margin_cycles: int = 3000,
+        verdict_cache=None,
+        telemetry: Optional[CampaignTelemetry] = None,
     ):
         if not golden.fingerprints:
             raise ValueError("golden run must be recorded with fingerprints")
@@ -72,6 +75,9 @@ class GroupAceAnalyzer:
         self.margin_cycles = margin_cycles
         self.sim: CycleSimulator = system.simulator()
         self.stats = InjectionStats()
+        #: optional persistent store (:class:`repro.core.cache.VerdictCache`)
+        self.verdict_cache = verdict_cache
+        self.telemetry = telemetry if telemetry is not None else CampaignTelemetry()
         self._cache: Dict[Tuple, Outcome] = {}
         self._packed: PackedCycleSimulator = PackedCycleSimulator(
             self.sim.netlist, self.sim.plan
@@ -91,15 +97,35 @@ class GroupAceAnalyzer:
         applied at the following clock edge — where an SDF in that cycle
         would deposit them.  With ``False`` (the particle-strike case) the
         overrides are applied directly at the checkpoint boundary.
+
+        Resolution order: in-memory cache, then the persistent verdict cache
+        (if configured), then an actual injected run — whose verdict is
+        written back to both.
         """
         if not overrides:
             return Outcome.MASKED
-        key = (checkpoint.cycle, at_next_boundary, tuple(sorted(overrides.items())))
+        items = tuple(sorted(overrides.items()))
+        key = (checkpoint.cycle, at_next_boundary, items)
         cached = self._cache.get(key)
-        if cached is None:
-            cached = self._run_injected(checkpoint, overrides, at_next_boundary)
-            self._cache[key] = cached
-        return cached
+        if cached is not None:
+            self.telemetry.incr("group_ace_cache_hits")
+            return cached
+        if self.verdict_cache is not None:
+            persisted = self.verdict_cache.lookup(
+                checkpoint.cycle, at_next_boundary, items
+            )
+            if persisted is not None:
+                self.telemetry.incr("verdict_cache_hits")
+                self._cache[key] = persisted
+                return persisted
+        outcome = self._run_injected(checkpoint, overrides, at_next_boundary)
+        self.telemetry.incr("group_ace_runs")
+        self._cache[key] = outcome
+        if self.verdict_cache is not None:
+            self.verdict_cache.store(
+                checkpoint.cycle, at_next_boundary, items, outcome
+            )
+        return outcome
 
     def is_group_ace(
         self, checkpoint: Checkpoint, overrides: Dict[int, int]
@@ -133,13 +159,18 @@ class GroupAceAnalyzer:
         for overrides in sets:
             if not overrides:
                 continue
-            key = (
-                checkpoint.cycle,
-                at_next_boundary,
-                tuple(sorted(overrides.items())),
-            )
+            items = tuple(sorted(overrides.items()))
+            key = (checkpoint.cycle, at_next_boundary, items)
             if key in self._cache or key in seen:
                 continue
+            if self.verdict_cache is not None:
+                persisted = self.verdict_cache.lookup(
+                    checkpoint.cycle, at_next_boundary, items
+                )
+                if persisted is not None:
+                    self.telemetry.incr("verdict_cache_hits")
+                    self._cache[key] = persisted
+                    continue
             seen.add(key)
             unique.append((key, dict(overrides)))
         for start in range(0, len(unique), lanes):
@@ -148,8 +179,15 @@ class GroupAceAnalyzer:
                 checkpoint, [overrides for _, overrides in chunk],
                 at_next_boundary,
             )
+            self.telemetry.incr("lane_batches")
+            self.telemetry.incr("lanes_filled", len(chunk))
+            self.telemetry.incr("group_ace_runs", len(chunk))
             for (key, _), outcome in zip(chunk, outcomes):
                 self._cache[key] = outcome
+                if self.verdict_cache is not None:
+                    self.verdict_cache.store(
+                        checkpoint.cycle, at_next_boundary, key[2], outcome
+                    )
 
     def _run_injected_batch(
         self,

@@ -1,0 +1,101 @@
+"""Campaign planning: expand a configuration into executable work shards.
+
+A structure campaign is a cross-product (sampled cycles × sampled wires ×
+delay fractions).  :func:`build_plan` expands it into a deterministic list of
+:class:`WorkShard` descriptors — one shard per sampled cycle, carrying the
+full wire × delay cross-product of that cycle — so the paper's §V-C
+cache-reuse order (cycle outermost: fault-free waveforms and GroupACE
+verdicts are shared by every wire and delay examined at one cycle) is a
+property of the *plan* rather than an accident of loop nesting.
+
+Shards reference wires by index into the structure's canonical wire list
+(``system.structure_wires(structure)``) instead of carrying :class:`Wire`
+objects, so a shard is a small, picklable description that any worker can
+resolve against its own rebuilt session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.core.sampling import sample_wires
+
+
+@dataclass(frozen=True)
+class WorkShard:
+    """One schedulable unit: every injection of one sampled cycle."""
+
+    index: int  #: position in the plan (merge order)
+    cycle: int  #: the sampled injection cycle
+    wire_indices: Tuple[int, ...]  #: indices into the structure's wire list
+    delay_fractions: Tuple[float, ...]
+
+    @property
+    def injections(self) -> int:
+        return len(self.wire_indices) * len(self.delay_fractions)
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """The deterministic expansion of one structure campaign."""
+
+    structure: str
+    benchmark: str
+    wire_count: int  #: |E| of the structure (Table I)
+    wire_indices: Tuple[int, ...]  #: sampled wires, in evaluation order
+    delay_fractions: Tuple[float, ...]
+    sampled_cycles: Tuple[int, ...]
+    shards: Tuple[WorkShard, ...]
+
+    @property
+    def total_injections(self) -> int:
+        return sum(shard.injections for shard in self.shards)
+
+
+def build_plan(
+    structure: str,
+    benchmark: str,
+    wires: Sequence,
+    sampled_cycles: Sequence[int],
+    config,
+    delay_fractions: Optional[Sequence[float]] = None,
+    max_wires: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> CampaignPlan:
+    """Expand a structure campaign into per-cycle :class:`WorkShard`\\ s.
+
+    *wires* is the structure's canonical wire list; the sampled subset keeps
+    its seeded sample order (which the serial engine has always used), so
+    plans — and therefore merged results — are byte-identical to the legacy
+    nested loops.
+    """
+    delays = tuple(
+        delay_fractions if delay_fractions is not None else config.delay_fractions
+    )
+    chosen = sample_wires(
+        wires,
+        max_wires if max_wires is not None else config.max_wires,
+        seed if seed is not None else config.seed,
+    )
+    # One enumerate pass; the old per-wire list.index() lookup was O(n^2).
+    index_of = {wire: index for index, wire in enumerate(wires)}
+    wire_indices = tuple(index_of[wire] for wire in chosen)
+    shards = tuple(
+        WorkShard(
+            index=position,
+            cycle=cycle,
+            wire_indices=wire_indices,
+            delay_fractions=delays,
+        )
+        for position, cycle in enumerate(sampled_cycles)
+    )
+    return CampaignPlan(
+        structure=structure,
+        benchmark=benchmark,
+        wire_count=len(wires),
+        wire_indices=wire_indices,
+        delay_fractions=delays,
+        sampled_cycles=tuple(sampled_cycles),
+        shards=shards,
+    )

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.group_ace import Outcome
+from repro.core.telemetry import CampaignTelemetry
 
 
 @dataclass(frozen=True)
@@ -122,6 +123,16 @@ class DelayAVFResult:
             return 0.0 if self.or_delay_avf == 0.0 else math.inf
         return abs(self.delay_avf - self.or_delay_avf) / self.delay_avf
 
+    def restricted_to_cycles(self, cycles: Iterable[int]) -> "DelayAVFResult":
+        """A new result holding only the records of *cycles* (self intact)."""
+        kept = set(cycles)
+        return DelayAVFResult(
+            structure=self.structure,
+            benchmark=self.benchmark,
+            delay_fraction=self.delay_fraction,
+            records=[r for r in self.records if r.cycle in kept],
+        )
+
 
 @dataclass
 class StructureCampaignResult:
@@ -133,6 +144,9 @@ class StructureCampaignResult:
     sampled_wires: int
     sampled_cycles: Tuple[int, ...]
     by_delay: Dict[float, DelayAVFResult] = field(default_factory=dict)
+    #: counters/timers of the campaign that produced this result; excluded
+    #: from equality so serial and parallel runs compare identical.
+    telemetry: Optional[CampaignTelemetry] = field(default=None, compare=False)
 
     def delay_avf(self, delay_fraction: float) -> float:
         return self.by_delay[delay_fraction].delay_avf

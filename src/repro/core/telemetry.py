@@ -1,0 +1,139 @@
+"""Campaign telemetry: counters and phase timers.
+
+One :class:`CampaignTelemetry` instance is threaded through a campaign
+session's analyzers (:class:`repro.core.delayavf.DelayAceEvaluator`,
+:class:`repro.core.group_ace.GroupAceAnalyzer`,
+:class:`repro.core.dynamic_reach.DynamicReachability`) so that a campaign can
+report *why* it was fast or slow: how many injections the §V-C short-circuits
+skipped, how well the GroupACE / verdict caches performed, how full the
+packed-simulator lanes ran, and where the wall-clock time went.
+
+Counters are plain integer increments (cheap enough for per-injection use);
+phase timers are cumulative ``time.perf_counter`` spans.  Instances merge, so
+the parallel executor can combine per-worker telemetry into one campaign
+report, and snapshots/diffs are plain dicts, so they pickle across process
+boundaries.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+#: Presentation order for the known counters (unknown ones sort last).
+COUNTER_ORDER = (
+    "probe_runs",
+    "probe_skips",
+    "golden_runs",
+    "waveforms_built",
+    "injections",
+    "static_unreachable",
+    "toggle_skips",
+    "dynamic_empty",
+    "multi_bit_sets",
+    "resim_cache_hits",
+    "cone_resims",
+    "group_ace_runs",
+    "group_ace_cache_hits",
+    "verdict_cache_hits",
+    "record_cache_hits",
+    "lane_batches",
+    "lanes_filled",
+)
+
+#: Presentation order for the known phases.
+PHASE_ORDER = ("golden", "plan", "waveforms", "prefetch", "evaluate", "execute", "merge")
+
+
+class CampaignTelemetry:
+    """Mutable counters + phase timers for one campaign session or worker."""
+
+    __slots__ = ("counters", "phase_seconds")
+
+    def __init__(
+        self,
+        counters: Optional[Dict[str, int]] = None,
+        phase_seconds: Optional[Dict[str, float]] = None,
+    ):
+        self.counters: Dict[str, int] = dict(counters or {})
+        self.phase_seconds: Dict[str, float] = dict(phase_seconds or {})
+
+    # ------------------------------------------------------------------
+    def incr(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def count(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def add_seconds(self, phase: str, seconds: float) -> None:
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+
+    @contextmanager
+    def timer(self, phase: str) -> Iterator[None]:
+        """Accumulate the wall-clock time of the ``with`` body under *phase*."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_seconds(phase, time.perf_counter() - start)
+
+    # ------------------------------------------------------------------
+    # Snapshots, diffs, and merging (plain dicts: picklable across workers)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict]:
+        return {
+            "counters": dict(self.counters),
+            "phase_seconds": dict(self.phase_seconds),
+        }
+
+    def diff(self, before: Dict[str, Dict]) -> Dict[str, Dict]:
+        """Snapshot delta since *before* (an earlier :meth:`snapshot`)."""
+        counters = {
+            name: value - before["counters"].get(name, 0)
+            for name, value in self.counters.items()
+            if value != before["counters"].get(name, 0)
+        }
+        phases = {
+            name: value - before["phase_seconds"].get(name, 0.0)
+            for name, value in self.phase_seconds.items()
+            if value != before["phase_seconds"].get(name, 0.0)
+        }
+        return {"counters": counters, "phase_seconds": phases}
+
+    def merge_snapshot(self, snap: Dict[str, Dict]) -> None:
+        for name, value in snap.get("counters", {}).items():
+            self.incr(name, value)
+        for name, value in snap.get("phase_seconds", {}).items():
+            self.add_seconds(name, value)
+
+    def merge(self, other: "CampaignTelemetry") -> None:
+        self.merge_snapshot(other.snapshot())
+
+    @classmethod
+    def from_snapshot(cls, snap: Dict[str, Dict]) -> "CampaignTelemetry":
+        return cls(snap.get("counters"), snap.get("phase_seconds"))
+
+    # ------------------------------------------------------------------
+    # Pickling (__slots__ classes need explicit state handling)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return self.snapshot()
+
+    def __setstate__(self, state):
+        self.counters = dict(state.get("counters", {}))
+        self.phase_seconds = dict(state.get("phase_seconds", {}))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CampaignTelemetry):
+            return NotImplemented
+        return (
+            self.counters == other.counters
+            and self.phase_seconds == other.phase_seconds
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CampaignTelemetry(counters={self.counters!r}, "
+            f"phase_seconds={self.phase_seconds!r})"
+        )

@@ -52,6 +52,22 @@ def test_delayavf_command(capsys):
     assert "DelayAVF" in out and "90%" in out
 
 
+def test_delayavf_stats_and_cache_flags(capsys, tmp_path):
+    args = [
+        "delayavf", "libstrstr", "lsu",
+        "--delays", "0.9", "--wires", "4", "--cycles", "2",
+        "--cache-dir", str(tmp_path), "--stats",
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "campaign telemetry" in out
+    assert "injections" in out
+    assert list(tmp_path.glob("verdicts-*.json"))
+    # Second invocation warm-starts from the persisted verdict cache.
+    assert main(args) == 0
+    assert "campaign telemetry" in capsys.readouterr().out
+
+
 def test_savf_command(capsys):
     code = main([
         "savf", "libstrstr", "lsu", "--bits", "4", "--cycles", "3",
