@@ -6,8 +6,13 @@ generally grows with the delay duration d.
 
 Campaigns run through the planned/sharded engine (`REPRO_BENCH_JOBS` workers,
 optional `REPRO_BENCH_CACHE` verdict cache); the accumulated campaign
-telemetry is printed after the figure so speedups are attributable.
+telemetry is printed after the figure so speedups are attributable.  With
+`REPRO_BENCH_REQUIRE_BATCH=1` (the CI cold-path smoke) the bench additionally
+fails unless the batched timing-aware engine actually ran — guarding against
+a silent fallback to per-injection scalar resimulation.
 """
+
+import os
 
 import _shared
 from repro.analysis.figures import render_grouped_bars
@@ -57,6 +62,11 @@ def test_fig7_structure_delayavf(benchmark):
     print(render_telemetry(
         combined, title=f"fig7 campaign telemetry (jobs={_shared.JOBS})"
     ))
+    if os.environ.get("REPRO_BENCH_REQUIRE_BATCH"):
+        assert combined.count("batch_resims") > 0, (
+            "cold fig7 run reported zero batch_resims — the batched "
+            "timing-aware engine never ran"
+        )
 
     # Shape: mean-over-d ordering ALU > regfile (paper: ~5x); DelayAVF at
     # large d exceeds DelayAVF at the smallest d for every structure.

@@ -1,57 +1,46 @@
 #!/usr/bin/env python3
 """Quickstart: estimate the DelayAVF of one structure for one workload.
 
-Builds the IbexMini system, loads the ``md5`` benchmark, and runs a
-small sampled campaign on three structures at delays of 50% and 90% of the clock period —
-the end-to-end version of the paper's Eq. (3)/(4) pipeline:
+Uses the one-call :mod:`repro.api` facade: ``analyze(structure, workload)``
+builds the IbexMini system, runs the golden simulation, and executes the
+sampled injection campaign — the end-to-end version of the paper's
+Eq. (3)/(4) pipeline:
 
     DelayACE_d(e, i) = GroupACE(DynamicReachable_d(e, i), i + 1)
+
+Repeated ``analyze`` calls for the same workload share one cached engine
+(golden run, waveform and GroupACE caches), so sweeping structures below
+costs a single workload simulation.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import DelayAVFEngine, build_system, load_benchmark
-from repro.core.campaign import CampaignConfig
+from repro import CampaignConfig, analyze, shutdown
+
 
 def main() -> None:
-    print("Building the IbexMini system (gate-level RV32E core)...")
-    system = build_system()
-    netlist = system.netlist
-    print(
-        f"  {netlist.num_cells} cells, {netlist.num_dffs} state elements, "
-        f"clock period {system.clock_period:.0f} ps"
-    )
-
-    program = load_benchmark("md5")
-    print(f"Loaded benchmark {program.name!r} ({program.size} bytes)")
-
     config = CampaignConfig(
         delay_fractions=(0.5, 0.9),
         cycle_count=6,     # equally spaced injection cycles
         max_wires=24,      # sampled wires per structure
         seed=1,
     )
+
     print("Running the golden simulation and the injection campaign...")
-    engine = DelayAVFEngine(system, program, config)
-    print(f"  workload runs for {engine.session.total_cycles} cycles")
-
-    for structure in ("alu", "decoder", "regfile"):
-        result = engine.run_structure(structure)
-        for delay in (0.5, 0.9):
-            r = result.by_delay[delay]
-            print(
-                f"  {structure:8s} d={delay:.0%}  |E|={result.wire_count:5d}  "
-                f"static-reach={r.static_reach_rate:5.1%}  "
-                f"dynamic-reach={r.dynamic_reach_rate:5.1%}  "
-                f"DelayAVF={r.delay_avf:6.3f}  "
-                f"({r.samples} sampled injections)"
-            )
-
-    stats = engine.session.group_ace.stats
-    print(
-        f"GroupACE runs: {stats.runs} "
-        f"(converged early: {stats.converged}, ran to halt: {stats.ran_to_halt})"
-    )
+    try:
+        for structure in ("alu", "decoder", "regfile"):
+            result = analyze(structure, "md5", config=config)
+            for delay in (0.5, 0.9):
+                r = result.by_delay[delay]
+                print(
+                    f"  {structure:8s} d={delay:.0%}  |E|={result.wire_count:5d}  "
+                    f"static-reach={r.static_reach_rate:5.1%}  "
+                    f"dynamic-reach={r.dynamic_reach_rate:5.1%}  "
+                    f"DelayAVF={r.delay_avf:6.3f}  "
+                    f"({r.samples} sampled injections)"
+                )
+    finally:
+        shutdown()
 
 
 if __name__ == "__main__":

@@ -7,33 +7,37 @@ Observation 2: static circuit timing dominates at small d, while logical/
 architectural masking (the static->dynamic->GroupACE narrowing) dominates
 at large d.
 
+Built on :func:`repro.api.sweep`: one call runs the full cross product of
+structures and workloads, reusing each workload's cached engine across its
+structures.
+
 Run:  python examples/structure_sweep.py [benchmark]
 """
 
 import sys
 
-from repro import DelayAVFEngine, build_system, load_benchmark
+from repro import CampaignConfig, shutdown, sweep
 from repro.analysis.tables import render_table
-from repro.core.campaign import CampaignConfig
+
+DELAYS = (0.1, 0.3, 0.5, 0.7, 0.9)
 
 
 def main() -> None:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "md5"
-    system = build_system()
-    program = load_benchmark(benchmark)
     config = CampaignConfig(
-        delay_fractions=(0.1, 0.3, 0.5, 0.7, 0.9),
+        delay_fractions=DELAYS,
         cycle_count=6,
         max_wires=24,
         seed=3,
     )
-    print(f"benchmark={benchmark}, clock period {system.clock_period:.0f} ps")
-    engine = DelayAVFEngine(system, program, config)
+    try:
+        results = sweep(("alu", "regfile"), (benchmark,), config=config)
+    finally:
+        shutdown()
 
-    for structure in ("alu", "regfile"):
-        result = engine.run_structure(structure)
+    for (structure, workload), result in results.items():
         rows = []
-        for delay in config.delay_fractions:
+        for delay in DELAYS:
             r = result.by_delay[delay]
             rows.append([
                 f"{delay:.0%}",
@@ -46,7 +50,7 @@ def main() -> None:
         print(render_table(
             ["d", "static reach", "dynamic reach", "DelayAVF", "multi-bit"],
             rows,
-            title=f"{structure} ({result.wire_count} wires, "
+            title=f"{structure} / {workload} ({result.wire_count} wires, "
                   f"{result.sampled_wires} sampled)",
         ))
 

@@ -15,19 +15,19 @@ contains:
   ORACE / OrDelayAVF, and the fault-injection campaign engine,
 - ``repro.analysis`` — table/figure rendering used by the benchmark harness.
 
-Quickstart::
+Quickstart (the :mod:`repro.api` facade)::
 
-    from repro import build_system, load_benchmark, DelayAVFEngine
+    from repro import analyze
 
-    system = build_system()
-    program = load_benchmark("libstrstr")
-    engine = DelayAVFEngine(system, program)
-    result = engine.estimate("alu", delay_fraction=0.5, max_wires=32,
-                             max_cycles=8, seed=1)
-    print(result.delay_avf)
+    result = analyze("alu", "libstrstr")
+    print(result.delay_avf(0.5))
 """
 
 _EXPORTS = {
+    "analyze": ("repro.api", "analyze"),
+    "sweep": ("repro.api", "sweep"),
+    "savf": ("repro.api", "savf"),
+    "shutdown": ("repro.api", "shutdown"),
     "CampaignConfig": ("repro.core.campaign", "CampaignConfig"),
     "DelayAVFEngine": ("repro.core.campaign", "DelayAVFEngine"),
     "DelayFault": ("repro.core.delay_model", "DelayFault"),
@@ -63,8 +63,12 @@ __all__ = [
     "Outcome",
     "SAVFEngine",
     "StructureCampaignResult",
+    "analyze",
     "build_system",
     "load_benchmark",
+    "savf",
+    "shutdown",
+    "sweep",
 ]
 
 __version__ = "1.0.0"

@@ -1,0 +1,152 @@
+"""One-call analysis facade for DelayAVF campaigns.
+
+This module is the supported programmatic entry point.  Instead of wiring a
+system, a session, and an engine together by hand::
+
+    system = build_system()
+    session = CampaignSession(system, program, config)   # deprecated
+    ...
+
+callers make one call::
+
+    from repro import analyze
+    result = analyze("alu", "md5")
+    print(result.delay_avf(0.5))
+
+and get back a fully merged :class:`repro.core.results.StructureCampaignResult`.
+Engines are cached per ``(workload, ecc, config)`` behind the scenes, so
+repeated :func:`analyze` calls against the same workload share the golden
+run, the warm waveform/GroupACE caches, and (when ``config.jobs > 1``) the
+live worker pool — exactly like the CLI's engine does within one invocation.
+Call :func:`shutdown` to release pools and flush verdict caches explicitly
+(interpreter exit does it implicitly for the serial path).
+
+The facade is a thin veneer: results are byte-identical to driving
+:class:`repro.core.campaign.DelayAVFEngine` directly with the same
+:class:`repro.core.campaign.CampaignConfig`, and the ``delayavf`` CLI is
+itself built on these functions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
+
+from repro.core.campaign import CampaignConfig, DelayAVFEngine
+from repro.core.executor import SessionSpec
+from repro.core.results import SAVFResult, StructureCampaignResult
+from repro.core.savf import SAVFEngine
+from repro.isa.assembler import Program
+from repro.soc.system import build_system
+from repro.workloads.beebs import load_benchmark
+
+__all__ = ["analyze", "sweep", "savf", "shutdown", "CampaignConfig"]
+
+#: (workload name or program signature, ecc, config) -> live engine
+_ENGINES: Dict[Tuple, DelayAVFEngine] = {}
+
+
+def _resolve_program(workload: Union[str, Program]) -> Program:
+    if isinstance(workload, Program):
+        return workload
+    return load_benchmark(workload)
+
+
+def _engine(
+    workload: Union[str, Program],
+    ecc: bool,
+    config: CampaignConfig,
+) -> DelayAVFEngine:
+    """The cached engine for this (workload, ecc, config) triple.
+
+    ``CampaignConfig`` is frozen with tuple fields, so it hashes; programs
+    key by name (the loader is content-stable for bundled benchmarks).
+    """
+    program = _resolve_program(workload)
+    key = (program.name, bool(ecc), config)
+    engine = _ENGINES.get(key)
+    if engine is None:
+        spec = SessionSpec(
+            system_factory=build_system,
+            program=program,
+            config=config,
+            factory_kwargs=(("use_ecc", bool(ecc)),),
+        )
+        engine = _ENGINES[key] = DelayAVFEngine.from_spec(spec)
+    return engine
+
+
+def analyze(
+    structure: str,
+    workload: Union[str, Program],
+    *,
+    config: Optional[CampaignConfig] = None,
+    ecc: bool = False,
+) -> StructureCampaignResult:
+    """Run (or resume) a DelayAVF campaign for one structure and workload.
+
+    *workload* is a bundled benchmark name (``"md5"``) or a loaded
+    :class:`~repro.isa.assembler.Program`.  *config* defaults to
+    ``CampaignConfig()``; pass one explicitly to control the delay sweep,
+    sampling, parallelism, or the persistent verdict cache.  The result
+    carries per-delay records plus the campaign's telemetry slice.
+    """
+    engine = _engine(workload, ecc, config or CampaignConfig())
+    return engine.run_structure(structure)
+
+
+def sweep(
+    structures: Iterable[str],
+    workloads: Iterable[Union[str, Program]],
+    delays: Optional[Sequence[float]] = None,
+    *,
+    config: Optional[CampaignConfig] = None,
+    ecc: bool = False,
+) -> Dict[Tuple[str, str], StructureCampaignResult]:
+    """Cross-product campaign: every structure under every workload.
+
+    Iterates workload-outermost so each engine's golden run and warm caches
+    serve all its structures before the next workload loads.  *delays*
+    overrides the config's delay sweep for every campaign in the sweep.
+    Returns ``{(structure, workload_name): result}``.
+    """
+    config = config or CampaignConfig()
+    if delays is not None:
+        config = dataclasses.replace(config, delay_fractions=tuple(delays))
+    results: Dict[Tuple[str, str], StructureCampaignResult] = {}
+    structures = list(structures)
+    for workload in workloads:
+        engine = _engine(workload, ecc, config)
+        for structure in structures:
+            results[(structure, engine.program.name)] = engine.run_structure(
+                structure
+            )
+    return results
+
+
+def savf(
+    structure: str,
+    workload: Union[str, Program],
+    *,
+    bits: int = 24,
+    seed: int = 0,
+    config: Optional[CampaignConfig] = None,
+    ecc: bool = False,
+) -> SAVFResult:
+    """Particle-strike sAVF estimate (the paper's comparison baseline).
+
+    Reuses the same cached campaign session as :func:`analyze`, so running
+    both for one workload costs a single golden run.
+    """
+    engine = _engine(workload, ecc, config or CampaignConfig())
+    return SAVFEngine(engine.session).run_structure(
+        structure, max_bits=bits, seed=seed
+    )
+
+
+def shutdown() -> None:
+    """Close every cached engine: worker pools stop, verdict caches flush."""
+    engines = list(_ENGINES.values())
+    _ENGINES.clear()
+    for engine in engines:
+        engine.close()

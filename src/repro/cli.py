@@ -8,21 +8,26 @@ Examples::
     python -m repro paths alu
     python -m repro delayavf md5 alu --delays 0.5 0.9 --wires 24 --cycles 6
     python -m repro delayavf md5 alu --jobs 4 --cache-dir .verdicts --stats
+    python -m repro delayavf md5 alu --format json
     python -m repro savf libstrstr regfile --bits 24 --ecc
+
+The ``delayavf`` and ``savf`` subcommands are thin wrappers around the
+:mod:`repro.api` facade; scripts should call :func:`repro.api.analyze` /
+:func:`repro.api.savf` directly instead of shelling out.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
+from repro import api
 from repro.analysis.figures import render_histogram
 from repro.analysis.report import render_telemetry
 from repro.analysis.tables import render_table
-from repro.core.campaign import CampaignConfig, DelayAVFEngine
-from repro.core.executor import SessionSpec
-from repro.core.savf import SAVFEngine
+from repro.core.campaign import CampaignConfig
 from repro.isa.disasm import disassemble
 from repro.netlist.stats import structure_stats
 from repro.soc.system import build_system
@@ -80,6 +85,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true",
         help="print campaign telemetry (cache hits, skips, phase times)",
     )
+    p.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format (json emits a machine-readable payload)",
+    )
     _add_common(p)
 
     p = sub.add_parser("savf", help="run a particle-strike sAVF campaign")
@@ -88,6 +97,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bits", type=int, default=24)
     p.add_argument("--cycles", type=int, default=6)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format (json emits a machine-readable payload)",
+    )
     _add_common(p)
 
     return parser
@@ -155,25 +168,16 @@ def cmd_paths(args) -> int:
 
 
 def cmd_delayavf(args) -> int:
-    config = CampaignConfig(
-        delay_fractions=tuple(args.delays),
-        cycle_count=args.cycles,
-        max_wires=args.wires,
-        seed=args.seed,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-    )
-    spec = SessionSpec(
-        system_factory=build_system,
-        program=load_benchmark(args.benchmark),
-        config=config,
-        factory_kwargs=(("use_ecc", args.ecc),),
-    )
-    engine = DelayAVFEngine.from_spec(spec)
+    config = CampaignConfig.from_cli_args(args)
     try:
-        result = engine.run_structure(args.structure)
+        result = api.analyze(
+            args.structure, args.benchmark, config=config, ecc=args.ecc
+        )
     finally:
-        engine.close()
+        api.shutdown()
+    if args.format == "json":
+        print(json.dumps(result.to_payload(), indent=2))
+        return 0
     rows = []
     for delay in config.delay_fractions:
         r = result.by_delay[delay]
@@ -191,26 +195,30 @@ def cmd_delayavf(args) -> int:
             "cycles sampled"
         ),
     ))
-    if args.stats:
+    if config.stats:
         print()
         print(render_telemetry(
             result.telemetry,
-            title=f"campaign telemetry (jobs={args.jobs})",
+            title=f"campaign telemetry (jobs={config.jobs})",
         ))
     return 0
 
 
 def cmd_savf(args) -> int:
-    system = build_system(use_ecc=args.ecc)
-    config = CampaignConfig(cycle_count=args.cycles, seed=args.seed)
-    engine = DelayAVFEngine(system, load_benchmark(args.benchmark), config)
+    config = CampaignConfig.from_cli_args(args)
     try:
-        result = SAVFEngine(engine.session).run_structure(
-            args.structure, max_bits=args.bits, seed=args.seed
+        result = api.savf(
+            args.structure, args.benchmark,
+            bits=args.bits, seed=args.seed, config=config, ecc=args.ecc,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        api.shutdown()
+    if args.format == "json":
+        print(json.dumps(result.to_payload(), indent=2))
+        return 0
     print(render_table(
         ["structure", "samples", "ACE", "SDC", "DUE", "sAVF"],
         [[result.structure, result.samples, result.ace_count,

@@ -20,6 +20,7 @@ serially or on a process pool), and *merging* (deterministic assembly into a
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -50,14 +51,19 @@ from repro.core.telemetry import CampaignTelemetry
 from repro.isa.assembler import Program
 from repro.sim.cyclesim import Checkpoint, RunResult
 from repro.sim.eventsim import CycleWaveforms
+from repro.workloads.lengths import known_length
 
 
 @dataclass(frozen=True)
 class CampaignConfig:
-    """Knobs of a statistical campaign.
+    """Every knob of a statistical campaign, validated at construction.
 
     The paper's configuration corresponds to ``cycle_fraction=0.04`` and
     ``max_wires=None`` (all wires); the defaults here are laptop-sized.
+    This is the one place campaign knobs live: sampling (wires, cycles,
+    seed), the delay sweep, execution (``jobs``), persistence
+    (``cache_dir``), and reporting (``stats``).  Build it directly, or from
+    a parsed CLI namespace via :meth:`from_cli_args`.
     """
 
     delay_fractions: Tuple[float, ...] = DEFAULT_DELAY_FRACTIONS
@@ -76,6 +82,58 @@ class CampaignConfig:
     jobs: int = 1
     #: directory for the persistent verdict cache ('' / None disables it)
     cache_dir: Optional[str] = None
+    #: collect-and-report campaign telemetry (CLI ``--stats``)
+    stats: bool = False
+
+    def __post_init__(self):
+        if not self.delay_fractions:
+            raise ValueError("delay_fractions must not be empty")
+        bad = [d for d in self.delay_fractions if not 0.0 < d <= 1.0]
+        if bad:
+            raise ValueError(
+                f"delay fractions must be in (0, 1]: {sorted(bad)}"
+            )
+        if self.cycle_count is None and self.cycle_fraction is None:
+            raise ValueError("one of cycle_count / cycle_fraction is required")
+        if self.cycle_count is not None and self.cycle_count < 1:
+            raise ValueError("cycle_count must be >= 1")
+        if self.cycle_fraction is not None and not 0.0 < self.cycle_fraction <= 1.0:
+            raise ValueError("cycle_fraction must be in (0, 1]")
+        if self.max_wires is not None and self.max_wires < 1:
+            raise ValueError("max_wires must be >= 1 (or None for all wires)")
+        if self.warmup_cycles < 0 or self.margin_cycles < 0:
+            raise ValueError("warmup_cycles / margin_cycles must be >= 0")
+        if self.max_run_cycles < 1:
+            raise ValueError("max_run_cycles must be >= 1")
+        if not 1 <= self.batch_lanes <= 8:
+            raise ValueError("batch_lanes must be in 1..8 (uint8 bit-planes)")
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+
+    @classmethod
+    def from_cli_args(cls, args) -> "CampaignConfig":
+        """Build a validated config from a parsed CLI namespace.
+
+        Accepts any object exposing (a subset of) the ``delayavf``
+        subcommand's attributes — ``delays``, ``cycles``, ``wires``,
+        ``seed``, ``jobs``, ``cache_dir``, ``stats`` — falling back to the
+        dataclass defaults for whatever is absent.
+        """
+        defaults = cls()
+
+        def pick(name, fallback):
+            value = getattr(args, name, None)
+            return fallback if value is None else value
+
+        return cls(
+            delay_fractions=tuple(pick("delays", defaults.delay_fractions)),
+            cycle_count=pick("cycles", defaults.cycle_count),
+            max_wires=pick("wires", defaults.max_wires),
+            seed=pick("seed", defaults.seed),
+            jobs=pick("jobs", defaults.jobs),
+            cache_dir=getattr(args, "cache_dir", None),
+            stats=bool(getattr(args, "stats", False)),
+        )
 
 
 class CampaignSession:
@@ -107,7 +165,16 @@ class CampaignSession:
         config: CampaignConfig,
         telemetry: Optional[CampaignTelemetry] = None,
         verdict_cache=None,
+        _internal: bool = False,
     ):
+        if not _internal:
+            warnings.warn(
+                "Constructing CampaignSession directly is deprecated; use "
+                "the repro.api facade (repro.api.analyze / repro.api.sweep) "
+                "or DelayAVFEngine, which manage the session for you.",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.system = system
         self.program = program
         self.config = config
@@ -132,15 +199,26 @@ class CampaignSession:
 
     # ------------------------------------------------------------------
     def _known_length(self):
-        """``(cycles, observables, digest)`` known without running, else Nones."""
+        """``(cycles, observables, digest, source)`` known without running.
+
+        Sources, most to least authoritative: the in-process memo
+        (``"memo"``), a persistent verdict cache's workload metadata
+        (``"cache"``), and the bundled measured-length table
+        (``"hint"``, :mod:`repro.workloads.lengths`).  The first two are
+        measured on this exact setup and treated as invariants; a hint is
+        advisory and verified (with graceful fallback) by :attr:`golden`.
+        """
         if self._psig in self._memo:
             cycles, observables = self._memo[self._psig]
-            return cycles, observables, None
+            return cycles, observables, None, "memo"
         if self.verdict_cache is not None:
             meta = self.verdict_cache.workload_meta()
             if meta is not None and meta[0] <= self.config.max_run_cycles:
-                return meta[0], None, meta[1]
-        return None, None, None
+                return meta[0], None, meta[1], "cache"
+        hint = known_length(self._psig)
+        if hint is not None and hint <= self.config.max_run_cycles:
+            return hint, None, None, "hint"
+        return None, None, None, None
 
     def _record_workload(self, run: RunResult) -> None:
         self._memo[self._psig] = (run.cycles, run.observables)
@@ -156,7 +234,7 @@ class CampaignSession:
     @property
     def total_cycles(self) -> int:
         if self._total_cycles is None:
-            known, _, _ = self._known_length()
+            known, _, _, source = self._known_length()
             if known is None:
                 # Pass 1 (cold only): plain probe run to learn the length.
                 with self.telemetry.timer("golden"):
@@ -170,6 +248,8 @@ class CampaignSession:
                 known = probe.cycles
             else:
                 self.telemetry.incr("probe_skips")
+                if source == "hint":
+                    self.telemetry.incr("length_hint_hits")
             self._total_cycles = known
         return self._total_cycles
 
@@ -184,23 +264,40 @@ class CampaignSession:
             )
         return self._sampled_cycles
 
+    def _instrumented_run(self) -> RunResult:
+        """One fingerprinting + checkpointing pass over the workload."""
+        with self.telemetry.timer("golden"):
+            self.telemetry.incr("golden_runs")
+            golden = self.system.run_program(
+                self.program,
+                max_cycles=self.config.max_run_cycles,
+                checkpoint_cycles=self.sampled_cycles,
+                record_fingerprints=True,
+            )
+        if not golden.halted:
+            raise self._halt_error()
+        return golden
+
     @property
     def golden(self) -> RunResult:
         if self._golden is None:
             expected = self.total_cycles  # may probe (cold start)
-            _, known_observables, known_digest = self._known_length()
-            cycles = self.sampled_cycles
+            _, known_observables, known_digest, source = self._known_length()
             # Pass 2: record fingerprints + checkpoints at the sampled cycles.
-            with self.telemetry.timer("golden"):
-                self.telemetry.incr("golden_runs")
-                golden = self.system.run_program(
-                    self.program,
-                    max_cycles=self.config.max_run_cycles,
-                    checkpoint_cycles=cycles,
-                    record_fingerprints=True,
-                )
-            if not golden.halted:
-                raise self._halt_error()
+            golden = self._instrumented_run()
+            if golden.cycles != expected and source == "hint":
+                # Stale bundled hint: the instrumented run itself measured
+                # the true length, but its checkpoints sit at positions
+                # sampled from the wrong length.  Re-sample and re-run —
+                # a stale hint costs exactly what the probe used to.
+                self.telemetry.incr("stale_length_hints")
+                self._total_cycles = golden.cycles
+                self._sampled_cycles = None
+                self._record_workload(golden)
+                expected = golden.cycles
+                known_observables = golden.observables
+                known_digest = None
+                golden = self._instrumented_run()
             # Verify against whatever we know: the probe's observables (cold)
             # or the memoized/persisted golden behaviour (warm start).
             assert golden.cycles == expected
@@ -296,7 +393,11 @@ class DelayAVFEngine:
         self.spec = spec
         self.verdict_cache = open_configured_cache(system, program, self.config)
         self.session = CampaignSession(
-            system, program, self.config, verdict_cache=self.verdict_cache
+            system,
+            program,
+            self.config,
+            verdict_cache=self.verdict_cache,
+            _internal=True,
         )
         self.telemetry = self.session.telemetry
         self._executor: Optional[Executor] = None

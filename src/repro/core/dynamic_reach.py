@@ -10,11 +10,19 @@ short-circuits:
 - if nothing is statically reachable, the set is trivially empty;
 - otherwise only the fan-out cone of the faulted wire is re-simulated against
   the shared fault-free waveforms of that cycle.
+
+:meth:`DynamicReachability.reachable_set_batch` applies the same
+short-circuits to a whole cycle's worth of (wire, delay) queries at once and
+feeds the survivors to :meth:`repro.sim.eventsim.EventSimulator.
+resimulate_batch`, which amortizes cone construction and fault-free waveform
+gathering across the batch (the ``batch_resims`` / ``cone_index_hits``
+telemetry and the ``batch_resim`` phase timer report how much of the campaign
+ran batched).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.static_reach import StaticReachability
 from repro.core.telemetry import CampaignTelemetry
@@ -66,3 +74,70 @@ class DynamicReachability:
         )
         waves.resim_cache[key] = dict(errors)
         return errors
+
+    def reachable_set_batch(
+        self,
+        waves: CycleWaveforms,
+        queries: Sequence[Tuple[Wire, float]],
+    ) -> List[Dict[int, int]]:
+        """Batched :meth:`reachable_set` over one cycle's injections.
+
+        Applies the §V-C short-circuits and the per-cycle memo to every
+        (wire, delay-fraction) query first, then re-simulates the remaining
+        misses in one :meth:`EventSimulator.resimulate_batch` call so that
+        injections sharing a fan-out cone share its construction and
+        fault-free slices.  Results are memoized like the scalar path, so a
+        later :meth:`reachable_set` for the same query is a cache hit.
+        Returns one reachable-set dict per query, in input order.
+        """
+        telemetry = self.telemetry
+        results: List[Optional[Dict[int, int]]] = [None] * len(queries)
+        pending: Dict[Tuple[Wire, float], List[int]] = {}
+        for pos, (wire, fraction) in enumerate(queries):
+            if not waves.toggles(wire.net):
+                telemetry.incr("toggle_skips")
+                results[pos] = {}
+            elif not self.static.is_reachable(wire, fraction):
+                results[pos] = {}
+            else:
+                key = (wire, fraction)
+                cached = waves.resim_cache.get(key)
+                if cached is not None:
+                    telemetry.incr("resim_cache_hits")
+                    results[pos] = dict(cached)
+                else:
+                    pending.setdefault(key, []).append(pos)
+        if pending:
+            sim = self.event_sim
+            period = self.static.sta.clock_period
+            keys = list(pending)
+            hits_before = sim.cone_index.hits
+            builds_before = sim.cone_index.builds
+            fallbacks_before = sim.batch_scalar_fallbacks
+            with telemetry.timer("batch_resim"):
+                batch = sim.resimulate_batch(
+                    waves,
+                    [(wire, fraction * period) for wire, fraction in keys],
+                )
+            telemetry.incr("batch_resims", len(keys))
+            telemetry.incr(
+                "cone_index_hits", sim.cone_index.hits - hits_before
+            )
+            telemetry.incr(
+                "cone_index_builds", sim.cone_index.builds - builds_before
+            )
+            telemetry.incr(
+                "batch_scalar_fallbacks",
+                sim.batch_scalar_fallbacks - fallbacks_before,
+            )
+            for key, errors in zip(keys, batch):
+                wire, fraction = key
+                static_set = self.static.reachable_set(wire, fraction)
+                assert set(errors) <= static_set, (
+                    "dynamically reachable set escaped the statically "
+                    "reachable set"
+                )
+                waves.resim_cache[key] = dict(errors)
+                for pos in pending[key]:
+                    results[pos] = dict(errors)
+        return results  # type: ignore[return-value]

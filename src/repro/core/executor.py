@@ -59,6 +59,7 @@ class SessionSpec:
             self.program,
             self.config,
             verdict_cache=open_configured_cache(system, self.program, self.config),
+            _internal=True,
         )
 
 
@@ -94,6 +95,10 @@ def execute_shard(session, plan: CampaignPlan, shard: WorkShard) -> ShardResult:
     is attached; the shard only builds waveforms and checkpoints (the
     expensive timing-aware event simulation) for the injections it actually
     has to evaluate, so a fully warm shard never touches the event simulator.
+    Cold injections first flow through the batched timing-aware engine
+    (:meth:`DynamicReachability.reachable_set_batch`), which amortizes
+    fan-out-cone construction and fault-free waveform slicing across the
+    whole cycle before the per-record evaluation loop runs.
     """
     config = session.config
     telemetry = session.telemetry
@@ -119,18 +124,21 @@ def execute_shard(session, plan: CampaignPlan, shard: WorkShard) -> ShardResult:
                     )
         telemetry.incr("record_cache_hits", len(cached))
 
-    pending = [
-        (index, wire, [d for d in shard.delay_fractions if (index, d) not in cached])
-        for index, wire in chosen
-        if any((index, d) not in cached for d in shard.delay_fractions)
-    ]
+    pending = shard.injection_pairs(skip=cached)
     waves = checkpoint = None
     if pending:
         waves = session.waveforms(shard.cycle)
         checkpoint = session.checkpoint(shard.cycle)
+        # Batched timing-aware pass: resolve every pending dynamically
+        # reachable set through the shared-cone batch API up front, so the
+        # per-record evaluation below runs against warm per-cycle memos.
+        wire_of = dict(chosen)
+        reach_sets = session.dynamic.reachable_set_batch(
+            waves, [(wire_of[index], delay) for index, delay in pending]
+        )
         if config.batch_lanes > 1:
             with telemetry.timer("prefetch"):
-                _prefetch_group_ace(session, waves, checkpoint, pending)
+                _prefetch_group_ace(session, checkpoint, reach_sets, config)
 
     by_delay: Dict[float, List[InjectionRecord]] = {
         delay: [] for delay in shard.delay_fractions
@@ -156,27 +164,22 @@ def execute_shard(session, plan: CampaignPlan, shard: WorkShard) -> ShardResult:
     return ShardResult(shard_index=shard.index, by_delay=by_delay)
 
 
-def _prefetch_group_ace(session, waves, checkpoint, pending) -> None:
+def _prefetch_group_ace(session, checkpoint, reach_sets, config) -> None:
     """Batch-resolve this cycle's GroupACE (and ORACE) queries.
 
-    ``pending`` is a list of ``(wire_index, wire, delays)`` still to be
-    evaluated.  Collects every dynamically reachable set the evaluation pass
-    will need — plus the per-member singleton sets ORACE requires for
-    multi-bit errors — and resolves them lane-parallel, so the scalar
+    ``reach_sets`` holds the dynamically reachable sets the batched
+    timing-aware pass already computed for every pending injection.  Collects
+    each non-empty set — plus the per-member singleton sets ORACE requires
+    for multi-bit errors — and resolves them lane-parallel, so the scalar
     evaluation pass afterwards is pure cache hits.
     """
-    config = session.config
     queries = []
-    for _, wire, delays in pending:
-        if not waves.toggles(wire.net):
+    for errors in reach_sets:
+        if not errors:
             continue
-        for delay in delays:
-            errors = session.dynamic.reachable_set(waves, wire, delay)
-            if not errors:
-                continue
-            queries.append(errors)
-            if config.compute_orace and len(errors) > 1:
-                queries.extend({dff: value} for dff, value in errors.items())
+        queries.append(errors)
+        if config.compute_orace and len(errors) > 1:
+            queries.extend({dff: value} for dff, value in errors.items())
     if queries:
         session.group_ace.prefetch(
             checkpoint, queries, lanes=config.batch_lanes

@@ -35,6 +35,23 @@ class WorkShard:
     def injections(self) -> int:
         return len(self.wire_indices) * len(self.delay_fractions)
 
+    def injection_pairs(self, skip=()) -> list:
+        """The shard's ``(wire_index, delay_fraction)`` pairs in evaluation
+        (wire-outer / delay-inner) order, minus any pairs in *skip*.
+
+        This is the executor's feed into the batched timing-aware injection
+        API (:meth:`repro.core.dynamic_reach.DynamicReachability.
+        reachable_set_batch`): the whole cycle's cross-product goes through
+        one batch so injections sharing a fan-out cone share its
+        construction.
+        """
+        return [
+            (index, delay)
+            for index in self.wire_indices
+            for delay in self.delay_fractions
+            if (index, delay) not in skip
+        ]
+
 
 @dataclass(frozen=True)
 class CampaignPlan:

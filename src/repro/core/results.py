@@ -155,6 +155,88 @@ class StructureCampaignResult:
     def delay_fractions(self) -> Tuple[float, ...]:
         return tuple(sorted(self.by_delay))
 
+    # ------------------------------------------------------------------
+    # JSON-friendly round-trip (CLI ``--format json``)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict:
+        """A JSON-serializable dict that :meth:`from_payload` round-trips.
+
+        ``by_delay`` flattens to a list (JSON object keys must be strings;
+        floats would lose identity), each delay carrying its full record
+        list plus derived summary rates for human and script consumers.
+        Telemetry
+        is deliberately excluded: it is execution metadata, not part of the
+        campaign's result identity.
+        """
+        return {
+            "structure": self.structure,
+            "benchmark": self.benchmark,
+            "wire_count": self.wire_count,
+            "sampled_wires": self.sampled_wires,
+            "sampled_cycles": list(self.sampled_cycles),
+            "by_delay": [
+                {
+                    "delay_fraction": delay,
+                    "summary": {
+                        "samples": result.samples,
+                        "static_reach_rate": result.static_reach_rate,
+                        "dynamic_reach_rate": result.dynamic_reach_rate,
+                        "delay_avf": result.delay_avf,
+                        "or_delay_avf": result.or_delay_avf,
+                        "multi_bit_fraction": result.multi_bit_fraction,
+                    },
+                    "records": [
+                        {
+                            "wire_index": r.wire_index,
+                            "cycle": r.cycle,
+                            "delay_fraction": r.delay_fraction,
+                            "statically_reachable": r.statically_reachable,
+                            "num_statically_reachable": r.num_statically_reachable,
+                            "num_errors": r.num_errors,
+                            "outcome": r.outcome.name,
+                            "or_ace": r.or_ace,
+                        }
+                        for r in result.records
+                    ],
+                }
+                for delay, result in sorted(self.by_delay.items())
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "StructureCampaignResult":
+        """Rebuild a result from :meth:`to_payload` output (summaries are
+        recomputed from the records, so only the records are trusted)."""
+        by_delay = {}
+        for entry in payload["by_delay"]:
+            delay = entry["delay_fraction"]
+            by_delay[delay] = DelayAVFResult(
+                structure=payload["structure"],
+                benchmark=payload["benchmark"],
+                delay_fraction=delay,
+                records=[
+                    InjectionRecord(
+                        wire_index=r["wire_index"],
+                        cycle=r["cycle"],
+                        delay_fraction=r["delay_fraction"],
+                        statically_reachable=r["statically_reachable"],
+                        num_statically_reachable=r["num_statically_reachable"],
+                        num_errors=r["num_errors"],
+                        outcome=Outcome[r["outcome"]],
+                        or_ace=r["or_ace"],
+                    )
+                    for r in entry["records"]
+                ],
+            )
+        return cls(
+            structure=payload["structure"],
+            benchmark=payload["benchmark"],
+            wire_count=payload["wire_count"],
+            sampled_wires=payload["sampled_wires"],
+            sampled_cycles=tuple(payload["sampled_cycles"]),
+            by_delay=by_delay,
+        )
+
 
 @dataclass(frozen=True)
 class SAVFResult:
@@ -170,6 +252,29 @@ class SAVFResult:
     @property
     def savf(self) -> float:
         return self.ace_count / self.samples if self.samples else 0.0
+
+    def to_payload(self) -> Dict:
+        """A JSON-serializable dict that :meth:`from_payload` round-trips."""
+        return {
+            "structure": self.structure,
+            "benchmark": self.benchmark,
+            "samples": self.samples,
+            "ace_count": self.ace_count,
+            "sdc_count": self.sdc_count,
+            "due_count": self.due_count,
+            "savf": self.savf,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "SAVFResult":
+        return cls(
+            structure=payload["structure"],
+            benchmark=payload["benchmark"],
+            samples=payload["samples"],
+            ace_count=payload["ace_count"],
+            sdc_count=payload["sdc_count"],
+            due_count=payload["due_count"],
+        )
 
 
 # ----------------------------------------------------------------------

@@ -25,6 +25,8 @@ from typing import Dict, Iterator, Optional
 COUNTER_ORDER = (
     "probe_runs",
     "probe_skips",
+    "length_hint_hits",
+    "stale_length_hints",
     "golden_runs",
     "waveforms_built",
     "injections",
@@ -34,6 +36,10 @@ COUNTER_ORDER = (
     "multi_bit_sets",
     "resim_cache_hits",
     "cone_resims",
+    "batch_resims",
+    "batch_scalar_fallbacks",
+    "cone_index_hits",
+    "cone_index_builds",
     "group_ace_runs",
     "group_ace_cache_hits",
     "verdict_cache_hits",
@@ -43,7 +49,16 @@ COUNTER_ORDER = (
 )
 
 #: Presentation order for the known phases.
-PHASE_ORDER = ("golden", "plan", "waveforms", "prefetch", "evaluate", "execute", "merge")
+PHASE_ORDER = (
+    "golden",
+    "plan",
+    "waveforms",
+    "batch_resim",
+    "prefetch",
+    "evaluate",
+    "execute",
+    "merge",
+)
 
 
 class CampaignTelemetry:

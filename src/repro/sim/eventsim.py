@@ -15,6 +15,19 @@ Key structure (mirroring the paper's §V-C optimizations):
   stopping wherever the recomputed waveform matches the fault-free one, and
   reports the state elements whose latched value differs from the fault-free
   next state.
+- :meth:`EventSimulator.resimulate_batch` amortizes that replay across all
+  injections of one cycle: a :class:`ConeIndex` owned by the simulator
+  precomputes each faulted sink's transitive fan-out cone in levelized
+  evaluation order once per netlist, and one *cone pass* walks the shared
+  cone once, gathering each cell's fault-free input slices a single time
+  while evaluating every independent injection (different delay fractions
+  of the same wire, or different wires into the same sink cell) as its own
+  *lane*.  Lanes never share recomputed values — transport-delay glitch
+  semantics mean a larger delay may legally *shrink* the reachable set, so
+  no monotonicity shortcut is sound — only the structure walk and the
+  fault-free waveform slices are shared.  Injections whose semantics do not
+  fit the cone pass (output ports, direct DFF.D sinks, non-toggling
+  sources) fall back to the scalar path.
 
 Transport-delay semantics are used: a cell's output waveform is its logic
 function applied to the input waveforms, shifted by the cell's propagation
@@ -26,8 +39,9 @@ dynamically reachable set by re-latching a correct value.
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -46,6 +60,11 @@ Waveform = List[Tuple[float, int]]
 #: (guards against float round-off on the critical path, where the fault-free
 #: arrival equals the clock period by construction).
 _CAPTURE_EPS = 1e-9
+
+_INF = float("inf")
+
+#: Shared read-only empty waveform (avoids allocating one per untouched pin).
+_NO_CHANGES: Waveform = []
 
 
 @dataclass
@@ -72,14 +91,79 @@ class CycleWaveforms:
 
 
 def value_at(initial: int, changes: Waveform, time: float) -> int:
-    """Value of a waveform at sampling time *time* (changes at <= time apply)."""
-    value = initial
-    for t, v in changes:
-        if t <= time + _CAPTURE_EPS:
-            value = v
-        else:
-            break
-    return value
+    """Value of a waveform at sampling time *time* (changes at <= time apply).
+
+    Change lists are time-ordered, so the applicable change is found by
+    bisection rather than a linear scan.
+    """
+    idx = bisect_right(changes, (time + _CAPTURE_EPS, _INF))
+    return changes[idx - 1][1] if idx else initial
+
+
+@dataclass(frozen=True)
+class _Cone:
+    """A transitive fan-out cone frozen in levelized evaluation order."""
+
+    cells: Tuple[int, ...]  #: cone cells sorted by (topological level, index)
+    pos: Dict[int, int]  #: cell -> position in ``cells``
+
+
+class ConeIndex:
+    """Per-root fan-out cones with their levelized evaluation order.
+
+    The cone of a faulted sink is a static property of the netlist, so it is
+    computed once per root set and reused by every re-simulation (any cycle,
+    any delay) that starts there — the structure-sharing insight: queries
+    change, the cone does not.  ``hits`` / ``builds`` feed the campaign
+    telemetry's ``cone_index_hits`` counter.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        sta: "StaticTiming",
+        fanout_cells: List[List[Tuple[int, int]]],
+    ):
+        self._netlist = netlist
+        self._sta = sta
+        self._fanout_cells = fanout_cells
+        self._cones: Dict[Tuple[int, ...], _Cone] = {}
+        self.hits = 0
+        self.builds = 0
+
+    def cone(self, roots: Tuple[int, ...]) -> _Cone:
+        """The union fan-out cone of the *roots* cells (roots included)."""
+        cached = self._cones.get(roots)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.builds += 1
+        netlist = self._netlist
+        fanout_cells = self._fanout_cells
+        seen = set(roots)
+        stack = list(roots)
+        while stack:
+            cell = stack.pop()
+            for nxt, _pin in fanout_cells[netlist.cell_outputs[cell]]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        levels = self._sta.cell_levels
+        cells = tuple(sorted(seen, key=lambda c: (levels[c], c)))
+        cone = _Cone(cells=cells, pos={c: p for p, c in enumerate(cells)})
+        self._cones[roots] = cone
+        return cone
+
+
+class _Lane:
+    """One independent injection evaluated during a shared cone pass."""
+
+    __slots__ = ("overrides", "modified", "errors")
+
+    def __init__(self, overrides: Dict[Tuple[int, int], Waveform]):
+        self.overrides = overrides  #: (cell, pin) -> shifted source waveform
+        self.modified: Dict[int, Waveform] = {}  #: net -> recomputed waveform
+        self.errors: Dict[int, int] = {}  #: dff -> erroneous latched value
 
 
 class EventSimulator:
@@ -102,6 +186,11 @@ class EventSimulator:
                     dffs.append(sink.owner)
             self._fanout_cells.append(cells)
             self._fanout_dffs.append(dffs)
+        self.cone_index = ConeIndex(netlist, sta, self._fanout_cells)
+        #: injections served through the batched cone-pass path
+        self.batch_resims = 0
+        #: injections that fell back to the scalar path inside a batch
+        self.batch_scalar_fallbacks = 0
 
     # ------------------------------------------------------------------
     # Fault-free cycle simulation
@@ -243,6 +332,144 @@ class EventSimulator:
                 enqueue(next_cell)
         return errors
 
+    def resimulate_batch(
+        self,
+        waves: CycleWaveforms,
+        injections: Sequence[Tuple[Wire, float]],
+    ) -> List[Dict[int, int]]:
+        """Batched :meth:`resimulate` over same-cycle injections.
+
+        Groups the injections by their faulted sink cell, fetches that
+        sink's precomputed fan-out cone from the :class:`ConeIndex`, and
+        walks each shared cone once: every cell's fault-free input slices
+        are gathered a single time while all the group's injections —
+        independent delay fractions of one wire, or different wires into the
+        same cell — evaluate as separate lanes.  Lane results are exactly
+        what the scalar path would produce (no cross-lane value reuse, no
+        monotonicity shortcuts); injections the cone pass cannot express
+        (output-port sinks, direct DFF.D sinks, non-toggling sources) take
+        the scalar path instead.
+
+        Returns one ``{dff_index: erroneous latched value}`` dict per
+        injection, in input order.
+        """
+        results: List[Optional[Dict[int, int]]] = [None] * len(injections)
+        groups: Dict[int, List[int]] = {}
+        for i, (wire, _extra) in enumerate(injections):
+            sink = wire.sink
+            if (
+                not waves.changes.get(wire.net)
+                or sink.pin_type is not PinType.CELL_IN
+            ):
+                # Trivial or special-sink semantics: scalar path.
+                self.batch_scalar_fallbacks += 1
+                results[i] = self.resimulate(waves, wire, injections[i][1])
+            else:
+                groups.setdefault(sink.owner, []).append(i)
+        for root, idxs in groups.items():
+            cone = self.cone_index.cone((root,))
+            lanes = []
+            for i in idxs:
+                wire, extra = injections[i]
+                shifted = [(t + extra, v) for t, v in waves.changes[wire.net]]
+                lanes.append(_Lane({(root, wire.sink.pin): shifted}))
+            self._cone_pass(waves, cone, lanes)
+            self.batch_resims += len(idxs)
+            for lane, i in zip(lanes, idxs):
+                results[i] = lane.errors
+        return results  # type: ignore[return-value]
+
+    def _cone_pass(
+        self, waves: CycleWaveforms, cone: _Cone, lanes: List[_Lane]
+    ) -> None:
+        """Walk *cone* in levelized order, evaluating every lane's injection.
+
+        Equivalent to the scalar algorithm run once per lane: the scalar
+        frontier pops cells in (level, cell) order and a cell's fan-out is
+        always at a strictly greater level, so walking the precomputed cone
+        order and skipping cells no lane has marked dirty visits the same
+        cells in the same order.  Per-cell fault-free data (input slices,
+        baseline output waveform, delay) is gathered once and shared by all
+        lanes; waveform recomputation stays per-lane.
+        """
+        netlist = self.netlist
+        period = self.sta.clock_period
+        changes = waves.changes
+        initial = waves.initial
+        final = waves.final
+        cell_inputs = netlist.cell_inputs
+        cell_kinds = netlist.cell_kinds
+        cell_outputs = netlist.cell_outputs
+        cell_delay = self.sta.cell_delay
+        fanout_cells = self._fanout_cells
+        fanout_dffs = self._fanout_dffs
+        cells = cone.cells
+        pos_of = cone.pos
+
+        #: position -> lanes that must evaluate the cell at that position
+        want: List[Optional[List[_Lane]]] = [None] * len(cells)
+        outstanding = 0
+        for lane in lanes:
+            for cell, _pin in lane.overrides:
+                p = pos_of[cell]
+                entry = want[p]
+                if entry is None:
+                    want[p] = [lane]
+                    outstanding += 1
+                elif lane not in entry:
+                    entry.append(lane)
+
+        for p in range(len(cells)):
+            if not outstanding:
+                break
+            entry = want[p]
+            if entry is None:
+                continue
+            outstanding -= 1
+            cell = cells[p]
+            inputs = cell_inputs[cell]
+            base_pin_waves = [
+                (int(initial[n]), changes.get(n, _NO_CHANGES)) for n in inputs
+            ]
+            out_net = cell_outputs[cell]
+            base_out = changes.get(out_net, _NO_CHANGES)
+            kind = cell_kinds[cell]
+            delay = float(cell_delay[cell])
+            for lane in entry:
+                pin_waves = base_pin_waves
+                patched = False
+                overrides = lane.overrides
+                modified = lane.modified
+                for pin, in_net in enumerate(inputs):
+                    wf = overrides.get((cell, pin))
+                    if wf is None:
+                        wf = modified.get(in_net)
+                    if wf is None:
+                        continue
+                    if not patched:
+                        pin_waves = list(base_pin_waves)
+                        patched = True
+                    pin_waves[pin] = (pin_waves[pin][0], wf)
+                out_wf = _recompute_output(kind, pin_waves, delay)
+                if out_wf == base_out:
+                    continue  # converged with the fault-free waveform
+                modified[out_net] = out_wf
+                latched = value_at(int(initial[out_net]), out_wf, period)
+                if latched != int(final[out_net]):
+                    for dff in fanout_dffs[out_net]:
+                        lane.errors[dff] = latched
+                else:
+                    for dff in fanout_dffs[out_net]:
+                        lane.errors.pop(dff, None)
+                for next_cell, _pin in fanout_cells[out_net]:
+                    np_ = pos_of[next_cell]
+                    nxt = want[np_]
+                    if nxt is None:
+                        want[np_] = [lane]
+                        outstanding += 1
+                    elif lane not in nxt:
+                        nxt.append(lane)
+
     def resimulate_output_fault(
         self, waves: CycleWaveforms, net: int, extra_delay: float
     ) -> Dict[int, int]:
@@ -252,7 +479,7 @@ class EventSimulator:
         delay on an extra wire inserted at the output, delaying the signal
         towards *all* downstream sinks.  Implemented by overriding every
         fan-out pin of *net* with the shifted waveform and re-simulating the
-        union cone.
+        union cone (served by the :class:`ConeIndex` like the batched path).
         """
         base = waves.changes.get(net)
         if not base:
@@ -265,52 +492,15 @@ class EventSimulator:
             latched = value_at(int(waves.initial[net]), shifted, period)
             if latched != int(waves.final[net]):
                 errors[dff] = latched
-        if not self._fanout_cells[net]:
+        sinks = self._fanout_cells[net]
+        if not sinks:
             return errors
-
-        netlist = self.netlist
-        modified: Dict[int, Waveform] = {}
-        pin_overrides: Dict[Tuple[int, int], Waveform] = {
-            (cell, pin): shifted for cell, pin in self._fanout_cells[net]
-        }
-        frontier: List[Tuple[int, int]] = []
-        queued = set()
-
-        def enqueue(cell: int) -> None:
-            if cell not in queued:
-                queued.add(cell)
-                heapq.heappush(frontier, (self.sta.cell_levels[cell], cell))
-
-        for cell, _pin in self._fanout_cells[net]:
-            enqueue(cell)
-        while frontier:
-            _, cell = heapq.heappop(frontier)
-            pin_waves = []
-            for pin, in_net in enumerate(netlist.cell_inputs[cell]):
-                wf = pin_overrides.get((cell, pin))
-                if wf is None:
-                    wf = modified.get(in_net)
-                if wf is None:
-                    wf = waves.changes.get(in_net, [])
-                pin_waves.append((int(waves.initial[in_net]), wf))
-            out_wf = _recompute_output(
-                netlist.cell_kinds[cell], pin_waves,
-                float(self.sta.cell_delay[cell]),
-            )
-            out_net = netlist.cell_outputs[cell]
-            if out_wf == waves.changes.get(out_net, []):
-                continue
-            modified[out_net] = out_wf
-            latched = value_at(int(waves.initial[out_net]), out_wf, period)
-            if latched != int(waves.final[out_net]):
-                for dff in self._fanout_dffs[out_net]:
-                    errors[dff] = latched
-            else:
-                for dff in self._fanout_dffs[out_net]:
-                    errors.pop(dff, None)
-            for next_cell, _pin in self._fanout_cells[out_net]:
-                enqueue(next_cell)
-        return errors
+        roots = tuple(sorted({cell for cell, _pin in sinks}))
+        cone = self.cone_index.cone(roots)
+        lane = _Lane({(cell, pin): shifted for cell, pin in sinks})
+        lane.errors = errors
+        self._cone_pass(waves, cone, [lane])
+        return lane.errors
 
     # ------------------------------------------------------------------
     # Brute-force oracle (testing)

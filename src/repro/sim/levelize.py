@@ -3,20 +3,52 @@
 The zero-delay cycle simulator evaluates all combinational cells once per
 cycle.  Doing that cell-by-cell in Python is far too slow, so the netlist is
 *levelized*: cells are assigned to topological levels (a cell's level is one
-more than the deepest of its input producers), and within each level cells of
-the same kind are batched into numpy index arrays so one vectorized operation
-evaluates the whole batch.
+more than the deepest of its input producers), and cells within a level are
+evaluated together.
+
+Per-level evaluation is *fused* across cell kinds: every 1- and 2-input gate
+is one of AND / OR / XOR up to output inversion (BUF and NOT duplicate their
+single input), and because ``a | b == (a & b) | (a ^ b)`` the three bases
+collapse into two terms:
+
+    out = ((a & b) & ao_sel | (a ^ b) & ox_sel) ^ (inv_sel & mask)
+
+where ``ao_sel`` (AND- or OR-shaped) / ``ox_sel`` (OR- or XOR-shaped) /
+``inv_sel`` are per-cell constant planes (``0x00`` or ``0xFF``) baked at
+plan-construction time, and MUX2 cells fuse as ``a ^ ((a ^ b) & s)``.  The
+constants are full bytes, so the same fused pass evaluates all 8 bit-planes
+of the packed lane-parallel simulator at once; masking ``inv_sel`` by the
+active-plane mask keeps inactive planes at zero, bit-exact with per-kind
+scalar evaluation.  :meth:`EvalPlan.evaluate` lazily compiles one *program*
+per mask — a flat step list with pre-masked constants and preallocated
+gather buffers — replacing hundreds of tiny allocating per-(level, kind)
+numpy calls per cycle with a handful of in-place whole-level ones.  This is
+the cycle simulator's (and therefore GroupACE's) inner loop.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro.netlist.cells import CellKind, eval_cell_array
 from repro.netlist.netlist import Netlist
+
+#: Gate decomposition: kind -> (base function, inverted).  The base function
+#: selects which of the three fused terms carries the cell; 1-input kinds
+#: are expressed through AND with a duplicated input (a & a == a).
+_GATE_FORM = {
+    CellKind.BUF: ("and", False),
+    CellKind.NOT: ("and", True),
+    CellKind.AND2: ("and", False),
+    CellKind.NAND2: ("and", True),
+    CellKind.OR2: ("or", False),
+    CellKind.NOR2: ("or", True),
+    CellKind.XOR2: ("xor", False),
+    CellKind.XNOR2: ("xor", True),
+}
 
 
 @dataclass(frozen=True)
@@ -29,12 +61,74 @@ class EvalBatch:
 
 
 @dataclass(frozen=True)
+class _FusedLevel:
+    """One topological level compiled to constant-masked fused operations."""
+
+    #: 1/2-input gates (b duplicates a for 1-input kinds)
+    gate_a: np.ndarray
+    gate_b: np.ndarray
+    gate_out: np.ndarray
+    ao_sel: np.ndarray  #: 0xFF where the (a & b) term carries (AND/OR-shaped)
+    ox_sel: np.ndarray  #: 0xFF where the (a ^ b) term carries (OR/XOR-shaped)
+    inv_sel: np.ndarray  #: 0xFF where the output is inverted
+    #: MUX2 cells: out = b if s else a
+    mux_a: np.ndarray
+    mux_b: np.ndarray
+    mux_s: np.ndarray
+    mux_out: np.ndarray
+
+
+@dataclass(frozen=True)
 class EvalPlan:
     """An ordered list of batches that settles the combinational logic."""
 
     batches: Tuple[EvalBatch, ...]
     cell_levels: Tuple[int, ...]  #: topological level of every cell
     num_levels: int
+    #: fused per-level compilation used by :meth:`evaluate` (``batches`` is
+    #: kept as the introspectable per-kind view the tests cross-check)
+    fused_levels: Tuple[_FusedLevel, ...] = field(default=(), repr=False)
+    #: lazily compiled per-mask step programs (see :meth:`_compile`)
+    _programs: Dict[int, list] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def _compile(self, mask: int) -> list:
+        """Compile the fused levels into a flat step program for ``mask``.
+
+        Inversion constants are pre-masked so no trailing ``& mask`` is
+        needed: the ``(a & b)`` / ``(a ^ b)`` terms cannot set inactive
+        planes on their own (inputs are plane-clean), so XOR-ing a masked
+        inversion constant is the only place active planes are introduced.
+        """
+        steps: list = []
+        for level in self.fused_levels:
+            if len(level.gate_out):
+                inv = level.inv_sel & np.uint8(mask)
+                steps.append(
+                    (
+                        True,
+                        level.gate_a,
+                        level.gate_b,
+                        level.gate_out,
+                        level.ao_sel,
+                        level.ox_sel,
+                        inv if inv.any() else None,
+                    )
+                )
+            if len(level.mux_out):
+                steps.append(
+                    (
+                        False,
+                        level.mux_a,
+                        level.mux_b,
+                        level.mux_s,
+                        level.mux_out,
+                        None,
+                        None,
+                    )
+                )
+        return steps
 
     def evaluate(self, values: np.ndarray, mask: int = 1) -> None:
         """Settle combinational logic in-place on the net-*values* array.
@@ -42,7 +136,35 @@ class EvalPlan:
         ``mask`` selects the active bit-planes (see
         :func:`repro.netlist.cells.eval_cell_array`): 1 for a plain scalar
         simulation, ``(1 << lanes) - 1`` for lane-parallel simulation.
+        Inputs must be clean w.r.t. ``mask`` (no bits set on inactive
+        planes); both simulators maintain that invariant, and outputs stay
+        clean.
         """
+        program = self._programs.get(mask)
+        if program is None:
+            program = self._programs[mask] = self._compile(mask)
+        for is_gate, in_a, in_b, x0, x1, ox, inv in program:
+            if is_gate:  # x0 = gate_out, x1 = ao_sel
+                a = values[in_a]
+                b = values[in_b]
+                out = a & b
+                out &= x1
+                a ^= b  # gathered copies; safe to clobber in place
+                a &= ox
+                out |= a
+                if inv is not None:
+                    out ^= inv
+                values[x0] = out
+            else:  # x0 = mux_s, x1 = mux_out
+                a = values[in_a]
+                t = values[in_b]  # out = a ^ ((a ^ b) & s) == b if s else a
+                t ^= a
+                t &= values[x0]
+                t ^= a
+                values[x1] = t
+
+    def evaluate_reference(self, values: np.ndarray, mask: int = 1) -> None:
+        """Per-kind batch evaluation (the fused path's bit-exact oracle)."""
         for batch in self.batches:
             ins = [values[idx] for idx in batch.input_nets]
             values[batch.output_nets] = eval_cell_array(
@@ -88,14 +210,63 @@ def compute_cell_levels(netlist: Netlist) -> List[int]:
     return levels
 
 
+def _fuse_level(netlist, cells: List[int]) -> _FusedLevel:
+    """Compile one level's cells into the fused constant-masked groups."""
+    gate_a: List[int] = []
+    gate_b: List[int] = []
+    gate_out: List[int] = []
+    selectors: List[Tuple[int, int, int, int]] = []
+    mux_a: List[int] = []
+    mux_b: List[int] = []
+    mux_s: List[int] = []
+    mux_out: List[int] = []
+    for cell in cells:
+        kind = CellKind(netlist.cell_kinds[cell])
+        inputs = netlist.cell_inputs[cell]
+        out = netlist.cell_outputs[cell]
+        if kind is CellKind.MUX2:
+            mux_a.append(inputs[0])
+            mux_b.append(inputs[1])
+            mux_s.append(inputs[2])
+            mux_out.append(out)
+            continue
+        base, inverted = _GATE_FORM[kind]
+        gate_a.append(inputs[0])
+        gate_b.append(inputs[1] if len(inputs) > 1 else inputs[0])
+        gate_out.append(out)
+        selectors.append(
+            (
+                0xFF if base in ("and", "or") else 0,
+                0xFF if base in ("or", "xor") else 0,
+                0xFF if inverted else 0,
+            )
+        )
+    sel = np.array(selectors, dtype=np.uint8).reshape(-1, 3)
+    idx = lambda nets: np.array(nets, dtype=np.int64)  # noqa: E731
+    return _FusedLevel(
+        gate_a=idx(gate_a),
+        gate_b=idx(gate_b),
+        gate_out=idx(gate_out),
+        ao_sel=sel[:, 0].copy(),
+        ox_sel=sel[:, 1].copy(),
+        inv_sel=sel[:, 2].copy(),
+        mux_a=idx(mux_a),
+        mux_b=idx(mux_b),
+        mux_s=idx(mux_s),
+        mux_out=idx(mux_out),
+    )
+
+
 def levelize(netlist: Netlist) -> EvalPlan:
     """Build the vectorized evaluation plan for a frozen netlist."""
     levels = compute_cell_levels(netlist)
     num_levels = max(levels) + 1 if levels else 0
     # Group cells by (level, kind) preserving topological order.
     grouped: Dict[Tuple[int, int], List[int]] = {}
+    by_level: Dict[int, List[int]] = {}
     for cell, level in enumerate(levels):
         grouped.setdefault((level, netlist.cell_kinds[cell]), []).append(cell)
+        by_level.setdefault(level, []).append(cell)
     batches: List[EvalBatch] = []
     for level in range(num_levels):
         for kind in CellKind:
@@ -113,6 +284,12 @@ def levelize(netlist: Netlist) -> EvalPlan:
                 [netlist.cell_outputs[c] for c in cells], dtype=np.int64
             )
             batches.append(EvalBatch(kind, input_nets, output_nets))
+    fused = tuple(
+        _fuse_level(netlist, by_level[level]) for level in range(num_levels)
+    )
     return EvalPlan(
-        batches=tuple(batches), cell_levels=tuple(levels), num_levels=num_levels
+        batches=tuple(batches),
+        cell_levels=tuple(levels),
+        num_levels=num_levels,
+        fused_levels=fused,
     )

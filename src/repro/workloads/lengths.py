@@ -1,0 +1,57 @@
+"""Measured fault-free workload lengths, keyed by program signature.
+
+The campaign session needs a workload's fault-free cycle count *before* its
+instrumented golden run (the equally spaced injection cycles — and therefore
+the checkpoint positions — depend on it).  On a fully cold start that used to
+cost a dedicated probe run: a complete extra simulation of the workload.
+
+This table short-circuits the probe for the bundled BEEBS workloads.  Keys
+are content hashes (:func:`repro.core.cache.program_signature`), so a hint
+can never be applied to a workload whose binary image changed — editing a
+benchmark changes its signature and simply misses the table.  Hints are also
+*soft*: the instrumented golden run measures the true length anyway, and if
+a hint turns out stale (e.g. a simulator behaviour change under the same
+image), :class:`repro.core.campaign.CampaignSession` falls back gracefully —
+it re-samples the injection cycles from the measured length and re-runs the
+instrumented pass, i.e. a stale hint costs exactly what the probe used to.
+
+Regenerate the table with ``python -m repro.workloads.lengths``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: program signature -> fault-free cycles to halt (default SoC build)
+KNOWN_LENGTHS = {
+    "893beba0f3c022931472629a1f12d77affc8dce76fb9188c84534fea812a7bfc": 3564,  # md5
+    "3f69611dd1081b50ebaf670b585a7304fb5c420649f5dcbf7369b805736dd428": 3792,  # bubblesort
+    "b468da6f6c4ecccc953f8285fa6cf501ff74b43d2ee741b9c380d8c2d5bd7257": 746,  # libstrstr
+    "35eeb4e253a061a3441837ae493bae60e12af4fdec11052341e73b317f0123eb": 2021,  # libfibcall
+    "1a1174680b7cccb960bcedef1fa8d19530f8ffc85ab38f47efd61e0e7508d006": 8886,  # matmult
+}
+
+
+def known_length(signature: str) -> Optional[int]:
+    """The measured fault-free cycle count for *signature*, if bundled."""
+    return KNOWN_LENGTHS.get(signature)
+
+
+def _measure() -> None:  # pragma: no cover - regeneration utility
+    from repro.core.cache import program_signature
+    from repro.soc.system import build_system
+    from repro.workloads.beebs import BENCHMARK_NAMES, load_benchmark
+
+    system = build_system()
+    print("KNOWN_LENGTHS = {")
+    for name in BENCHMARK_NAMES:
+        program = load_benchmark(name)
+        run = system.run_program(program, max_cycles=200_000)
+        if not run.halted:
+            raise RuntimeError(f"{name} did not halt")
+        print(f'    "{program_signature(program)}": {run.cycles},  # {name}')
+    print("}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _measure()

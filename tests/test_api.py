@@ -1,8 +1,17 @@
-"""Top-level package API surface."""
+"""Top-level package API surface and the repro.api facade."""
+
+import json
+import warnings
 
 import pytest
 
 import repro
+from repro import api
+from repro.cli import main
+from repro.core.campaign import CampaignConfig, CampaignSession, DelayAVFEngine
+from repro.core.results import SAVFResult, StructureCampaignResult
+from repro.soc.system import build_system
+from repro.workloads.beebs import load_benchmark
 
 
 def test_all_exports_resolve():
@@ -35,3 +44,183 @@ def test_subpackage_imports():
     import repro.workloads
 
     assert repro.core.DelayAVFEngine is repro.DelayAVFEngine
+
+
+def test_facade_exports():
+    assert repro.analyze is api.analyze
+    assert repro.sweep is api.sweep
+    assert repro.savf is api.savf
+    assert repro.shutdown is api.shutdown
+
+
+# ----------------------------------------------------------------------
+# The one-call facade (repro.api)
+# ----------------------------------------------------------------------
+SMALL = CampaignConfig(
+    delay_fractions=(0.9,), cycle_count=2, max_wires=3, seed=0
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_facade():
+    yield
+    api.shutdown()
+
+
+def test_analyze_matches_direct_engine():
+    """The facade is a veneer: byte-identical to driving the engine."""
+    via_api = api.analyze("lsu", "libstrstr", config=SMALL)
+
+    engine = DelayAVFEngine(build_system(), load_benchmark("libstrstr"), SMALL)
+    direct = engine.run_structure("lsu")
+    engine.close()
+
+    assert via_api == direct  # telemetry excluded from dataclass equality
+    assert via_api.by_delay[0.9].records == direct.by_delay[0.9].records
+
+
+def test_analyze_reuses_engine_across_structures():
+    first = api.analyze("lsu", "libstrstr", config=SMALL)
+    assert first.telemetry.count("golden_runs") <= 1
+    second = api.analyze("decoder", "libstrstr", config=SMALL)
+    # Same cached engine: the second structure needs no new golden run.
+    assert second.telemetry.count("golden_runs") == 0
+    assert first.structure == "lsu" and second.structure == "decoder"
+
+
+def test_analyze_accepts_program_object():
+    program = load_benchmark("libstrstr")
+    result = api.analyze("lsu", program, config=SMALL)
+    assert result.benchmark == "libstrstr"
+
+
+def test_sweep_contract():
+    results = api.sweep(
+        ("lsu", "decoder"), ("libstrstr",), delays=(0.5,), config=SMALL
+    )
+    assert set(results) == {("lsu", "libstrstr"), ("decoder", "libstrstr")}
+    for result in results.values():
+        assert result.delay_fractions == (0.5,)
+        assert result.sampled_wires == SMALL.max_wires
+
+
+def test_savf_facade():
+    result = api.savf("lsu", "libstrstr", bits=4, config=SMALL)
+    assert isinstance(result, SAVFResult)
+    assert result.samples > 0
+    assert result.structure == "lsu" and result.benchmark == "libstrstr"
+
+
+def test_shutdown_clears_engine_cache():
+    api.analyze("lsu", "libstrstr", config=SMALL)
+    assert api._ENGINES
+    api.shutdown()
+    assert not api._ENGINES
+
+
+# ----------------------------------------------------------------------
+# Deprecation of the hand-wired session path
+# ----------------------------------------------------------------------
+def test_direct_session_construction_warns():
+    system = build_system()
+    program = load_benchmark("libstrstr")
+    with pytest.warns(DeprecationWarning, match="repro.api"):
+        CampaignSession(system, program, SMALL)
+
+
+def test_engine_construction_does_not_warn():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        engine = DelayAVFEngine(
+            build_system(), load_benchmark("libstrstr"), SMALL
+        )
+        engine.close()
+
+
+# ----------------------------------------------------------------------
+# CampaignConfig consolidation
+# ----------------------------------------------------------------------
+def test_config_validation_rejects_bad_knobs():
+    with pytest.raises(ValueError, match="delay fractions"):
+        CampaignConfig(delay_fractions=(0.0, 1.5))
+    with pytest.raises(ValueError, match="must not be empty"):
+        CampaignConfig(delay_fractions=())
+    with pytest.raises(ValueError, match="cycle_count"):
+        CampaignConfig(cycle_count=0)
+    with pytest.raises(ValueError, match="cycle_fraction"):
+        CampaignConfig(cycle_count=None, cycle_fraction=1.5)
+    with pytest.raises(ValueError, match="cycle_count / cycle_fraction"):
+        CampaignConfig(cycle_count=None, cycle_fraction=None)
+    with pytest.raises(ValueError, match="max_wires"):
+        CampaignConfig(max_wires=0)
+    with pytest.raises(ValueError, match="batch_lanes"):
+        CampaignConfig(batch_lanes=9)
+    with pytest.raises(ValueError, match="jobs"):
+        CampaignConfig(jobs=0)
+
+
+def test_config_from_cli_args():
+    import argparse
+
+    args = argparse.Namespace(
+        delays=[0.5, 0.9], cycles=3, wires=8, seed=7, jobs=2,
+        cache_dir="/tmp/verdicts", stats=True,
+    )
+    config = CampaignConfig.from_cli_args(args)
+    assert config.delay_fractions == (0.5, 0.9)
+    assert config.cycle_count == 3
+    assert config.max_wires == 8
+    assert config.seed == 7
+    assert config.jobs == 2
+    assert config.cache_dir == "/tmp/verdicts"
+    assert config.stats is True
+
+
+def test_config_from_cli_args_defaults_for_missing():
+    import argparse
+
+    config = CampaignConfig.from_cli_args(argparse.Namespace())
+    assert config == CampaignConfig()
+
+
+# ----------------------------------------------------------------------
+# CLI on the facade: --format json round-trips
+# ----------------------------------------------------------------------
+CLI_ARGS = [
+    "delayavf", "libstrstr", "lsu",
+    "--delays", "0.9", "--wires", "3", "--cycles", "2",
+]
+
+
+def test_cli_json_round_trips(capsys):
+    assert main(CLI_ARGS + ["--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    rebuilt = StructureCampaignResult.from_payload(payload)
+    assert rebuilt.structure == "lsu"
+    assert rebuilt.to_payload() == payload
+
+
+def test_analyze_reproduces_cli_json(capsys):
+    """`from repro import analyze` == CLI delayavf, record for record."""
+    assert main(CLI_ARGS + ["--format", "json"]) == 0
+    from_cli = StructureCampaignResult.from_payload(
+        json.loads(capsys.readouterr().out)
+    )
+    config = CampaignConfig(
+        delay_fractions=(0.9,), cycle_count=2, max_wires=3, seed=0
+    )
+    result = repro.analyze("lsu", "libstrstr", config=config)
+    assert result == from_cli
+    assert result.by_delay[0.9].records == from_cli.by_delay[0.9].records
+
+
+def test_cli_savf_json_round_trips(capsys):
+    code = main([
+        "savf", "libstrstr", "lsu", "--bits", "4", "--cycles", "2",
+        "--format", "json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    rebuilt = SAVFResult.from_payload(payload)
+    assert rebuilt.to_payload() == payload
+    assert rebuilt.structure == "lsu"

@@ -66,6 +66,66 @@ def test_resimulate_matches_bruteforce(seed):
                 assert incremental == brute, (cycle, wire, frac)
 
 
+@pytest.mark.parametrize("seed", range(6))
+def test_resimulate_batch_matches_scalar(seed):
+    """The shared-cone batched path is verdict-exact vs the scalar path."""
+    nl, sta, ev, sim = _setup(seed)
+    script = [{"in": (i * 17 + 3 * seed) & 0x3F} for i in range(8)]
+    env = ScriptedEnv(script)
+    sim.reset(env)
+    wires = nl.all_wires()
+    fractions = (0.2, 0.5, 0.8, 0.95)
+    for cycle in range(5):
+        ckpt = sim.checkpoint()
+        sim.step()
+        waves = ev.simulate_cycle(
+            ckpt.prev_settled, ckpt.dff_values, ckpt.input_values
+        )
+        sample = wires[:: max(1, len(wires) // 30)]
+        injections = [
+            (wire, frac * sta.clock_period)
+            for wire in sample
+            for frac in fractions
+        ]
+        batched = ev.resimulate_batch(waves, injections)
+        for (wire, extra), batch_errors in zip(injections, batched):
+            assert batch_errors == ev.resimulate(waves, wire, extra), (
+                cycle,
+                wire,
+                extra,
+            )
+    assert ev.batch_resims > 0
+
+
+def test_resimulate_batch_groups_share_cones():
+    """Same-sink injections reuse one ConeIndex entry across batches."""
+    nl, sta, ev, sim = _setup(3)
+    env = ScriptedEnv([{"in": (i * 11 + 5) & 0x3F} for i in range(6)])
+    sim.reset(env)
+    sim.step()
+    sim.step()
+    ckpt = sim.checkpoint()
+    sim.step()
+    waves = ev.simulate_cycle(
+        ckpt.prev_settled, ckpt.dff_values, ckpt.input_values
+    )
+    toggling = [
+        w
+        for w in nl.all_wires()
+        if w.sink.pin_type is PinType.CELL_IN and waves.toggles(w.net)
+    ]
+    assert toggling
+    wire = toggling[0]
+    injections = [(wire, f * sta.clock_period) for f in (0.3, 0.6, 0.9)]
+    ev.resimulate_batch(waves, injections)
+    builds = ev.cone_index.builds
+    assert builds >= 1
+    # A second batch on the same sink must hit the cone cache, not rebuild.
+    ev.resimulate_batch(waves, [(wire, 0.45 * sta.clock_period)])
+    assert ev.cone_index.builds == builds
+    assert ev.cone_index.hits >= 1
+
+
 def test_non_toggling_source_yields_empty_set():
     nl, sta, ev, sim = _setup(1)
     env = ScriptedEnv([{"in": 0x15}])  # constant inputs
