@@ -14,12 +14,15 @@ callers make one call::
     print(result.delay_avf(0.5))
 
 and get back a fully merged :class:`repro.core.results.StructureCampaignResult`.
-Engines are cached per ``(workload, ecc, config)`` behind the scenes, so
-repeated :func:`analyze` calls against the same workload share the golden
-run, the warm waveform/GroupACE caches, and (when ``config.jobs > 1``) the
-live worker pool — exactly like the CLI's engine does within one invocation.
-Call :func:`shutdown` to release pools and flush verdict caches explicitly
-(interpreter exit does it implicitly for the serial path).
+Engines are cached per ``(workload, ecc, config)`` behind the scenes — the
+workload keyed by its *content signature*, so two programs sharing a name
+but differing in image never alias each other's engine — and repeated
+:func:`analyze` calls against the same workload share the golden run, the
+warm waveform/GroupACE caches, and (when ``config.jobs > 1``) the live
+worker pool, exactly like the CLI's engine does within one invocation.
+Call :func:`shutdown` to release pools and flush verdict caches explicitly;
+an ``atexit`` hook drains whatever is still cached at interpreter exit, so
+worker pools are not leaked even when callers forget.
 
 The facade is a thin veneer: results are byte-identical to driving
 :class:`repro.core.campaign.DelayAVFEngine` directly with the same
@@ -29,9 +32,11 @@ itself built on these functions.
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
+from repro.core.cache import program_signature
 from repro.core.campaign import CampaignConfig, DelayAVFEngine
 from repro.core.executor import SessionSpec
 from repro.core.results import SAVFResult, StructureCampaignResult
@@ -42,7 +47,7 @@ from repro.workloads.beebs import load_benchmark
 
 __all__ = ["analyze", "sweep", "savf", "shutdown", "CampaignConfig"]
 
-#: (workload name or program signature, ecc, config) -> live engine
+#: (program content signature, ecc, config) -> live engine
 _ENGINES: Dict[Tuple, DelayAVFEngine] = {}
 
 
@@ -60,10 +65,13 @@ def _engine(
     """The cached engine for this (workload, ecc, config) triple.
 
     ``CampaignConfig`` is frozen with tuple fields, so it hashes; programs
-    key by name (the loader is content-stable for bundled benchmarks).
+    key by :func:`repro.core.cache.program_signature` — a content hash of
+    the image, not the name — so an ad-hoc program that happens to share a
+    bundled benchmark's name can never silently reuse the wrong engine
+    (wrong golden run, wrong verdicts).
     """
     program = _resolve_program(workload)
-    key = (program.name, bool(ecc), config)
+    key = (program_signature(program), bool(ecc), config)
     engine = _ENGINES.get(key)
     if engine is None:
         spec = SessionSpec(
@@ -82,17 +90,23 @@ def analyze(
     *,
     config: Optional[CampaignConfig] = None,
     ecc: bool = False,
+    resume: Optional[bool] = None,
 ) -> StructureCampaignResult:
     """Run (or resume) a DelayAVF campaign for one structure and workload.
 
     *workload* is a bundled benchmark name (``"md5"``) or a loaded
     :class:`~repro.isa.assembler.Program`.  *config* defaults to
     ``CampaignConfig()``; pass one explicitly to control the delay sweep,
-    sampling, parallelism, or the persistent verdict cache.  The result
-    carries per-delay records plus the campaign's telemetry slice.
+    sampling, parallelism, fault tolerance, or the persistent verdict
+    cache.  ``resume=True`` (default ``config.resume``) skips shards the
+    verdict cache already marks complete, so an interrupted campaign picks
+    up where it left off; it requires ``config.cache_dir``.  The result
+    carries per-delay records, the campaign's telemetry slice, and a
+    ``degraded`` flag reporting whether execution had to recover from
+    worker faults along the way.
     """
     engine = _engine(workload, ecc, config or CampaignConfig())
-    return engine.run_structure(structure)
+    return engine.run_structure(structure, resume=resume)
 
 
 def sweep(
@@ -145,8 +159,18 @@ def savf(
 
 
 def shutdown() -> None:
-    """Close every cached engine: worker pools stop, verdict caches flush."""
+    """Close every cached engine: worker pools stop, verdict caches flush.
+
+    Idempotent, and also registered as an ``atexit`` hook so the parallel
+    path's worker pools are reclaimed even when callers never shut down
+    explicitly.
+    """
     engines = list(_ENGINES.values())
     _ENGINES.clear()
     for engine in engines:
         engine.close()
+
+
+# Drain cached engines at interpreter exit: without this, a caller that used
+# config.jobs > 1 and never called shutdown() leaked its worker pools.
+atexit.register(shutdown)

@@ -8,6 +8,8 @@ Examples::
     python -m repro paths alu
     python -m repro delayavf md5 alu --delays 0.5 0.9 --wires 24 --cycles 6
     python -m repro delayavf md5 alu --jobs 4 --cache-dir .verdicts --stats
+    python -m repro delayavf md5 alu --jobs 4 --cache-dir .verdicts --resume
+    python -m repro delayavf md5 alu --jobs 4 --shard-timeout 600 --max-retries 3
     python -m repro delayavf md5 alu --format json
     python -m repro savf libstrstr regfile --bits 24 --ecc
 
@@ -80,6 +82,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--cache-dir", default=None,
         help="directory for the persistent verdict cache (warm-starts reruns)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="skip shards already completed in the verdict cache "
+             "(resumes an interrupted campaign; requires --cache-dir)",
+    )
+    p.add_argument(
+        "--shard-timeout", type=float, default=None, dest="shard_timeout",
+        metavar="SECONDS",
+        help="per-shard timeout before a hung worker is recycled "
+             "(parallel campaigns; default: no timeout)",
+    )
+    p.add_argument(
+        "--max-retries", type=int, default=None, dest="max_retries",
+        metavar="N",
+        help="additional attempts granted to a failing shard (default: 2)",
     )
     p.add_argument(
         "--stats", action="store_true",
@@ -195,6 +213,12 @@ def cmd_delayavf(args) -> int:
             "cycles sampled"
         ),
     ))
+    if result.degraded:
+        print(
+            "warning: campaign execution was degraded (worker faults were "
+            "recovered; records are unaffected — see --stats)",
+            file=sys.stderr,
+        )
     if config.stats:
         print()
         print(render_telemetry(

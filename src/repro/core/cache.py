@@ -32,6 +32,14 @@ fully warm shard never touches the event simulator at all, which is where
 warm-restart campaign speedups actually come from.  Records are derived data
 (every field is reproducible from the scope + key), so the same
 last-writer-wins merge applies.
+
+A third table marks *completed work shards* (:func:`shard_key`).  The
+executors mark a shard complete only after every one of its records has been
+put, so an interrupted campaign (Ctrl-C, an OOM-killed worker host) can
+``resume``: shards found complete in the store are reassembled from the
+record table without executing anything, and a shard whose completion mark
+survived but whose records did not is simply re-run.  Torn or truncated
+store files deliberately load as an empty (cold) scope rather than erroring.
 """
 
 from __future__ import annotations
@@ -41,8 +49,9 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.core.group_ace import Outcome
 
@@ -130,6 +139,31 @@ def record_key(
     )
 
 
+def shard_key(
+    structure: str,
+    cycle: int,
+    wire_indices: Sequence[int],
+    delay_fractions: Sequence[float],
+    with_orace: bool,
+    clock_period: float,
+) -> str:
+    """Stable content key marking one fully persisted work shard.
+
+    Hashes the shard's full identity — every wire and delay it covers plus
+    the timing/ORACE view its records were produced under — so a campaign
+    re-planned with different sampling never mistakes an old shard for its
+    own.
+    """
+    return _sha256(
+        structure,
+        str(cycle),
+        ",".join(str(index) for index in wire_indices),
+        ",".join(repr(delay) for delay in delay_fractions),
+        str(int(bool(with_orace))),
+        repr(clock_period),
+    )
+
+
 def record_to_payload(record) -> list:
     """Portable JSON form of an :class:`~repro.core.results.InjectionRecord`.
 
@@ -193,8 +227,11 @@ class VerdictCache:
         self.path = self.directory / f"verdicts-{scope_key[:16]}.json"
         self._verdicts: Dict[str, str] = {}
         self._records: Dict[str, list] = {}
+        self._shards: Dict[str, int] = {}
         self._meta: Dict[str, object] = {}
         self._dirty = False
+        self._calls_since_flush = 0
+        self._last_flush = time.monotonic()
         self._load(self.path, replace=True)
 
     @classmethod
@@ -212,9 +249,11 @@ class VerdictCache:
             payload = {}
         stored = payload.get("verdicts", {})
         stored_records = payload.get("records", {})
+        stored_shards = payload.get("shards", {})
         if replace:
             self._verdicts = dict(stored)
             self._records = dict(stored_records)
+            self._shards = dict(stored_shards)
             self._meta = dict(payload.get("meta", {}))
         else:
             # Merge-under: our in-memory entries win (they are newer but
@@ -225,6 +264,9 @@ class VerdictCache:
             records = dict(stored_records)
             records.update(self._records)
             self._records = records
+            shards = dict(stored_shards)
+            shards.update(self._shards)
+            self._shards = shards
             meta = dict(payload.get("meta", {}))
             meta.update(self._meta)
             self._meta = meta
@@ -264,6 +306,21 @@ class VerdictCache:
             self._records[key] = payload
             self._dirty = True
 
+    def shard_complete(self, key: str) -> bool:
+        """Whether the shard named by :func:`shard_key` has fully persisted."""
+        return key in self._shards
+
+    def mark_shard_complete(self, key: str) -> None:
+        """Record that every injection record of one shard has been put.
+
+        Call only after the shard's records are in the store; resume treats
+        the mark as a promise that the record table can reassemble the shard
+        (and falls back to re-execution if it cannot).
+        """
+        if key not in self._shards:
+            self._shards[key] = 1
+            self._dirty = True
+
     def __len__(self) -> int:
         return len(self._verdicts)
 
@@ -284,8 +341,33 @@ class VerdictCache:
             self._dirty = True
 
     # ------------------------------------------------------------------
+    def flush_throttled(self, every_n: int = 8, max_seconds: float = 10.0) -> bool:
+        """Flush only every *every_n* calls or once *max_seconds* have passed.
+
+        Executors call this once per completed shard; a full flush is a
+        read-merge-rewrite of the scope file under the inter-process lock, so
+        doing it per shard serializes workers on disk I/O.  Throttling keeps
+        the loss window bounded (at most *every_n* shards or *max_seconds* of
+        work) while the guaranteed unconditional flushes — the engine's
+        post-merge flush and the worker's exit hook — keep the store
+        eventually complete.  Returns ``True`` when a flush happened.
+        """
+        self._calls_since_flush += 1
+        if not self._dirty:
+            return False
+        due = (
+            self._calls_since_flush >= max(1, int(every_n))
+            or time.monotonic() - self._last_flush >= max_seconds
+        )
+        if not due:
+            return False
+        self.flush()
+        return True
+
     def flush(self) -> None:
         """Merge with the on-disk state and atomically rewrite the file."""
+        self._calls_since_flush = 0
+        self._last_flush = time.monotonic()
         if not self._dirty:
             return
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -297,6 +379,7 @@ class VerdictCache:
                 "meta": self._meta,
                 "verdicts": self._verdicts,
                 "records": self._records,
+                "shards": self._shards,
             }
             fd, tmp_name = tempfile.mkstemp(
                 prefix=self.path.name, suffix=".tmp", dir=self.directory

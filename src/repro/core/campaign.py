@@ -20,6 +20,7 @@ serially or on a process pool), and *merging* (deterministic assembly into a
 
 from __future__ import annotations
 
+import dataclasses
 import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -27,8 +28,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.cache import (
     observables_digest,
     program_signature,
+    record_from_payload,
     record_key,
     record_to_payload,
+    shard_key,
 )
 from repro.core.delay_model import DEFAULT_DELAY_FRACTIONS
 from repro.core.delayavf import DelayAceEvaluator
@@ -38,6 +41,7 @@ from repro.core.executor import (
     ParallelExecutor,
     SerialExecutor,
     SessionSpec,
+    ShardResult,
     merge_shard_results,
     open_configured_cache,
 )
@@ -84,6 +88,25 @@ class CampaignConfig:
     cache_dir: Optional[str] = None
     #: collect-and-report campaign telemetry (CLI ``--stats``)
     stats: bool = False
+    #: seconds a parallel shard may run before it is presumed hung and the
+    #: pool recycled (None disables the timeout); budget for a cold worker's
+    #: golden run plus the slowest shard
+    shard_timeout: Optional[float] = None
+    #: additional attempts granted to a shard whose worker raised
+    max_retries: int = 2
+    #: base of the exponential retry backoff, in seconds
+    retry_backoff: float = 0.05
+    #: worker-pool rebuilds tolerated per campaign before the remaining
+    #: shards degrade to in-process serial execution
+    max_pool_rebuilds: int = 1
+    #: completed shards between incremental verdict-cache flushes (1 flushes
+    #: after every shard)
+    flush_every_shards: int = 8
+    #: seconds after which a pending incremental flush happens regardless
+    flush_max_seconds: float = 10.0
+    #: skip shards already marked complete in the verdict cache
+    #: (CLI ``--resume``; requires ``cache_dir``)
+    resume: bool = False
 
     def __post_init__(self):
         if not self.delay_fractions:
@@ -109,6 +132,18 @@ class CampaignConfig:
             raise ValueError("batch_lanes must be in 1..8 (uint8 bit-planes)")
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError("shard_timeout must be > 0 seconds (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
+        if self.max_pool_rebuilds < 0:
+            raise ValueError("max_pool_rebuilds must be >= 0")
+        if self.flush_every_shards < 1:
+            raise ValueError("flush_every_shards must be >= 1")
+        if self.flush_max_seconds < 0:
+            raise ValueError("flush_max_seconds must be >= 0")
 
     @classmethod
     def from_cli_args(cls, args) -> "CampaignConfig":
@@ -116,8 +151,9 @@ class CampaignConfig:
 
         Accepts any object exposing (a subset of) the ``delayavf``
         subcommand's attributes — ``delays``, ``cycles``, ``wires``,
-        ``seed``, ``jobs``, ``cache_dir``, ``stats`` — falling back to the
-        dataclass defaults for whatever is absent.
+        ``seed``, ``jobs``, ``cache_dir``, ``stats``, ``shard_timeout``,
+        ``max_retries``, ``resume`` — falling back to the dataclass defaults
+        for whatever is absent.
         """
         defaults = cls()
 
@@ -133,6 +169,9 @@ class CampaignConfig:
             jobs=pick("jobs", defaults.jobs),
             cache_dir=getattr(args, "cache_dir", None),
             stats=bool(getattr(args, "stats", False)),
+            shard_timeout=pick("shard_timeout", defaults.shard_timeout),
+            max_retries=pick("max_retries", defaults.max_retries),
+            resume=bool(getattr(args, "resume", False)),
         )
 
 
@@ -423,7 +462,13 @@ class DelayAVFEngine:
         """The executor selected by ``config.jobs`` (kept across campaigns)."""
         if self._executor is None:
             if self.config.jobs > 1:
-                self._executor = ParallelExecutor(self.config.jobs)
+                self._executor = ParallelExecutor(
+                    self.config.jobs,
+                    shard_timeout=self.config.shard_timeout,
+                    max_retries=self.config.max_retries,
+                    retry_backoff=self.config.retry_backoff,
+                    max_pool_rebuilds=self.config.max_pool_rebuilds,
+                )
             else:
                 self._executor = SerialExecutor()
         return self._executor
@@ -444,6 +489,7 @@ class DelayAVFEngine:
         max_wires: Optional[int] = None,
         seed: Optional[int] = None,
         executor: Optional[Executor] = None,
+        resume: Optional[bool] = None,
     ) -> StructureCampaignResult:
         """Estimate DelayAVF of *structure* across the delay sweep.
 
@@ -453,7 +499,15 @@ class DelayAVFEngine:
         1`` or passed explicitly) decides where shards run.  Results merge
         deterministically by (cycle, wire, delay), so every executor yields
         identical records.
+
+        With *resume* (default ``config.resume``; needs a persistent verdict
+        cache) shards the cache marks complete are reassembled from the
+        record table instead of executed, so an interrupted campaign picks
+        up from its last incrementally-flushed shard.  The result's
+        ``degraded`` flag reports whether fault-tolerant execution had to
+        recycle the worker pool or fall back to serial shards on the way.
         """
+        resume = self.config.resume if resume is None else bool(resume)
         before = self.telemetry.snapshot()
         with self.telemetry.timer("plan"):
             plan = build_plan(
@@ -466,11 +520,24 @@ class DelayAVFEngine:
                 max_wires=max_wires,
                 seed=seed,
             )
+        with_orace = bool(self.config.compute_orace)
+        clock = self.system.clock_period
+        resumed: List = []
+        exec_plan = plan
+        if resume and self.verdict_cache is not None:
+            resumed, remaining = self._split_resumable(plan, with_orace, clock)
+            if resumed:
+                self.telemetry.incr("shards_resumed", len(resumed))
+                exec_plan = dataclasses.replace(plan, shards=tuple(remaining))
         executor = executor if executor is not None else self.default_executor()
         with self.telemetry.timer("execute"):
-            shard_results = executor.execute(plan, session=self.session, spec=self.spec)
+            shard_results = (
+                list(executor.execute(exec_plan, session=self.session, spec=self.spec))
+                if exec_plan.shards
+                else []
+            )
         with self.telemetry.timer("merge"):
-            result = merge_shard_results(plan, shard_results)
+            result = merge_shard_results(plan, shard_results + resumed)
         # Worker telemetry arrives as per-shard snapshot deltas; fold it into
         # the session-wide telemetry, then report this campaign's slice.
         for shard_result in shard_results:
@@ -479,12 +546,14 @@ class DelayAVFEngine:
         result.telemetry = CampaignTelemetry.from_snapshot(
             self.telemetry.diff(before)
         )
+        result.degraded = any(
+            result.telemetry.count(counter)
+            for counter in ("shard_timeouts", "pool_rebuilds", "serial_fallbacks")
+        )
         if self.verdict_cache is not None:
             # Persist every merged record from the owning process too: worker
             # flushes already wrote them shard-by-shard, but this guarantees
             # a complete record table even if a worker died mid-campaign.
-            with_orace = bool(self.config.compute_orace)
-            clock = self.system.clock_period
             for delay, delay_result in result.by_delay.items():
                 for record in delay_result.records:
                     self.verdict_cache.put_record(
@@ -494,8 +563,58 @@ class DelayAVFEngine:
                         ),
                         record_to_payload(record),
                     )
+            for shard in plan.shards:
+                self.verdict_cache.mark_shard_complete(
+                    shard_key(
+                        plan.structure, shard.cycle, shard.wire_indices,
+                        shard.delay_fractions, with_orace, clock,
+                    )
+                )
             self.verdict_cache.flush()
         return result
+
+    # ------------------------------------------------------------------
+    def _split_resumable(self, plan, with_orace: bool, clock: float):
+        """Partition the plan into cache-reassembled and still-to-run shards.
+
+        A shard resumes only if its completion mark *and* every one of its
+        records survived in the cache; a mark whose records were lost (torn
+        file recovered cold, for instance) silently re-executes.
+        """
+        cache = self.verdict_cache
+        resumed: List[ShardResult] = []
+        remaining = []
+        for shard in plan.shards:
+            loaded = None
+            if cache.shard_complete(
+                shard_key(
+                    plan.structure, shard.cycle, shard.wire_indices,
+                    shard.delay_fractions, with_orace, clock,
+                )
+            ):
+                loaded = self._load_shard_result(plan, shard, with_orace, clock)
+            if loaded is None:
+                remaining.append(shard)
+            else:
+                resumed.append(loaded)
+        return resumed, remaining
+
+    def _load_shard_result(
+        self, plan, shard, with_orace: bool, clock: float
+    ) -> Optional[ShardResult]:
+        by_delay: Dict[float, List] = {delay: [] for delay in shard.delay_fractions}
+        for index in shard.wire_indices:
+            for delay in shard.delay_fractions:
+                payload = self.verdict_cache.get_record(
+                    record_key(plan.structure, shard.cycle, index, delay,
+                               with_orace, clock)
+                )
+                if payload is None:
+                    return None
+                by_delay[delay].append(
+                    record_from_payload(payload, index, shard.cycle, delay)
+                )
+        return ShardResult(shard_index=shard.index, by_delay=by_delay)
 
     def estimate(
         self,

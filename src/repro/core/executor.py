@@ -14,6 +14,17 @@ The campaign engine plans a structure campaign into per-cycle
   ``run_structure`` calls so consecutive structure campaigns reuse worker
   sessions exactly like the serial engine reuses its one session.
 
+The parallel executor is fault tolerant: shards are submitted as individual
+futures with a per-shard timeout and a bounded retry-with-backoff budget; a
+worker crash (``BrokenProcessPool``) or a hung shard recycles the pool and
+re-submits only the unfinished shards; once the pool-rebuild budget is
+exhausted the remaining shards finish in-process on the serial path.  Every
+recovery action is counted in campaign telemetry (``shard_retries``,
+``shard_timeouts``, ``pool_rebuilds``, ``serial_fallbacks``) so operators
+can see that a campaign limped home — but the *records* are unaffected:
+shard execution is deterministic and :func:`merge_shard_results` is
+order-independent, so a recovered campaign is byte-identical to a clean one.
+
 Shard results are merged deterministically in plan order, so serial and
 parallel runs produce identical :class:`StructureCampaignResult` records —
 the executors differ only in wall-clock time and telemetry.
@@ -22,13 +33,23 @@ the executors differ only in wall-clock time and telemetry.
 from __future__ import annotations
 
 import abc
-from concurrent.futures import ProcessPoolExecutor
+import atexit
+import os
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.cache import record_from_payload, record_key, record_to_payload
+from repro.core.cache import (
+    record_from_payload,
+    record_key,
+    record_to_payload,
+    shard_key,
+)
 from repro.core.plan import CampaignPlan, WorkShard
 from repro.core.results import DelayAVFResult, InjectionRecord, StructureCampaignResult
+from repro.core.telemetry import CampaignTelemetry
 
 
 @dataclass(frozen=True)
@@ -161,6 +182,22 @@ def execute_shard(session, plan: CampaignPlan, shard: WorkShard) -> ShardResult:
                             key_of(index, delay), record_to_payload(record)
                         )
                 by_delay[delay].append(record)
+    if cache is not None:
+        # Every record of this shard is now in the store: mark the shard
+        # complete (resume skips it) and persist incrementally.  The flush is
+        # throttled — per-shard read-merge-rewrite under the inter-process
+        # lock would serialize workers on disk I/O — with unconditional
+        # flushes at worker exit and campaign end guaranteeing completeness.
+        cache.mark_shard_complete(
+            shard_key(
+                plan.structure, shard.cycle, shard.wire_indices,
+                shard.delay_fractions, with_orace, session.system.clock_period,
+            )
+        )
+        cache.flush_throttled(
+            every_n=getattr(config, "flush_every_shards", 8),
+            max_seconds=getattr(config, "flush_max_seconds", 10.0),
+        )
     return ShardResult(shard_index=shard.index, by_delay=by_delay)
 
 
@@ -250,37 +287,121 @@ class SerialExecutor(Executor):
 _WORKER_SESSION = None
 
 
+def _worker_flush() -> None:
+    """Final unconditional flush of a worker's verdict cache at process exit.
+
+    Pool workers exit normally when the pool shuts down (they drain a
+    sentinel), so this ``atexit`` hook runs and persists whatever the
+    throttled per-shard flushes have not yet written.  A crashed worker
+    (``os._exit``, OOM kill) skips it — the engine's post-merge re-put of
+    every record covers that case.
+    """
+    session = _WORKER_SESSION
+    if session is not None and session.verdict_cache is not None:
+        session.verdict_cache.flush()
+
+
 def _worker_init(spec: SessionSpec) -> None:
     global _WORKER_SESSION
     _WORKER_SESSION = spec.build_session()
+    atexit.register(_worker_flush)
+
+
+def _maybe_inject_worker_fault(shard: WorkShard) -> None:
+    """Test seam: deterministically fault a pool worker (CI fault smoke).
+
+    ``REPRO_FAULT_WORKER=<mode>:<shard index>`` faults the worker that picks
+    up the named shard; *mode* is ``crash`` (``os._exit``, breaking the
+    pool), ``hang`` (sleep ``REPRO_FAULT_HANG_SECONDS``, default 3600, to
+    trip the per-shard timeout), or ``raise`` (an ordinary exception, to
+    exercise retry).  When ``REPRO_FAULT_ONCE_FILE`` names a marker file the
+    fault fires at most once across all workers and attempts — the first
+    process to atomically create the marker wins.  Only pool workers call
+    this, so the serial path (and the serial *fallback* path) is immune by
+    construction.
+    """
+    directive = os.environ.get("REPRO_FAULT_WORKER")
+    if not directive:
+        return
+    mode, _, index = directive.partition(":")
+    if not index or shard.index != int(index):
+        return
+    marker = os.environ.get("REPRO_FAULT_ONCE_FILE")
+    if marker:
+        try:
+            os.close(os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+        except FileExistsError:
+            return  # the fault already fired once
+    if mode == "crash":
+        os._exit(23)
+    elif mode == "hang":
+        time.sleep(float(os.environ.get("REPRO_FAULT_HANG_SECONDS", "3600")))
+    elif mode == "raise":
+        raise RuntimeError(f"injected worker fault on shard {shard.index}")
 
 
 def _worker_run_shard(item: Tuple[CampaignPlan, WorkShard]) -> ShardResult:
     plan, shard = item
+    _maybe_inject_worker_fault(shard)
     session = _WORKER_SESSION
     before = session.telemetry.snapshot()
     result = execute_shard(session, plan, shard)
     result.telemetry = session.telemetry.diff(before)
-    if session.verdict_cache is not None:
-        session.verdict_cache.flush()
     return result
 
 
+class ShardExecutionError(RuntimeError):
+    """A shard kept failing after its full retry budget was spent."""
+
+
 class ParallelExecutor(Executor):
-    """Process-pool execution from a rebuilt-per-worker session.
+    """Fault-tolerant process-pool execution from a rebuilt-per-worker session.
 
     The pool (and with it every worker's session and caches) persists across
     :meth:`execute` calls until :meth:`close` or a different spec arrives.
     Requires a picklable :class:`SessionSpec` — construct the engine via
     :meth:`repro.core.campaign.DelayAVFEngine.from_spec` (or pass ``spec=``)
     to use it.
+
+    Failure handling, per :meth:`execute` call:
+
+    - A shard that *raises* in its worker is retried with exponential
+      backoff, up to *max_retries* further attempts, then the error
+      propagates as :class:`ShardExecutionError`.
+    - A shard that exceeds *shard_timeout* seconds counts as a pool failure
+      too: the hung worker cannot be cancelled, so the pool is recycled
+      (workers terminated) and unfinished shards re-submitted.  The timeout
+      clock for a shard starts when the executor begins waiting on its
+      future; waits happen in submission order, so time spent on earlier
+      shards only ever *extends* a later shard's effective budget — the
+      timeout is conservative, never premature.  Budget it to cover a cold
+      worker's golden run plus the slowest expected shard.
+    - A dead worker (``BrokenProcessPool``) poisons the whole pool: finished
+      futures are harvested, the pool is rebuilt, and only unfinished shards
+      are re-submitted — up to *max_pool_rebuilds* times, after which the
+      remaining shards degrade gracefully to in-process serial execution.
+      Results stay byte-identical because shard execution is deterministic
+      and the merge is order-independent.
     """
 
-    def __init__(self, jobs: int = 2, mp_context=None):
+    def __init__(
+        self,
+        jobs: int = 2,
+        mp_context=None,
+        shard_timeout: Optional[float] = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
+        max_pool_rebuilds: int = 1,
+    ):
         self.jobs = max(1, int(jobs))
+        self.shard_timeout = shard_timeout
+        self.max_retries = max(0, int(max_retries))
+        self.retry_backoff = max(0.0, float(retry_backoff))
+        self.max_pool_rebuilds = max(0, int(max_pool_rebuilds))
         self._mp_context = mp_context
         self._pool: Optional[ProcessPoolExecutor] = None
         self._spec: Optional[SessionSpec] = None
+        self._fallback_session = None
 
     def execute(self, plan, session=None, spec=None):
         if spec is None:
@@ -288,10 +409,85 @@ class ParallelExecutor(Executor):
                 "ParallelExecutor needs a picklable SessionSpec; construct "
                 "the engine via DelayAVFEngine.from_spec(...)"
             )
-        pool = self._ensure_pool(spec)
-        return list(
-            pool.map(_worker_run_shard, [(plan, shard) for shard in plan.shards])
-        )
+        # Recovery actions are charged to the campaign's telemetry when the
+        # engine's live session rides along (the normal path); direct calls
+        # without one still work, their counters just land in a throwaway.
+        telemetry = session.telemetry if session is not None else CampaignTelemetry()
+        done: Dict[int, ShardResult] = {}
+        pending: Dict[int, WorkShard] = {shard.index: shard for shard in plan.shards}
+        attempts: Dict[int, int] = {index: 0 for index in pending}
+        rebuilds_left = self.max_pool_rebuilds
+        retry_rounds = 0
+        while pending:
+            pool = self._ensure_pool(spec)
+            futures = [
+                (index, pool.submit(_worker_run_shard, (plan, pending[index])))
+                for index in sorted(pending)
+            ]
+            pool_failed = had_retries = False
+            for index, future in futures:
+                if pool_failed:
+                    # Harvest shards that finished before the failure ("only
+                    # unfinished shards are re-submitted"); abandon the rest.
+                    if future.done() and not future.cancelled():
+                        try:
+                            done[index] = future.result(timeout=0)
+                            pending.pop(index)
+                            continue
+                        except Exception:
+                            pass
+                    future.cancel()
+                    continue
+                try:
+                    done[index] = future.result(timeout=self.shard_timeout)
+                    pending.pop(index)
+                except BrokenExecutor:
+                    pool_failed = True
+                except FutureTimeoutError:
+                    telemetry.incr("shard_timeouts")
+                    attempts[index] += 1
+                    pool_failed = True  # the hung worker poisons the pool
+                except Exception as exc:
+                    attempts[index] += 1
+                    if attempts[index] > self.max_retries:
+                        raise ShardExecutionError(
+                            f"shard {index} (cycle {pending[index].cycle}) "
+                            f"failed {attempts[index]} times; giving up"
+                        ) from exc
+                    telemetry.incr("shard_retries")
+                    had_retries = True
+            if pool_failed:
+                self._discard_pool()
+                if rebuilds_left > 0:
+                    rebuilds_left -= 1
+                    telemetry.incr("pool_rebuilds")
+                    telemetry.incr("shard_retries", len(pending))
+                    continue
+                # Pool-rebuild budget exhausted: limp home in-process.
+                telemetry.incr("serial_fallbacks")
+                fallback = self._serial_session(session, spec)
+                for index in sorted(pending):
+                    done[index] = execute_shard(fallback, plan, pending[index])
+                pending.clear()
+            elif had_retries and pending:
+                retry_rounds += 1
+                time.sleep(
+                    min(2.0, self.retry_backoff * (2 ** (retry_rounds - 1)))
+                )
+        return [done[index] for index in sorted(done)]
+
+    def _serial_session(self, session, spec: SessionSpec):
+        """The session serial-fallback shards run against.
+
+        Prefers the engine's live session (records and telemetry then flow
+        exactly like a :class:`SerialExecutor` run); a standalone executor
+        builds one from the spec and keeps it for subsequent fallbacks.
+        """
+        if session is not None:
+            return session
+        if self._fallback_session is None:
+            self._fallback_session = spec.build_session()
+        return self._fallback_session
 
     def _ensure_pool(self, spec: SessionSpec) -> ProcessPoolExecutor:
         if self._pool is not None and self._spec != spec:
@@ -306,11 +502,33 @@ class ParallelExecutor(Executor):
             self._spec = spec
         return self._pool
 
+    def _discard_pool(self) -> None:
+        """Tear down a broken or hung pool without waiting on its workers.
+
+        Hung workers never drain the shutdown sentinel, so they are
+        terminated outright before the (non-blocking) shutdown; a later
+        :meth:`_ensure_pool` builds a fresh pool.
+        """
+        pool, self._pool, self._spec = self._pool, None, None
+        if pool is None:
+            return
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
             self._spec = None
+        if self._fallback_session is not None:
+            if self._fallback_session.verdict_cache is not None:
+                self._fallback_session.verdict_cache.flush()
+            self._fallback_session = None
 
     def __enter__(self) -> "ParallelExecutor":
         return self

@@ -147,6 +147,11 @@ class StructureCampaignResult:
     #: counters/timers of the campaign that produced this result; excluded
     #: from equality so serial and parallel runs compare identical.
     telemetry: Optional[CampaignTelemetry] = field(default=None, compare=False)
+    #: True when fault-tolerant execution limped home (a shard timed out, the
+    #: worker pool was rebuilt, or shards fell back to serial execution).
+    #: Execution metadata like telemetry: the records themselves stay
+    #: byte-identical to a clean run, so it is excluded from equality.
+    degraded: bool = field(default=False, compare=False)
 
     def delay_avf(self, delay_fraction: float) -> float:
         return self.by_delay[delay_fraction].delay_avf
@@ -166,7 +171,9 @@ class StructureCampaignResult:
         list plus derived summary rates for human and script consumers.
         Telemetry
         is deliberately excluded: it is execution metadata, not part of the
-        campaign's result identity.
+        campaign's result identity.  The ``degraded`` flag *is* included —
+        operators filtering campaign outputs need to see which runs limped
+        home — but, like telemetry, it never participates in equality.
         """
         return {
             "structure": self.structure,
@@ -174,6 +181,7 @@ class StructureCampaignResult:
             "wire_count": self.wire_count,
             "sampled_wires": self.sampled_wires,
             "sampled_cycles": list(self.sampled_cycles),
+            "degraded": self.degraded,
             "by_delay": [
                 {
                     "delay_fraction": delay,
@@ -235,6 +243,7 @@ class StructureCampaignResult:
             sampled_wires=payload["sampled_wires"],
             sampled_cycles=tuple(payload["sampled_cycles"]),
             by_delay=by_delay,
+            degraded=bool(payload.get("degraded", False)),
         )
 
 

@@ -13,6 +13,13 @@ phase timers are cumulative ``time.perf_counter`` spans.  Instances merge, so
 the parallel executor can combine per-worker telemetry into one campaign
 report, and snapshots/diffs are plain dicts, so they pickle across process
 boundaries.
+
+The fault-tolerance counters (``shard_retries``, ``shard_timeouts``,
+``pool_rebuilds``, ``serial_fallbacks``, ``shards_resumed``) record how hard
+the executors had to work to bring a campaign home; a non-zero
+``shard_timeouts``, ``pool_rebuilds``, or ``serial_fallbacks`` also raises
+the ``degraded`` flag on the campaign's
+:class:`repro.core.results.StructureCampaignResult`.
 """
 
 from __future__ import annotations
@@ -46,6 +53,11 @@ COUNTER_ORDER = (
     "record_cache_hits",
     "lane_batches",
     "lanes_filled",
+    "shard_retries",
+    "shard_timeouts",
+    "pool_rebuilds",
+    "serial_fallbacks",
+    "shards_resumed",
 )
 
 #: Presentation order for the known phases.

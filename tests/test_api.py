@@ -118,6 +118,79 @@ def test_shutdown_clears_engine_cache():
     assert not api._ENGINES
 
 
+#: Halts after a couple of instructions: campaigns on it cost milliseconds.
+TINY = CampaignConfig(
+    delay_fractions=(0.9,), cycle_count=1, max_wires=2, margin_cycles=200
+)
+
+
+def test_engine_cache_keyed_by_program_content():
+    """Two programs sharing a name must never alias each other's engine.
+
+    The facade keys engines by the program's *content signature*, not its
+    name: an ad-hoc program named like another gets its own golden run and
+    verdict scope instead of silently reusing the wrong ones.
+    """
+    from repro.isa.assembler import assemble
+    from repro.soc.memmap import HALT_ADDR
+
+    twin_a = assemble(f"li t0, {HALT_ADDR}\nli t1, 7\nsw t1, 0(t0)\n", "twin")
+    twin_b = assemble(f"li t0, {HALT_ADDR}\nli t1, 9\nsw t1, 0(t0)\n", "twin")
+    assert twin_a.name == twin_b.name and twin_a.image != twin_b.image
+
+    api.analyze("lsu", twin_a, config=TINY)
+    api.analyze("lsu", twin_b, config=TINY)
+    assert len(api._ENGINES) == 2
+
+    # Same content: the existing engine is reused, not duplicated.
+    api.analyze("lsu", twin_a, config=TINY)
+    assert len(api._ENGINES) == 2
+
+
+def test_atexit_hook_drains_engines():
+    """Interpreter exit drains the facade's cached engines (no leaked pools).
+
+    A probe hook registered *before* ``repro.api`` is imported runs after
+    the facade's own ``atexit`` hook (LIFO), so it observes the post-drain
+    state.
+    """
+    import os
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    script = """
+import atexit
+
+def probe():
+    import repro.api as api
+    print("engines-after-drain", len(api._ENGINES), flush=True)
+
+atexit.register(probe)
+
+from repro import api
+from repro.core.campaign import CampaignConfig
+from repro.isa.assembler import assemble
+from repro.soc.memmap import HALT_ADDR
+
+program = assemble(f"li t0, {HALT_ADDR}\\nli t1, 7\\nsw t1, 0(t0)\\n", "tiny")
+config = CampaignConfig(
+    delay_fractions=(0.9,), cycle_count=1, max_wires=2, margin_cycles=200
+)
+api.analyze("lsu", program, config=config)
+print("engines-before-exit", len(api._ENGINES), flush=True)
+"""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, env=env, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "engines-before-exit 1" in proc.stdout
+    assert "engines-after-drain 0" in proc.stdout
+
+
 # ----------------------------------------------------------------------
 # Deprecation of the hand-wired session path
 # ----------------------------------------------------------------------
