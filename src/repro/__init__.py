@@ -39,6 +39,17 @@ _EXPORTS = {
     "build_system": ("repro.soc.system", "build_system"),
     "BENCHMARK_NAMES": ("repro.workloads.beebs", "BENCHMARK_NAMES"),
     "load_benchmark": ("repro.workloads.beebs", "load_benchmark"),
+    "ConfidenceInterval": ("repro.core.stats", "ConfidenceInterval"),
+    "wilson_interval": ("repro.core.stats", "wilson_interval"),
+    "bootstrap_interval": ("repro.core.stats", "bootstrap_interval"),
+    "GuardViolation": ("repro.core.guards", "GuardViolation"),
+    "check_campaign_result": ("repro.core.guards", "check_campaign_result"),
+    "preflight_campaign": ("repro.core.guards", "preflight_campaign"),
+    "ReproError": ("repro.errors", "ReproError"),
+    "InputError": ("repro.errors", "InputError"),
+    "TimingError": ("repro.errors", "TimingError"),
+    "WorkloadError": ("repro.errors", "WorkloadError"),
+    "CacheError": ("repro.errors", "CacheError"),
 }
 
 
@@ -55,20 +66,31 @@ def __getattr__(name):
 
 __all__ = [
     "BENCHMARK_NAMES",
+    "CacheError",
     "CampaignConfig",
+    "ConfidenceInterval",
     "DelayAVFEngine",
     "DelayAVFResult",
     "DelayFault",
+    "GuardViolation",
     "IbexMiniSystem",
+    "InputError",
     "Outcome",
+    "ReproError",
     "SAVFEngine",
     "StructureCampaignResult",
+    "TimingError",
+    "WorkloadError",
     "analyze",
+    "bootstrap_interval",
     "build_system",
+    "check_campaign_result",
     "load_benchmark",
+    "preflight_campaign",
     "savf",
     "shutdown",
     "sweep",
+    "wilson_interval",
 ]
 
 __version__ = "1.0.0"

@@ -11,7 +11,12 @@ from __future__ import annotations
 from pathlib import Path
 from typing import List, Optional
 
-from repro.core.telemetry import COUNTER_ORDER, PHASE_ORDER, CampaignTelemetry
+from repro.core.telemetry import (
+    COUNTER_ORDER,
+    GAUGE_ORDER,
+    PHASE_ORDER,
+    CampaignTelemetry,
+)
 
 #: EXPERIMENTS.md content below this marker is machine-generated.
 MARKER = "## Measured results"
@@ -34,7 +39,7 @@ PREFERRED_ORDER = [
 def render_telemetry(
     telemetry: Optional[CampaignTelemetry], title: str = "campaign telemetry"
 ) -> str:
-    """Render campaign counters and phase timers as an aligned text block."""
+    """Render campaign counters, gauges, and phase timers as a text block."""
     if telemetry is None:
         return f"{title}: (none recorded)"
     known = {name: position for position, name in enumerate(COUNTER_ORDER)}
@@ -42,17 +47,24 @@ def render_telemetry(
         telemetry.counters.items(),
         key=lambda item: (known.get(item[0], len(known)), item[0]),
     )
+    known_gauges = {name: position for position, name in enumerate(GAUGE_ORDER)}
+    gauges = sorted(
+        telemetry.gauges.items(),
+        key=lambda item: (known_gauges.get(item[0], len(known_gauges)), item[0]),
+    )
     known_phases = {name: position for position, name in enumerate(PHASE_ORDER)}
     phases = sorted(
         telemetry.phase_seconds.items(),
         key=lambda item: (known_phases.get(item[0], len(known_phases)), item[0]),
     )
     width = max(
-        (len(name) for name, _ in counters + phases), default=0
+        (len(name) for name, _ in counters + gauges + phases), default=0
     )
     lines = [title]
     for name, value in counters:
         lines.append(f"  {name:<{width}}  {value}")
+    for name, value in gauges:
+        lines.append(f"  {name:<{width}}  {value:.6g}")
     for name, seconds in phases:
         lines.append(f"  {name:<{width}}  {seconds * 1000.0:.1f} ms")
     return "\n".join(lines)

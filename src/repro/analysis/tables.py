@@ -11,6 +11,16 @@ def _fmt(value: Any) -> str:
     return str(value)
 
 
+def format_estimate(interval) -> str:
+    """``value ± half_width`` for a :class:`repro.core.stats.ConfidenceInterval`.
+
+    The point estimate keeps the table's four significant digits; the
+    half-width gets two, enough to judge whether the interval is tight
+    without drowning the column.
+    """
+    return f"{interval.point:.4g} ±{interval.half_width:.2g}"
+
+
 def render_table(
     headers: Sequence[str],
     rows: Sequence[Sequence[Any]],

@@ -41,6 +41,7 @@ from repro.core.campaign import CampaignConfig, DelayAVFEngine
 from repro.core.executor import SessionSpec
 from repro.core.results import SAVFResult, StructureCampaignResult
 from repro.core.savf import SAVFEngine
+from repro.core.stats import DEFAULT_CONFIDENCE
 from repro.isa.assembler import Program
 from repro.soc.system import build_system
 from repro.workloads.beebs import load_benchmark
@@ -91,6 +92,8 @@ def analyze(
     config: Optional[CampaignConfig] = None,
     ecc: bool = False,
     resume: Optional[bool] = None,
+    target_half_width: Optional[float] = None,
+    confidence: float = DEFAULT_CONFIDENCE,
 ) -> StructureCampaignResult:
     """Run (or resume) a DelayAVF campaign for one structure and workload.
 
@@ -100,12 +103,30 @@ def analyze(
     sampling, parallelism, fault tolerance, or the persistent verdict
     cache.  ``resume=True`` (default ``config.resume``) skips shards the
     verdict cache already marks complete, so an interrupted campaign picks
-    up where it left off; it requires ``config.cache_dir``.  The result
-    carries per-delay records, the campaign's telemetry slice, and a
-    ``degraded`` flag reporting whether execution had to recover from
-    worker faults along the way.
+    up where it left off; it requires ``config.cache_dir``.
+
+    With *target_half_width* the campaign turns adaptive: after the initial
+    wave it keeps widening the wire/cycle sample (never re-simulating an
+    already-covered injection) until every reported Wilson interval at
+    *confidence* is at most that wide, the structure's population is
+    exhausted, or ``config.refine_max_rounds`` refinement rounds have run.
+
+    Inputs are preflighted up front (``config.preflight``) and fatal
+    problems raise :class:`repro.errors.ReproError` before any shard
+    executes.  The result carries per-delay records with confidence
+    intervals, the campaign's telemetry slice, a ``degraded`` flag
+    reporting fault-tolerant recovery, and — when the post-merge invariant
+    guards find impossible data — a ``suspect`` flag with machine-readable
+    reasons.
     """
     engine = _engine(workload, ecc, config or CampaignConfig())
+    if target_half_width is not None:
+        return engine.run_structure_adaptive(
+            structure,
+            target_half_width,
+            confidence=confidence,
+            resume=resume,
+        )
     return engine.run_structure(structure, resume=resume)
 
 

@@ -11,7 +11,13 @@ Examples::
     python -m repro delayavf md5 alu --jobs 4 --cache-dir .verdicts --resume
     python -m repro delayavf md5 alu --jobs 4 --shard-timeout 600 --max-retries 3
     python -m repro delayavf md5 alu --format json
+    python -m repro delayavf md5 alu --target-half-width 0.02
+    python -m repro doctor md5 alu --cache-dir .verdicts
     python -m repro savf libstrstr regfile --bits 24 --ecc
+
+``doctor`` preflights inputs without running anything and exits 0 when every
+check passes, 1 on a fatal input error, and 2 when there are only warnings,
+so pipelines can gate campaign launches on it.
 
 The ``delayavf`` and ``savf`` subcommands are thin wrappers around the
 :mod:`repro.api` facade; scripts should call :func:`repro.api.analyze` /
@@ -28,8 +34,16 @@ from typing import List, Optional
 from repro import api
 from repro.analysis.figures import render_histogram
 from repro.analysis.report import render_telemetry
-from repro.analysis.tables import render_table
+from repro.analysis.tables import format_estimate, render_table
 from repro.core.campaign import CampaignConfig
+from repro.core.guards import (
+    Finding,
+    preflight_cache_dir,
+    preflight_campaign,
+    preflight_structure,
+    preflight_system,
+)
+from repro.errors import InputError, ReproError
 from repro.isa.disasm import disassemble
 from repro.netlist.stats import structure_stats
 from repro.soc.system import build_system
@@ -104,8 +118,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="print campaign telemetry (cache hits, skips, phase times)",
     )
     p.add_argument(
+        "--target-half-width", type=float, default=None,
+        dest="target_half_width", metavar="W",
+        help="adaptive precision: keep widening the sample until every "
+             "reported confidence interval is at most +/-W wide",
+    )
+    p.add_argument(
+        "--confidence", type=float, default=0.95,
+        help="confidence level of the reported intervals (default: 0.95)",
+    )
+    p.add_argument(
         "--format", choices=("table", "json"), default="table",
         help="output format (json emits a machine-readable payload)",
+    )
+    _add_common(p)
+
+    p = sub.add_parser(
+        "doctor",
+        help="preflight-check inputs without running a campaign "
+             "(exit 0 clean, 1 fatal error, 2 warnings only)",
+    )
+    p.add_argument(
+        "benchmark", nargs="?", default=None,
+        help="benchmark to validate (optional; validated by name so an "
+             "unknown one is a fatal finding, not a usage error)",
+    )
+    p.add_argument(
+        "structure", nargs="?", default=None,
+        help="structure to validate against the wire-sample request",
+    )
+    p.add_argument("--wires", type=int, default=None,
+                   help="wire-sample size to validate against the structure")
+    p.add_argument("--cache-dir", default=None,
+                   help="verdict-cache directory to check for writability")
+    p.add_argument(
+        "--clock-period", type=float, default=None, dest="clock_period",
+        metavar="PS",
+        help="operating clock period override to validate against the "
+             "longest register-to-register path",
     )
     _add_common(p)
 
@@ -189,20 +239,29 @@ def cmd_delayavf(args) -> int:
     config = CampaignConfig.from_cli_args(args)
     try:
         result = api.analyze(
-            args.structure, args.benchmark, config=config, ecc=args.ecc
+            args.structure, args.benchmark, config=config, ecc=args.ecc,
+            target_half_width=args.target_half_width,
+            confidence=args.confidence,
         )
+    except ReproError as exc:
+        print(f"error: {exc.describe()}", file=sys.stderr)
+        return 1
     finally:
         api.shutdown()
     if args.format == "json":
         print(json.dumps(result.to_payload(), indent=2))
         return 0
     rows = []
+    achieved = 0
     for delay in config.delay_fractions:
         r = result.by_delay[delay]
+        achieved = r.samples
         rows.append([
             f"{delay:.0%}", f"{r.static_reach_rate:.1%}",
-            f"{r.dynamic_reach_rate:.1%}", f"{r.delay_avf:.4f}",
-            f"{r.or_delay_avf:.4f}", f"{r.multi_bit_fraction:.1%}",
+            f"{r.dynamic_reach_rate:.1%}",
+            format_estimate(r.delay_avf_ci(args.confidence)),
+            format_estimate(r.or_delay_avf_ci(args.confidence)),
+            f"{r.multi_bit_fraction:.1%}",
         ])
     print(render_table(
         ["d", "static", "dynamic", "DelayAVF", "OrDelayAVF", "multi-bit"],
@@ -210,7 +269,8 @@ def cmd_delayavf(args) -> int:
         title=(
             f"{args.structure} / {args.benchmark}: |E|={result.wire_count}, "
             f"{result.sampled_wires} wires x {len(result.sampled_cycles)} "
-            "cycles sampled"
+            f"cycles = {achieved} samples/delay "
+            f"(+/- at {args.confidence:.0%} confidence)"
         ),
     ))
     if result.degraded:
@@ -219,12 +279,65 @@ def cmd_delayavf(args) -> int:
             "recovered; records are unaffected — see --stats)",
             file=sys.stderr,
         )
+    if result.suspect:
+        print(
+            "warning: result flagged SUSPECT by the invariant guards — do "
+            "not trust these numbers:",
+            file=sys.stderr,
+        )
+        for reason in result.suspect_reasons:
+            print(f"  - {reason}", file=sys.stderr)
     if config.stats:
         print()
         print(render_telemetry(
             result.telemetry,
             title=f"campaign telemetry (jobs={config.jobs})",
         ))
+    return 0
+
+
+def cmd_doctor(args) -> int:
+    """Preflight-check campaign inputs; exit 0 clean / 1 fatal / 2 warnings.
+
+    The exit codes are the contract pipelines gate on: 0 means every check
+    passed, 1 means at least one fatal input error (the campaign would
+    refuse to start), 2 means warnings only (the campaign would run, with
+    caveats).
+    """
+    system = build_system(use_ecc=args.ecc, clock_period_ps=args.clock_period)
+    config = CampaignConfig.from_cli_args(args)
+    findings: List[Finding] = []
+    program = None
+    if args.benchmark is not None:
+        if args.benchmark in BENCHMARK_NAMES:
+            program = load_benchmark(args.benchmark)
+        else:
+            exc = InputError(
+                f"unknown benchmark {args.benchmark!r}",
+                hint="known benchmarks: " + ", ".join(BENCHMARK_NAMES),
+            )
+            findings.append(Finding(
+                severity="error", code=exc.code, message=str(exc),
+                hint=exc.hint, error=exc,
+            ))
+    if program is not None:
+        findings.extend(preflight_campaign(system, program, config))
+    else:
+        findings.extend(preflight_system(system))
+        findings.extend(preflight_cache_dir(config.cache_dir))
+    if args.structure is not None:
+        findings.extend(preflight_structure(system, args.structure, args.wires))
+    for finding in findings:
+        print(finding.render())
+    errors = sum(1 for f in findings if f.is_error)
+    warns = len(findings) - errors
+    if errors:
+        print(f"doctor: {errors} error(s), {warns} warning(s)")
+        return 1
+    if warns:
+        print(f"doctor: {warns} warning(s), no errors")
+        return 2
+    print("doctor: all checks passed")
     return 0
 
 
@@ -246,8 +359,10 @@ def cmd_savf(args) -> int:
     print(render_table(
         ["structure", "samples", "ACE", "SDC", "DUE", "sAVF"],
         [[result.structure, result.samples, result.ace_count,
-          result.sdc_count, result.due_count, f"{result.savf:.4f}"]],
-        title=f"sAVF — {args.structure} / {args.benchmark}",
+          result.sdc_count, result.due_count,
+          format_estimate(result.savf_ci())]],
+        title=f"sAVF — {args.structure} / {args.benchmark} "
+              "(+/- at 95% confidence)",
     ))
     return 0
 
@@ -258,6 +373,7 @@ _COMMANDS = {
     "disasm": cmd_disasm,
     "paths": cmd_paths,
     "delayavf": cmd_delayavf,
+    "doctor": cmd_doctor,
     "savf": cmd_savf,
 }
 

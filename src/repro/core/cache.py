@@ -50,6 +50,7 @@ import json
 import os
 import tempfile
 import time
+import warnings
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
@@ -245,6 +246,19 @@ class VerdictCache:
             payload = json.loads(path.read_text())
         except (OSError, ValueError):
             payload = {}
+        stored_version = payload.get("schema_version", payload.get("format"))
+        if payload and stored_version != CACHE_FORMAT:
+            # A cache written by a different (usually newer) schema: its
+            # entries may not mean what this code thinks.  Discard-and-warn
+            # rather than raise — a stale cache must never kill a campaign
+            # mid-flight; it just stops saving work.
+            warnings.warn(
+                f"verdict cache {path} has schema_version {stored_version!r} "
+                f"but this build reads {CACHE_FORMAT}; ignoring its contents",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            payload = {}
         if payload.get("scope") != self.scope_key:
             payload = {}
         stored = payload.get("verdicts", {})
@@ -374,7 +388,8 @@ class VerdictCache:
         with _flush_lock(self.path):
             self._load(self.path, replace=False)
             payload = {
-                "format": CACHE_FORMAT,
+                "schema_version": CACHE_FORMAT,
+                "format": CACHE_FORMAT,  # legacy alias read by older builds
                 "scope": self.scope_key,
                 "meta": self._meta,
                 "verdicts": self._verdicts,

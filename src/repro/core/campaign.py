@@ -21,6 +21,7 @@ serially or on a process pool), and *merging* (deterministic assembly into a
 from __future__ import annotations
 
 import dataclasses
+import math
 import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -46,11 +47,21 @@ from repro.core.executor import (
     open_configured_cache,
 )
 from repro.core.group_ace import GroupAceAnalyzer
+from repro.core.guards import apply_guards, ensure_preflight, preflight_campaign
 from repro.core.orace import OraceAnalyzer
-from repro.core.plan import build_plan
+from repro.core.plan import build_plan, build_refinement_plan
 from repro.core.results import DelayAVFResult, StructureCampaignResult
-from repro.core.sampling import sample_cycles
+from repro.core.sampling import (
+    extend_cycle_sample,
+    extend_index_sample,
+    sample_cycles,
+)
 from repro.core.static_reach import StaticReachability
+from repro.core.stats import (
+    DEFAULT_CONFIDENCE,
+    ConfidenceInterval,
+    required_samples,
+)
 from repro.core.telemetry import CampaignTelemetry
 from repro.isa.assembler import Program
 from repro.sim.cyclesim import Checkpoint, RunResult
@@ -107,6 +118,16 @@ class CampaignConfig:
     #: skip shards already marked complete in the verdict cache
     #: (CLI ``--resume``; requires ``cache_dir``)
     resume: bool = False
+    #: validate system / workload / cache inputs before any shard executes
+    #: (raises :class:`repro.errors.ReproError` on fatal problems)
+    preflight: bool = True
+    #: run the post-merge invariant guards (:mod:`repro.core.guards`) and
+    #: flag violating results ``suspect``
+    guards: bool = True
+    #: refinement rounds an adaptive campaign may run after the initial wave
+    refine_max_rounds: int = 8
+    #: maximum per-round sample growth factor of an adaptive campaign
+    refine_growth: float = 2.0
 
     def __post_init__(self):
         if not self.delay_fractions:
@@ -144,6 +165,10 @@ class CampaignConfig:
             raise ValueError("flush_every_shards must be >= 1")
         if self.flush_max_seconds < 0:
             raise ValueError("flush_max_seconds must be >= 0")
+        if self.refine_max_rounds < 1:
+            raise ValueError("refine_max_rounds must be >= 1")
+        if self.refine_growth <= 1.0:
+            raise ValueError("refine_growth must be > 1.0")
 
     @classmethod
     def from_cli_args(cls, args) -> "CampaignConfig":
@@ -305,17 +330,7 @@ class CampaignSession:
 
     def _instrumented_run(self) -> RunResult:
         """One fingerprinting + checkpointing pass over the workload."""
-        with self.telemetry.timer("golden"):
-            self.telemetry.incr("golden_runs")
-            golden = self.system.run_program(
-                self.program,
-                max_cycles=self.config.max_run_cycles,
-                checkpoint_cycles=self.sampled_cycles,
-                record_fingerprints=True,
-            )
-        if not golden.halted:
-            raise self._halt_error()
-        return golden
+        return self._instrumented_run_at(self.sampled_cycles)
 
     @property
     def golden(self) -> RunResult:
@@ -394,7 +409,42 @@ class CampaignSession:
             )
         return self._evaluator
 
+    def ensure_checkpoints(self, cycles: Sequence[int]) -> None:
+        """Guarantee golden checkpoints exist at every cycle in *cycles*.
+
+        Adaptive refinement widens the cycle sample after the instrumented
+        golden run was recorded, so the new cycles have no checkpoints yet.
+        One extra instrumented pass over the *union* of checkpoint positions
+        repairs that; the fresh run is verified cycle- and observable-
+        identical before it replaces the old one.  The analyzers keep only
+        invariant golden data (length, fingerprints, observables), so they
+        carry over untouched — and so do their §V-C caches.
+        """
+        missing = sorted(set(cycles) - set(self.golden.checkpoints))
+        if not missing:
+            return
+        union = sorted(set(self.golden.checkpoints) | set(missing))
+        fresh = self._instrumented_run_at(union)
+        assert fresh.cycles == self.golden.cycles
+        assert fresh.observables == self.golden.observables
+        self._golden = fresh
+
+    def _instrumented_run_at(self, checkpoint_cycles: Sequence[int]) -> RunResult:
+        with self.telemetry.timer("golden"):
+            self.telemetry.incr("golden_runs")
+            golden = self.system.run_program(
+                self.program,
+                max_cycles=self.config.max_run_cycles,
+                checkpoint_cycles=checkpoint_cycles,
+                record_fingerprints=True,
+            )
+        if not golden.halted:
+            raise self._halt_error()
+        return golden
+
     def checkpoint(self, cycle: int) -> Checkpoint:
+        if cycle not in self.golden.checkpoints:
+            self.ensure_checkpoints([cycle])
         return self.golden.checkpoints[cycle]
 
     def waveforms(self, cycle: int) -> CycleWaveforms:
@@ -430,6 +480,10 @@ class DelayAVFEngine:
     ):
         self.config = config if config is not None else CampaignConfig()
         self.spec = spec
+        if self.config.preflight:
+            # Fail fast on bad inputs — before the cache is opened, before
+            # any golden run, and long before any shard executes.
+            ensure_preflight(preflight_campaign(system, program, self.config))
         self.verdict_cache = open_configured_cache(system, program, self.config)
         self.session = CampaignSession(
             system,
@@ -520,6 +574,169 @@ class DelayAVFEngine:
                 max_wires=max_wires,
                 seed=seed,
             )
+        executor = executor if executor is not None else self.default_executor()
+        result = self._execute_plan(plan, executor, resume)
+        self._finalize(result, before)
+        return result
+
+    def run_structure_adaptive(
+        self,
+        structure: str,
+        target_half_width: float,
+        *,
+        confidence: float = DEFAULT_CONFIDENCE,
+        delay_fractions: Optional[Sequence[float]] = None,
+        max_wires: Optional[int] = None,
+        seed: Optional[int] = None,
+        executor: Optional[Executor] = None,
+        resume: Optional[bool] = None,
+        max_rounds: Optional[int] = None,
+        growth: Optional[float] = None,
+    ) -> StructureCampaignResult:
+        """Run a campaign, then refine it until its CIs meet a precision
+        target.
+
+        After the initial wave (identical to :meth:`run_structure`), each
+        round checks the widest Wilson interval across the delay sweep
+        (DelayAVF and, when computed, OrDelayAVF).  While it exceeds
+        *target_half_width*, the wire/cycle sample is widened — wires first
+        (their cycles' waveforms are already warm), then cycles — by the
+        factor :func:`repro.core.stats.required_samples` predicts, capped at
+        *growth* per round.  Refinement plans cover exactly the not-yet-
+        sampled (wire, cycle) pairs, so no (wire, cycle, delay) triple is
+        ever simulated twice; with a verdict cache configured the rounds
+        persist and resume like any other shards.
+
+        Stops at the target, after *max_rounds* refinement rounds, or when
+        the structure's full (wire × cycle) population is exhausted —
+        whichever comes first.  ``telemetry`` reports ``refinement_rounds``,
+        ``extra_shards``, and the final ``ci_half_width`` gauge.
+        """
+        if target_half_width <= 0.0:
+            raise ValueError("target_half_width must be > 0")
+        resume = self.config.resume if resume is None else bool(resume)
+        max_rounds = (
+            self.config.refine_max_rounds if max_rounds is None else max_rounds
+        )
+        growth_cap = self.config.refine_growth if growth is None else growth
+        executor = executor if executor is not None else self.default_executor()
+        base_seed = self.config.seed if seed is None else seed
+        before = self.telemetry.snapshot()
+        with self.telemetry.timer("plan"):
+            plan = build_plan(
+                structure,
+                self.program.name,
+                self.system.structure_wires(structure),
+                self.session.sampled_cycles,
+                self.config,
+                delay_fractions=delay_fractions,
+                max_wires=max_wires,
+                seed=seed,
+            )
+        result = self._execute_plan(plan, executor, resume)
+        for round_index in range(1, max_rounds + 1):
+            worst = self._worst_interval(result, confidence)
+            if worst.half_width <= target_half_width:
+                break
+            with self.telemetry.timer("refine"):
+                new_wires, new_cycles = self._plan_growth(
+                    plan, worst, target_half_width, confidence, growth_cap,
+                    structure, base_seed, round_index,
+                )
+            if not new_wires and not new_cycles:
+                break  # full population sampled; this is as tight as it gets
+            if new_cycles:
+                self.session.ensure_checkpoints(new_cycles)
+            with self.telemetry.timer("plan"):
+                refinement = build_refinement_plan(plan, new_wires, new_cycles)
+            self.telemetry.incr("refinement_rounds")
+            self.telemetry.incr("extra_shards", len(refinement.shards))
+            round_result = self._execute_plan(refinement, executor, resume)
+            for delay, delay_result in round_result.by_delay.items():
+                result.by_delay[delay].records.extend(delay_result.records)
+            plan = dataclasses.replace(
+                plan,
+                wire_indices=refinement.wire_indices,
+                sampled_cycles=refinement.sampled_cycles,
+            )
+            result.sampled_wires = len(plan.wire_indices)
+            result.sampled_cycles = plan.sampled_cycles
+        self.telemetry.set_gauge(
+            "ci_half_width", self._worst_interval(result, confidence).half_width
+        )
+        self._finalize(result, before)
+        return result
+
+    # ------------------------------------------------------------------
+    def _worst_interval(
+        self, result: StructureCampaignResult, confidence: float
+    ) -> ConfidenceInterval:
+        """The widest interval the campaign currently reports."""
+        worst = None
+        for delay_result in result.by_delay.values():
+            candidates = [delay_result.delay_avf_ci(confidence)]
+            if self.config.compute_orace:
+                candidates.append(delay_result.or_delay_avf_ci(confidence))
+            for interval in candidates:
+                if worst is None or interval.half_width > worst.half_width:
+                    worst = interval
+        assert worst is not None  # by_delay is never empty
+        return worst
+
+    def _plan_growth(
+        self,
+        plan,
+        worst: ConfidenceInterval,
+        target_half_width: float,
+        confidence: float,
+        growth_cap: float,
+        structure: str,
+        base_seed: int,
+        round_index: int,
+    ) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Pick the new wires and cycles for one refinement round.
+
+        Sizes the round from the Wilson-width inversion (clamped to
+        [1.25, *growth_cap*] so rounds neither stall nor explode), then
+        allocates the growth to wires before cycles: new wires reuse the
+        already-built waveforms and checkpoints of every sampled cycle,
+        while each new cycle costs a waveform build and a checkpoint run.
+        """
+        n_now = max(worst.samples, 1)
+        needed = required_samples(
+            round(worst.point * worst.samples), worst.samples,
+            target_half_width, confidence,
+        )
+        factor = min(max(needed / n_now, 1.25), growth_cap)
+        cur_wires = len(plan.wire_indices)
+        cur_cycles = len(plan.sampled_cycles)
+        usable_cycles = self.session.total_cycles - self.config.warmup_cycles
+        desired = min(
+            math.ceil(factor * n_now), plan.wire_count * usable_cycles
+        )
+        if desired <= cur_wires * cur_cycles:
+            return (), ()
+        want_wires = min(math.ceil(desired / cur_cycles), plan.wire_count)
+        new_wires = extend_index_sample(
+            plan.wire_count,
+            plan.wire_indices,
+            want_wires - cur_wires,
+            f"{structure}:{base_seed}:{round_index}",
+        )
+        wires_after = cur_wires + len(new_wires)
+        want_cycles = min(math.ceil(desired / wires_after), usable_cycles)
+        new_cycles = extend_cycle_sample(
+            self.session.total_cycles,
+            plan.sampled_cycles,
+            want_cycles - cur_cycles,
+            self.config.warmup_cycles,
+        )
+        return tuple(new_wires), tuple(new_cycles)
+
+    def _execute_plan(
+        self, plan, executor: Executor, resume: bool
+    ) -> StructureCampaignResult:
+        """Resume-split, execute, merge, and persist one plan."""
         with_orace = bool(self.config.compute_orace)
         clock = self.system.clock_period
         resumed: List = []
@@ -529,7 +746,6 @@ class DelayAVFEngine:
             if resumed:
                 self.telemetry.incr("shards_resumed", len(resumed))
                 exec_plan = dataclasses.replace(plan, shards=tuple(remaining))
-        executor = executor if executor is not None else self.default_executor()
         with self.telemetry.timer("execute"):
             shard_results = (
                 list(executor.execute(exec_plan, session=self.session, spec=self.spec))
@@ -543,13 +759,6 @@ class DelayAVFEngine:
         for shard_result in shard_results:
             if shard_result.telemetry is not None:
                 self.telemetry.merge_snapshot(shard_result.telemetry)
-        result.telemetry = CampaignTelemetry.from_snapshot(
-            self.telemetry.diff(before)
-        )
-        result.degraded = any(
-            result.telemetry.count(counter)
-            for counter in ("shard_timeouts", "pool_rebuilds", "serial_fallbacks")
-        )
         if self.verdict_cache is not None:
             # Persist every merged record from the owning process too: worker
             # flushes already wrote them shard-by-shard, but this guarantees
@@ -572,6 +781,19 @@ class DelayAVFEngine:
                 )
             self.verdict_cache.flush()
         return result
+
+    def _finalize(self, result: StructureCampaignResult, before) -> None:
+        """Guard-check the merged result and attach its telemetry slice."""
+        if self.config.guards:
+            with self.telemetry.timer("guards"):
+                apply_guards(result, self.telemetry)
+        result.telemetry = CampaignTelemetry.from_snapshot(
+            self.telemetry.diff(before)
+        )
+        result.degraded = any(
+            result.telemetry.count(counter)
+            for counter in ("shard_timeouts", "pool_rebuilds", "serial_fallbacks")
+        )
 
     # ------------------------------------------------------------------
     def _split_resumable(self, plan, with_orace: bool, clock: float):

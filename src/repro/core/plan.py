@@ -116,3 +116,53 @@ def build_plan(
         sampled_cycles=tuple(sampled_cycles),
         shards=shards,
     )
+
+
+def build_refinement_plan(
+    base: CampaignPlan,
+    new_wire_indices: Sequence[int],
+    new_cycles: Sequence[int],
+) -> CampaignPlan:
+    """A plan covering exactly the (wire, cycle) pairs *base* does not.
+
+    Adaptive refinement grows a campaign's sample without re-simulating: the
+    returned shards cover the new wires at every already-sampled cycle plus
+    *all* wires (old and new) at every new cycle — together with *base* that
+    is the full cross-product of the widened sample, and by construction no
+    (wire, cycle, delay) triple appears in both plans.
+
+    Shards keep the cycle-outermost §V-C order: old cycles first (their
+    fault-free waveforms and GroupACE verdicts are already warm), then the
+    new cycles.
+    """
+    new_wires = tuple(new_wire_indices)
+    all_wires = base.wire_indices + new_wires
+    shards = []
+    if new_wires:
+        for cycle in base.sampled_cycles:
+            shards.append(
+                WorkShard(
+                    index=len(shards),
+                    cycle=cycle,
+                    wire_indices=new_wires,
+                    delay_fractions=base.delay_fractions,
+                )
+            )
+    for cycle in new_cycles:
+        shards.append(
+            WorkShard(
+                index=len(shards),
+                cycle=cycle,
+                wire_indices=all_wires,
+                delay_fractions=base.delay_fractions,
+            )
+        )
+    return CampaignPlan(
+        structure=base.structure,
+        benchmark=base.benchmark,
+        wire_count=base.wire_count,
+        wire_indices=all_wires,
+        delay_fractions=base.delay_fractions,
+        sampled_cycles=base.sampled_cycles + tuple(new_cycles),
+        shards=tuple(shards),
+    )

@@ -7,6 +7,12 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.group_ace import Outcome
+from repro.core.stats import (
+    DEFAULT_CONFIDENCE,
+    ConfidenceInterval,
+    bootstrap_interval,
+    wilson_interval,
+)
 from repro.core.telemetry import CampaignTelemetry
 
 
@@ -53,6 +59,64 @@ class DelayAVFResult:
         if not self.records:
             return 0.0
         return sum(1 for r in self.records if predicate(r)) / len(self.records)
+
+    def _interval(
+        self,
+        predicate,
+        confidence: float,
+        method: str,
+        seed: int,
+    ) -> ConfidenceInterval:
+        successes = sum(1 for r in self.records if predicate(r))
+        if method == "wilson":
+            return wilson_interval(successes, self.samples, confidence)
+        if method == "bootstrap":
+            return bootstrap_interval(
+                successes, self.samples, confidence, seed=seed
+            )
+        raise ValueError(f"unknown interval method: {method!r}")
+
+    # ------------------------------------------------------------------
+    # Confidence intervals — the records are a Bernoulli sample over the
+    # (wire, cycle) population, so every rate gets a binomial interval.
+    # The seed for the bootstrap variant is derived from the estimator name
+    # so intervals stay deterministic per (records, estimator).
+    # ------------------------------------------------------------------
+    def delay_avf_ci(
+        self,
+        confidence: float = DEFAULT_CONFIDENCE,
+        method: str = "wilson",
+    ) -> ConfidenceInterval:
+        return self._interval(
+            lambda r: r.delay_ace, confidence, method, seed=1
+        )
+
+    def or_delay_avf_ci(
+        self,
+        confidence: float = DEFAULT_CONFIDENCE,
+        method: str = "wilson",
+    ) -> ConfidenceInterval:
+        return self._interval(
+            lambda r: bool(r.or_ace), confidence, method, seed=2
+        )
+
+    def static_reach_rate_ci(
+        self,
+        confidence: float = DEFAULT_CONFIDENCE,
+        method: str = "wilson",
+    ) -> ConfidenceInterval:
+        return self._interval(
+            lambda r: r.statically_reachable, confidence, method, seed=3
+        )
+
+    def dynamic_reach_rate_ci(
+        self,
+        confidence: float = DEFAULT_CONFIDENCE,
+        method: str = "wilson",
+    ) -> ConfidenceInterval:
+        return self._interval(
+            lambda r: r.dynamically_reachable, confidence, method, seed=4
+        )
 
     @property
     def static_reach_rate(self) -> float:
@@ -152,6 +216,15 @@ class StructureCampaignResult:
     #: Execution metadata like telemetry: the records themselves stay
     #: byte-identical to a clean run, so it is excluded from equality.
     degraded: bool = field(default=False, compare=False)
+    #: True when the post-merge invariant guards (:mod:`repro.core.guards`)
+    #: found the result violating an algebraic invariant the paper
+    #: guarantees.  Like ``degraded`` it annotates rather than identifies:
+    #: two runs over the same records are the same result even if only one
+    #: of them ran the guards.
+    suspect: bool = field(default=False, compare=False)
+    #: Machine-readable guard-violation codes (``code: detail`` strings),
+    #: empty when the result is clean or the guards did not run.
+    suspect_reasons: Tuple[str, ...] = field(default=(), compare=False)
 
     def delay_avf(self, delay_fraction: float) -> float:
         return self.by_delay[delay_fraction].delay_avf
@@ -182,6 +255,8 @@ class StructureCampaignResult:
             "sampled_wires": self.sampled_wires,
             "sampled_cycles": list(self.sampled_cycles),
             "degraded": self.degraded,
+            "suspect": self.suspect,
+            "suspect_reasons": list(self.suspect_reasons),
             "by_delay": [
                 {
                     "delay_fraction": delay,
@@ -192,6 +267,8 @@ class StructureCampaignResult:
                         "delay_avf": result.delay_avf,
                         "or_delay_avf": result.or_delay_avf,
                         "multi_bit_fraction": result.multi_bit_fraction,
+                        "delay_avf_ci": result.delay_avf_ci().to_payload(),
+                        "or_delay_avf_ci": result.or_delay_avf_ci().to_payload(),
                     },
                     "records": [
                         {
@@ -244,6 +321,8 @@ class StructureCampaignResult:
             sampled_cycles=tuple(payload["sampled_cycles"]),
             by_delay=by_delay,
             degraded=bool(payload.get("degraded", False)),
+            suspect=bool(payload.get("suspect", False)),
+            suspect_reasons=tuple(payload.get("suspect_reasons", ())),
         )
 
 
@@ -262,6 +341,20 @@ class SAVFResult:
     def savf(self) -> float:
         return self.ace_count / self.samples if self.samples else 0.0
 
+    def savf_ci(
+        self,
+        confidence: float = DEFAULT_CONFIDENCE,
+        method: str = "wilson",
+    ) -> ConfidenceInterval:
+        """Binomial interval for the sampled bit-flip ACE proportion."""
+        if method == "wilson":
+            return wilson_interval(self.ace_count, self.samples, confidence)
+        if method == "bootstrap":
+            return bootstrap_interval(
+                self.ace_count, self.samples, confidence, seed=5
+            )
+        raise ValueError(f"unknown interval method: {method!r}")
+
     def to_payload(self) -> Dict:
         """A JSON-serializable dict that :meth:`from_payload` round-trips."""
         return {
@@ -272,6 +365,7 @@ class SAVFResult:
             "sdc_count": self.sdc_count,
             "due_count": self.due_count,
             "savf": self.savf,
+            "savf_ci": self.savf_ci().to_payload(),
         }
 
     @classmethod

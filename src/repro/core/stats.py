@@ -1,0 +1,205 @@
+"""Uncertainty quantification for sampled campaign estimators.
+
+Every AVF this repo reports (DelayAVF, OrDelayAVF, sAVF) is the mean of a
+Bernoulli outcome over a sampled (wire, cycle) population, so a bare point
+estimate hides the estimation error the sample size implies.  This module
+computes confidence intervals for those estimators:
+
+- :func:`wilson_interval` — the Wilson score interval, the standard choice
+  for binomial proportions near 0 or 1 (where AVFs live: most injections are
+  masked, so the naive Wald interval collapses to a zero-width lie exactly
+  when honesty matters most);
+- :func:`bootstrap_interval` — a seeded percentile bootstrap, used to
+  cross-check Wilson on request and for estimators that are not plain
+  proportions;
+- :func:`required_samples` — inverts the Wilson half-width to plan how many
+  samples an adaptive campaign needs before its interval reaches a target
+  precision (:meth:`repro.core.campaign.DelayAVFEngine.run_structure_adaptive`).
+
+All functions are deterministic: the bootstrap takes an explicit seed, so two
+processes reporting the same records report the same intervals (the same
+CI-parity story the campaign engine guarantees for records).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import NormalDist
+from typing import Dict
+
+__all__ = [
+    "ConfidenceInterval",
+    "wilson_interval",
+    "bootstrap_interval",
+    "required_samples",
+]
+
+#: Default confidence level for every reported interval.
+DEFAULT_CONFIDENCE = 0.95
+
+
+def z_score(confidence: float) -> float:
+    """Two-sided standard-normal quantile for *confidence* in (0, 1)."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    return NormalDist().inv_cdf(0.5 + confidence / 2.0)
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with its interval and provenance.
+
+    ``half_width`` is ``(hi - lo) / 2`` — the ``±`` the CLI and payloads
+    report.  The interval is *not* forced symmetric around ``point`` (Wilson
+    is asymmetric near the boundaries); consumers that need the exact bounds
+    should read ``lo``/``hi``.
+    """
+
+    point: float
+    lo: float
+    hi: float
+    confidence: float
+    samples: int
+    method: str
+
+    @property
+    def half_width(self) -> float:
+        return (self.hi - self.lo) / 2.0
+
+    def covers(self, value: float, tolerance: float = 1e-12) -> bool:
+        """Whether *value* lies inside the interval (with float slack)."""
+        return self.lo - tolerance <= value <= self.hi + tolerance
+
+    def to_payload(self) -> Dict:
+        """JSON-friendly dict (used by result payloads and the CLI)."""
+        return {
+            "point": self.point,
+            "lo": self.lo,
+            "hi": self.hi,
+            "half_width": self.half_width,
+            "confidence": self.confidence,
+            "samples": self.samples,
+            "method": self.method,
+        }
+
+
+def wilson_interval(
+    successes: int, samples: int, confidence: float = DEFAULT_CONFIDENCE
+) -> ConfidenceInterval:
+    """Wilson score interval for a binomial proportion.
+
+    With zero samples the estimate is vacuous: the interval is the whole
+    [0, 1] range, so downstream precision targets correctly refuse to stop.
+    """
+    if samples < 0:
+        raise ValueError("samples must be >= 0")
+    if not 0 <= successes <= max(samples, 0):
+        raise ValueError(
+            f"successes must be in [0, samples]; got {successes}/{samples}"
+        )
+    if samples == 0:
+        return ConfidenceInterval(
+            point=0.0, lo=0.0, hi=1.0,
+            confidence=confidence, samples=0, method="wilson",
+        )
+    z = z_score(confidence)
+    n = float(samples)
+    p = successes / n
+    z2 = z * z
+    denom = 1.0 + z2 / n
+    center = (p + z2 / (2.0 * n)) / denom
+    spread = (z / denom) * ((p * (1.0 - p) / n + z2 / (4.0 * n * n)) ** 0.5)
+    # At the boundaries the score bounds are exact: 0 successes pins lo to 0
+    # (float cancellation would otherwise leave ~1e-18 residue), and a clean
+    # sweep pins hi to 1.
+    lo = 0.0 if successes == 0 else max(0.0, center - spread)
+    hi = 1.0 if successes == samples else min(1.0, center + spread)
+    return ConfidenceInterval(
+        point=p,
+        lo=lo,
+        hi=hi,
+        confidence=confidence,
+        samples=samples,
+        method="wilson",
+    )
+
+
+def bootstrap_interval(
+    successes: int,
+    samples: int,
+    confidence: float = DEFAULT_CONFIDENCE,
+    seed: int = 0,
+    resamples: int = 2000,
+) -> ConfidenceInterval:
+    """Seeded percentile bootstrap for a binomial proportion.
+
+    Resampling a Bernoulli sample with replacement is a binomial draw, so the
+    bootstrap reduces to *resamples* seeded binomial variates — no need to
+    materialize per-record arrays.  Deterministic for a fixed seed.
+    """
+    if samples < 0:
+        raise ValueError("samples must be >= 0")
+    if not 0 <= successes <= max(samples, 0):
+        raise ValueError(
+            f"successes must be in [0, samples]; got {successes}/{samples}"
+        )
+    if resamples < 1:
+        raise ValueError("resamples must be >= 1")
+    if samples == 0:
+        return ConfidenceInterval(
+            point=0.0, lo=0.0, hi=1.0,
+            confidence=confidence, samples=0, method="bootstrap",
+        )
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    p = successes / samples
+    means = rng.binomial(samples, p, size=resamples) / samples
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(means, (alpha, 1.0 - alpha))
+    return ConfidenceInterval(
+        point=p,
+        lo=float(lo),
+        hi=float(hi),
+        confidence=confidence,
+        samples=samples,
+        method="bootstrap",
+    )
+
+
+def required_samples(
+    successes: int,
+    samples: int,
+    target_half_width: float,
+    confidence: float = DEFAULT_CONFIDENCE,
+    max_samples: int = 10_000_000,
+) -> int:
+    """Smallest sample count whose Wilson half-width meets the target.
+
+    Holds the observed proportion fixed and searches the monotone half-width
+    curve (geometric bracket + bisection), so adaptive campaigns can size
+    their next refinement round instead of blindly doubling forever.  Returns
+    *max_samples* when even that many samples would not reach the target.
+    """
+    if target_half_width <= 0.0:
+        raise ValueError("target_half_width must be > 0")
+    p = successes / samples if samples > 0 else 0.5
+
+    def half_width(n: int) -> float:
+        return wilson_interval(round(p * n), n, confidence).half_width
+
+    lo = max(1, samples)
+    if half_width(lo) <= target_half_width:
+        return lo
+    hi = lo
+    while half_width(hi) > target_half_width:
+        if hi >= max_samples:
+            return max_samples
+        hi = min(hi * 2, max_samples)
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if half_width(mid) <= target_half_width:
+            hi = mid
+        else:
+            lo = mid
+    return hi

@@ -1,4 +1,4 @@
-"""Campaign telemetry: counters and phase timers.
+"""Campaign telemetry: counters, gauges, and phase timers.
 
 One :class:`CampaignTelemetry` instance is threaded through a campaign
 session's analyzers (:class:`repro.core.delayavf.DelayAceEvaluator`,
@@ -9,9 +9,11 @@ skipped, how well the GroupACE / verdict caches performed, how full the
 packed-simulator lanes ran, and where the wall-clock time went.
 
 Counters are plain integer increments (cheap enough for per-injection use);
-phase timers are cumulative ``time.perf_counter`` spans.  Instances merge, so
-the parallel executor can combine per-worker telemetry into one campaign
-report, and snapshots/diffs are plain dicts, so they pickle across process
+gauges are last-write-wins floats for point-in-time measurements (the final
+``ci_half_width`` of an adaptive campaign is a level, not a tally); phase
+timers are cumulative ``time.perf_counter`` spans.  Instances merge, so the
+parallel executor can combine per-worker telemetry into one campaign report,
+and snapshots/diffs are plain dicts, so they pickle across process
 boundaries.
 
 The fault-tolerance counters (``shard_retries``, ``shard_timeouts``,
@@ -19,7 +21,10 @@ The fault-tolerance counters (``shard_retries``, ``shard_timeouts``,
 the executors had to work to bring a campaign home; a non-zero
 ``shard_timeouts``, ``pool_rebuilds``, or ``serial_fallbacks`` also raises
 the ``degraded`` flag on the campaign's
-:class:`repro.core.results.StructureCampaignResult`.
+:class:`repro.core.results.StructureCampaignResult`.  The robustness counters
+(``refinement_rounds``, ``extra_shards``, ``guard_violations``) and the
+``ci_half_width`` gauge record what the adaptive-precision loop and the
+post-merge invariant guards did.
 """
 
 from __future__ import annotations
@@ -58,6 +63,9 @@ COUNTER_ORDER = (
     "pool_rebuilds",
     "serial_fallbacks",
     "shards_resumed",
+    "refinement_rounds",
+    "extra_shards",
+    "guard_violations",
 )
 
 #: Presentation order for the known phases.
@@ -70,21 +78,28 @@ PHASE_ORDER = (
     "evaluate",
     "execute",
     "merge",
+    "refine",
+    "guards",
 )
+
+#: Presentation order for the known gauges.
+GAUGE_ORDER = ("ci_half_width",)
 
 
 class CampaignTelemetry:
-    """Mutable counters + phase timers for one campaign session or worker."""
+    """Mutable counters + gauges + phase timers for one campaign session."""
 
-    __slots__ = ("counters", "phase_seconds")
+    __slots__ = ("counters", "phase_seconds", "gauges")
 
     def __init__(
         self,
         counters: Optional[Dict[str, int]] = None,
         phase_seconds: Optional[Dict[str, float]] = None,
+        gauges: Optional[Dict[str, float]] = None,
     ):
         self.counters: Dict[str, int] = dict(counters or {})
         self.phase_seconds: Dict[str, float] = dict(phase_seconds or {})
+        self.gauges: Dict[str, float] = dict(gauges or {})
 
     # ------------------------------------------------------------------
     def incr(self, name: str, amount: int = 1) -> None:
@@ -92,6 +107,12 @@ class CampaignTelemetry:
 
     def count(self, name: str) -> int:
         return self.counters.get(name, 0)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def gauge(self, name: str) -> Optional[float]:
+        return self.gauges.get(name)
 
     def add_seconds(self, phase: str, seconds: float) -> None:
         self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
@@ -112,6 +133,7 @@ class CampaignTelemetry:
         return {
             "counters": dict(self.counters),
             "phase_seconds": dict(self.phase_seconds),
+            "gauges": dict(self.gauges),
         }
 
     def diff(self, before: Dict[str, Dict]) -> Dict[str, Dict]:
@@ -126,20 +148,29 @@ class CampaignTelemetry:
             for name, value in self.phase_seconds.items()
             if value != before["phase_seconds"].get(name, 0.0)
         }
-        return {"counters": counters, "phase_seconds": phases}
+        gauges = {
+            name: value
+            for name, value in self.gauges.items()
+            if value != before.get("gauges", {}).get(name)
+        }
+        return {"counters": counters, "phase_seconds": phases, "gauges": gauges}
 
     def merge_snapshot(self, snap: Dict[str, Dict]) -> None:
         for name, value in snap.get("counters", {}).items():
             self.incr(name, value)
         for name, value in snap.get("phase_seconds", {}).items():
             self.add_seconds(name, value)
+        for name, value in snap.get("gauges", {}).items():
+            self.set_gauge(name, value)
 
     def merge(self, other: "CampaignTelemetry") -> None:
         self.merge_snapshot(other.snapshot())
 
     @classmethod
     def from_snapshot(cls, snap: Dict[str, Dict]) -> "CampaignTelemetry":
-        return cls(snap.get("counters"), snap.get("phase_seconds"))
+        return cls(
+            snap.get("counters"), snap.get("phase_seconds"), snap.get("gauges")
+        )
 
     # ------------------------------------------------------------------
     # Pickling (__slots__ classes need explicit state handling)
@@ -150,6 +181,7 @@ class CampaignTelemetry:
     def __setstate__(self, state):
         self.counters = dict(state.get("counters", {}))
         self.phase_seconds = dict(state.get("phase_seconds", {}))
+        self.gauges = dict(state.get("gauges", {}))
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, CampaignTelemetry):
@@ -157,10 +189,12 @@ class CampaignTelemetry:
         return (
             self.counters == other.counters
             and self.phase_seconds == other.phase_seconds
+            and self.gauges == other.gauges
         )
 
     def __repr__(self) -> str:
         return (
             f"CampaignTelemetry(counters={self.counters!r}, "
-            f"phase_seconds={self.phase_seconds!r})"
+            f"phase_seconds={self.phase_seconds!r}, "
+            f"gauges={self.gauges!r})"
         )

@@ -1,0 +1,71 @@
+"""Unified error hierarchy for user-facing failures.
+
+Every error the preflight layer (``repro doctor``, the strict-mode checks in
+:mod:`repro.api`) or the campaign engine raises on *bad input* derives from
+:class:`ReproError`, so callers — and pipelines gating on the CLI — can catch
+one type and still dispatch on the machine-readable :attr:`ReproError.code`.
+Errors carry an optional *hint*: one actionable sentence telling the operator
+what to change (raise a knob, fix a path, regenerate a file).
+
+Programming errors (assertion failures, internal invariant breaks) stay
+ordinary exceptions; :class:`ReproError` is reserved for problems the caller
+can fix.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "ReproError",
+    "InputError",
+    "TimingError",
+    "WorkloadError",
+    "CacheError",
+]
+
+
+class ReproError(Exception):
+    """Base of every user-fixable failure raised by this package.
+
+    :attr:`code` is a stable machine-readable category (subclasses override
+    it); :attr:`hint` is an optional actionable remedy surfaced by the CLI.
+    """
+
+    code: str = "repro"
+
+    def __init__(self, message: str, *, hint: Optional[str] = None):
+        super().__init__(message)
+        self.hint = hint
+
+    def describe(self) -> str:
+        """``message (hint: ...)`` — the CLI's one-line rendering."""
+        message = str(self)
+        if self.hint:
+            return f"{message} (hint: {self.hint})"
+        return message
+
+
+class InputError(ReproError):
+    """Malformed or unknown user input (benchmark names, config values)."""
+
+    code = "input"
+
+
+class TimingError(ReproError):
+    """Inconsistent timing view: bad library values, or a clock period that
+    the netlist's longest register-to-register path does not meet."""
+
+    code = "timing"
+
+
+class WorkloadError(ReproError):
+    """A workload that cannot produce a valid golden run under the config."""
+
+    code = "workload"
+
+
+class CacheError(ReproError):
+    """The persistent verdict-cache directory is unusable."""
+
+    code = "cache"

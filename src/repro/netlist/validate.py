@@ -9,11 +9,20 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.errors import ReproError
 from repro.netlist.netlist import Netlist
 
 
-class NetlistError(Exception):
-    """Raised when a netlist is structurally invalid."""
+class NetlistError(ReproError):
+    """Raised when a netlist is structurally invalid.
+
+    Part of the :class:`repro.errors.ReproError` hierarchy so preflight
+    (``repro doctor``, :func:`repro.core.guards.ensure_preflight`) reports
+    connectivity problems with the same machine-readable shape as every other
+    input failure.
+    """
+
+    code = "netlist"
 
 
 def validate(netlist: Netlist) -> None:

@@ -187,6 +187,8 @@ class IbexMiniSystem:
     #: named internal net groups (pipeline-head instruction, etc.) used by
     #: instruction-level attribution
     debug_probes: Dict[str, List[int]] = field(default_factory=dict)
+    #: explicit operating clock period; None means "longest path" (paper).
+    clock_period_ps: float | None = None
 
     @cached_property
     def plan(self) -> EvalPlan:
@@ -194,7 +196,9 @@ class IbexMiniSystem:
 
     @cached_property
     def sta(self) -> StaticTiming:
-        return StaticTiming(self.netlist, self.library)
+        return StaticTiming(
+            self.netlist, self.library, clock_period_ps=self.clock_period_ps
+        )
 
     @cached_property
     def event_sim(self) -> EventSimulator:
@@ -234,9 +238,16 @@ class IbexMiniSystem:
 
 
 def build_system(
-    use_ecc: bool = False, library: TimingLibrary = NANGATE45ISH
+    use_ecc: bool = False,
+    library: TimingLibrary = NANGATE45ISH,
+    clock_period_ps: float | None = None,
 ) -> IbexMiniSystem:
-    """Elaborate, validate, and freeze a complete IbexMini system."""
+    """Elaborate, validate, and freeze a complete IbexMini system.
+
+    *clock_period_ps* overrides the operating clock period (the default is
+    the longest register-to-register path, as in the paper); preflight
+    rejects a period the fault-free design cannot meet.
+    """
     netlist = Netlist(name="ibexmini_ecc" if use_ecc else "ibexmini")
     probes = build_core(netlist, use_ecc=use_ecc)
     validate(netlist)
@@ -246,4 +257,5 @@ def build_system(
         library=library,
         use_ecc=use_ecc,
         debug_probes=probes,
+        clock_period_ps=clock_period_ps,
     )

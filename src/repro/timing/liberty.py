@@ -22,9 +22,10 @@ All delays are in picoseconds.
 
 from __future__ import annotations
 
+import math
 import re
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List
 
 from repro.netlist.cells import CellKind
 
@@ -129,3 +130,37 @@ def _parse_attrs(body: str) -> Dict[str, float]:
     return {
         m.group("key"): float(m.group("value")) for m in _ATTR_RE.finditer(body)
     }
+
+
+def library_problems(library: TimingLibrary) -> List[str]:
+    """Consistency problems in *library*, as human-readable strings.
+
+    Empty means the library is usable: every cell kind present, every delay
+    finite and physically sensible (positive intrinsic delays, non-negative
+    load slopes, positive clock-to-Q).  Used by preflight; kept non-raising
+    so ``repro doctor`` can report every problem at once.
+    """
+    problems: List[str] = []
+    for kind in CellKind:
+        timing = library.cells.get(kind)
+        if timing is None:
+            problems.append(f"missing cell kind {kind.name}")
+            continue
+        if not math.isfinite(timing.intrinsic_ps) or timing.intrinsic_ps <= 0:
+            problems.append(
+                f"cell {kind.name} has non-positive intrinsic delay "
+                f"{timing.intrinsic_ps} ps"
+            )
+        if (
+            not math.isfinite(timing.load_ps_per_fanout)
+            or timing.load_ps_per_fanout < 0
+        ):
+            problems.append(
+                f"cell {kind.name} has negative load slope "
+                f"{timing.load_ps_per_fanout} ps/fanout"
+            )
+    if not math.isfinite(library.dff_clk_to_q_ps) or library.dff_clk_to_q_ps <= 0:
+        problems.append(
+            f"DFF clock-to-Q delay {library.dff_clk_to_q_ps} ps is not positive"
+        )
+    return problems

@@ -29,7 +29,12 @@ _EPS = 1e-9
 class StaticTiming:
     """Arrival times, clock period, and reachability queries for a netlist."""
 
-    def __init__(self, netlist: Netlist, library: TimingLibrary):
+    def __init__(
+        self,
+        netlist: Netlist,
+        library: TimingLibrary,
+        clock_period_ps: float | None = None,
+    ):
         if not netlist.frozen:
             netlist.freeze()
         self.netlist = netlist
@@ -44,7 +49,16 @@ class StaticTiming:
             )
         self.arrival = self._compute_arrivals()
         self.downstream = self._compute_downstream()
-        self.clock_period = self._compute_clock_period()
+        #: Longest register-to-register path (the design's natural period).
+        self.longest_path_ps = self._compute_clock_period()
+        #: The operating clock period.  Defaults to the longest path, per the
+        #: paper; an explicit *clock_period_ps* models over/under-clocking and
+        #: is validated by preflight (a period below ``longest_path_ps`` means
+        #: the fault-free design already misses setup — every "AVF" measured
+        #: against it is meaningless).
+        self.clock_period = (
+            self.longest_path_ps if clock_period_ps is None else clock_period_ps
+        )
 
     # ------------------------------------------------------------------
     # Forward / backward propagation

@@ -184,6 +184,41 @@ def test_verdict_cache_flush_merges(tmp_path):
     assert len(reread) == 2
 
 
+def test_verdict_cache_stamps_schema_version(tmp_path):
+    from repro.core.cache import CACHE_FORMAT
+    from repro.core.group_ace import Outcome
+
+    cache = VerdictCache(tmp_path, "scope")
+    cache.put_verdict("1|1|0:1", Outcome.SDC)
+    cache.flush()
+    import json
+
+    payload = json.loads(cache.path.read_text())
+    assert payload["schema_version"] == CACHE_FORMAT
+
+
+def test_verdict_cache_discards_future_schema_version(tmp_path):
+    from repro.core.cache import CACHE_FORMAT
+    from repro.core.group_ace import Outcome
+
+    writer = VerdictCache(tmp_path, "scope")
+    writer.put_verdict("1|1|0:1", Outcome.SDC)
+    writer.flush()
+    # Simulate a file written by a future build of the tool.
+    import json
+
+    payload = json.loads(writer.path.read_text())
+    payload["schema_version"] = CACHE_FORMAT + 1
+    payload["format"] = CACHE_FORMAT + 1
+    writer.path.write_text(json.dumps(payload))
+
+    with pytest.warns(RuntimeWarning, match="schema_version"):
+        reread = VerdictCache(tmp_path, "scope")
+    # The future-versioned contents are discarded, not trusted and not fatal.
+    assert len(reread) == 0
+    assert reread.get_verdict("1|1|0:1") is None
+
+
 # ----------------------------------------------------------------------
 # Session warm starts (probe-pass collapse)
 # ----------------------------------------------------------------------
@@ -200,13 +235,15 @@ def test_session_probe_skipped_on_repeat(system):
         "tiny-halt",
     )
     config = CampaignConfig(cycle_count=2, margin_cycles=200, max_run_cycles=2000)
-    first = CampaignSession(system, program, config)
+    with pytest.warns(DeprecationWarning, match="CampaignSession"):
+        first = CampaignSession(system, program, config)
     # Sessions are lazy: nothing runs until the golden state is needed.
     assert first.telemetry.count("probe_runs") == 0
     assert first.golden.halted
     assert first.telemetry.count("probe_runs") == 1
     assert first.telemetry.count("golden_runs") == 1
-    second = CampaignSession(system, program, config)
+    with pytest.warns(DeprecationWarning, match="CampaignSession"):
+        second = CampaignSession(system, program, config)
     assert second.total_cycles == first.total_cycles
     assert second.telemetry.count("probe_runs") == 0
     assert second.telemetry.count("probe_skips") == 1

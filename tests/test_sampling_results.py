@@ -1,6 +1,8 @@
 """Sampling plans and result aggregation."""
 
 import math
+import subprocess
+import sys
 
 import pytest
 from hypothesis import given, settings
@@ -13,7 +15,12 @@ from repro.core.results import (
     geometric_mean,
     normalize,
 )
-from repro.core.sampling import sample_cycles, sample_wires
+from repro.core.sampling import (
+    extend_cycle_sample,
+    extend_index_sample,
+    sample_cycles,
+    sample_wires,
+)
 
 
 # ----------------------------------------------------------------------
@@ -38,6 +45,22 @@ def test_sample_cycles_equally_spaced():
 def test_sample_cycles_fraction():
     cycles = sample_cycles(1002, fraction=0.04, warmup=2)
     assert len(cycles) == round(1000 * 0.04)
+
+
+@settings(max_examples=50)
+@given(total=st.integers(5, 10000), count=st.integers(1, 200))
+def test_sample_cycles_returns_exactly_min_count_usable(total, count):
+    # Regression: set-based dedup used to silently collapse colliding targets,
+    # returning fewer cycles than requested even when enough were usable.
+    cycles = sample_cycles(total, count=count, warmup=2)
+    assert len(cycles) == min(count, total - 2)
+
+
+def test_sample_cycles_fraction_one_returns_every_cycle():
+    # Regression: fraction=1.0 must enumerate the full post-warmup range.
+    for total in (7, 81, 503, 1002):
+        cycles = sample_cycles(total, fraction=1.0, warmup=2)
+        assert cycles == list(range(2, total))
 
 
 def test_sample_cycles_requires_one_mode():
@@ -66,6 +89,65 @@ def test_sample_wires_none_returns_all():
     wires = list(range(10))
     assert sample_wires(wires, None, seed=0) == wires
     assert sample_wires(wires, 99, seed=0) == wires
+
+
+def test_sampling_deterministic_across_processes():
+    # Same seed => identical plan even in a fresh interpreter.  This is the
+    # contract resume and CI bit-identity lean on: a plan recomputed in a new
+    # process must match the one the cache scope was derived from.
+    snippet = (
+        "from repro.core.sampling import sample_cycles, sample_wires\n"
+        "print(sample_wires(list(range(1000)), 50, seed=7))\n"
+        "print(sample_cycles(1002, count=10, warmup=2))\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", snippet],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    lines = proc.stdout.strip().splitlines()
+    assert lines[0] == str(sample_wires(list(range(1000)), 50, seed=7))
+    assert lines[1] == str(sample_cycles(1002, count=10, warmup=2))
+
+
+# ----------------------------------------------------------------------
+# refinement-sample extension helpers
+# ----------------------------------------------------------------------
+def test_extend_cycle_sample_disjoint_and_sorted():
+    existing = sample_cycles(1002, count=10, warmup=2)
+    new = extend_cycle_sample(1002, existing, 15, warmup=2)
+    assert len(new) == 15
+    assert new == sorted(new)
+    assert not set(new) & set(existing)
+    assert all(2 <= c < 1002 for c in new)
+
+
+def test_extend_cycle_sample_deterministic():
+    existing = sample_cycles(1002, count=10, warmup=2)
+    assert extend_cycle_sample(1002, existing, 15) == extend_cycle_sample(
+        1002, existing, 15
+    )
+
+
+def test_extend_cycle_sample_caps_at_free_cycles():
+    existing = sample_cycles(10, count=5, warmup=2)
+    new = extend_cycle_sample(10, existing, 100, warmup=2)
+    assert sorted(existing + new) == list(range(2, 10))
+
+
+def test_extend_index_sample_disjoint_and_deterministic():
+    existing = sample_wires(list(range(200)), 40, seed=3)
+    new = extend_index_sample(200, existing, 25, "alu:3:1")
+    assert len(new) == 25
+    assert not set(new) & set(existing)
+    assert new == extend_index_sample(200, existing, 25, "alu:3:1")
+    assert new != extend_index_sample(200, existing, 25, "alu:3:2")
+
+
+def test_extend_index_sample_caps_at_population():
+    new = extend_index_sample(5, [0, 1, 2], 99, "s")
+    assert sorted(new) == [3, 4]
 
 
 # ----------------------------------------------------------------------
