@@ -57,6 +57,11 @@ def render_telemetry(
         telemetry.phase_seconds.items(),
         key=lambda item: (known_phases.get(item[0], len(known_phases)), item[0]),
     )
+    # Two phase columns: "wall" is what a clock on the coordinator measured;
+    # "cpu·workers" sums every process's spans, so a parallel campaign's cpu
+    # column legitimately exceeds wall by roughly the parallelism.  A phase
+    # timed only inside workers (no coordinator span) shows wall as "—".
+    wall_seconds = getattr(telemetry, "phase_wall_seconds", {}) or {}
     width = max(
         (len(name) for name, _ in counters + gauges + phases), default=0
     )
@@ -65,8 +70,17 @@ def render_telemetry(
         lines.append(f"  {name:<{width}}  {value}")
     for name, value in gauges:
         lines.append(f"  {name:<{width}}  {value:.6g}")
+    if phases:
+        wall_col = 12
+        lines.append(
+            f"  {'phase':<{width}}  {'wall':>{wall_col}}  {'cpu·workers':>12}"
+        )
     for name, seconds in phases:
-        lines.append(f"  {name:<{width}}  {seconds * 1000.0:.1f} ms")
+        wall = wall_seconds.get(name)
+        wall_text = f"{wall * 1000.0:.1f} ms" if wall is not None else "—"
+        lines.append(
+            f"  {name:<{width}}  {wall_text:>12}  {seconds * 1000.0:.1f} ms"
+        )
     return "\n".join(lines)
 
 

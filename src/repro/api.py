@@ -36,6 +36,7 @@ import atexit
 import dataclasses
 from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
+from repro.core import tracing
 from repro.core.cache import program_signature
 from repro.core.campaign import CampaignConfig, DelayAVFEngine
 from repro.core.executor import SessionSpec
@@ -85,6 +86,23 @@ def _engine(
     return engine
 
 
+def _observed_config(
+    config: CampaignConfig,
+    trace: Optional[str],
+    progress: Optional[bool],
+    metrics_out: Optional[str],
+) -> CampaignConfig:
+    """Fold per-call observability overrides into a campaign config."""
+    overrides = {}
+    if trace:
+        overrides["trace"] = True
+    if progress is not None:
+        overrides["progress"] = bool(progress)
+    if metrics_out is not None:
+        overrides["metrics_out"] = str(metrics_out)
+    return dataclasses.replace(config, **overrides) if overrides else config
+
+
 def analyze(
     structure: str,
     workload: Union[str, Program],
@@ -94,6 +112,9 @@ def analyze(
     resume: Optional[bool] = None,
     target_half_width: Optional[float] = None,
     confidence: float = DEFAULT_CONFIDENCE,
+    trace: Optional[str] = None,
+    progress: Optional[bool] = None,
+    metrics_out: Optional[str] = None,
 ) -> StructureCampaignResult:
     """Run (or resume) a DelayAVF campaign for one structure and workload.
 
@@ -118,16 +139,36 @@ def analyze(
     reporting fault-tolerant recovery, and — when the post-merge invariant
     guards find impossible data — a ``suspect`` flag with machine-readable
     reasons.
+
+    Observability per call: *trace* names a file that receives the
+    campaign's span trace when the run finishes (Chrome trace-event JSON,
+    loadable in Perfetto, or JSONL for a ``.jsonl`` path); *progress*
+    streams live shard progress to stderr; *metrics_out* writes a
+    Prometheus-textfile / JSON metrics snapshot (plus a throttled
+    ``.heartbeat`` file while running).  Each maps onto the corresponding
+    :class:`CampaignConfig` field — passing them here merely overrides the
+    config for this call.
     """
-    engine = _engine(workload, ecc, config or CampaignConfig())
+    run_config = _observed_config(
+        config or CampaignConfig(), trace, progress, metrics_out
+    )
+    if trace:
+        # Fresh buffer per traced call — engine construction below (probe /
+        # golden runs on a cold engine) is part of the campaign's story.
+        tracing.enable(reset=True)
+    engine = _engine(workload, ecc, run_config)
     if target_half_width is not None:
-        return engine.run_structure_adaptive(
+        result = engine.run_structure_adaptive(
             structure,
             target_half_width,
             confidence=confidence,
             resume=resume,
         )
-    return engine.run_structure(structure, resume=resume)
+    else:
+        result = engine.run_structure(structure, resume=resume)
+    if trace:
+        tracing.write_trace(trace, tracing.drain())
+    return result
 
 
 def sweep(
@@ -167,16 +208,59 @@ def savf(
     seed: int = 0,
     config: Optional[CampaignConfig] = None,
     ecc: bool = False,
+    trace: Optional[str] = None,
+    progress: Optional[bool] = None,
+    metrics_out: Optional[str] = None,
 ) -> SAVFResult:
     """Particle-strike sAVF estimate (the paper's comparison baseline).
 
     Reuses the same cached campaign session as :func:`analyze`, so running
-    both for one workload costs a single golden run.
+    both for one workload costs a single golden run.  *trace* / *progress* /
+    *metrics_out* behave as in :func:`analyze` (per-cycle progress ticks;
+    the metrics snapshot covers the telemetry delta of this call).
     """
-    engine = _engine(workload, ecc, config or CampaignConfig())
-    return SAVFEngine(engine.session).run_structure(
-        structure, max_bits=bits, seed=seed
+    run_config = _observed_config(
+        config or CampaignConfig(), trace, progress, metrics_out
     )
+    if trace:
+        tracing.enable(reset=True)
+    engine = _engine(workload, ecc, run_config)
+    reporter = None
+    if run_config.progress or run_config.metrics_out:
+        from repro.core.metrics import heartbeat_path
+        from repro.core.progress import Heartbeat, ProgressReporter
+
+        heartbeat = None
+        if run_config.metrics_out:
+            heartbeat = Heartbeat(
+                heartbeat_path(run_config.metrics_out),
+                min_interval=run_config.heartbeat_seconds,
+            )
+        reporter = ProgressReporter(
+            enabled=bool(run_config.progress),
+            heartbeat=heartbeat,
+            label=f"{engine.program.name}/{structure}:savf",
+        )
+    before = engine.telemetry.snapshot()
+    result = SAVFEngine(engine.session).run_structure(
+        structure, max_bits=bits, seed=seed, progress=reporter
+    )
+    if run_config.metrics_out:
+        from repro.core.metrics import write_metrics
+        from repro.core.telemetry import CampaignTelemetry
+
+        write_metrics(
+            run_config.metrics_out,
+            CampaignTelemetry.from_snapshot(engine.telemetry.diff(before)),
+            labels={
+                "structure": structure,
+                "benchmark": engine.program.name,
+                "mode": "savf",
+            },
+        )
+    if trace:
+        tracing.write_trace(trace, tracing.drain())
+    return result
 
 
 def shutdown() -> None:

@@ -58,6 +58,26 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_observability(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a span trace of the campaign to PATH when it finishes "
+             "(Chrome trace-event JSON, loadable in Perfetto; use a .jsonl "
+             "extension for one-span-per-line output)",
+    )
+    parser.add_argument(
+        "--progress", action=argparse.BooleanOptionalAction, default=None,
+        help="stream live shard progress (done/total, ETA, cache-hit rate, "
+             "recovery events) to stderr",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, dest="metrics_out", metavar="PATH",
+        help="write a campaign metrics snapshot to PATH (Prometheus textfile "
+             "format, or JSON for a .json extension) plus a throttled "
+             "PATH.heartbeat JSON while the campaign runs",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -131,6 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("table", "json"), default="table",
         help="output format (json emits a machine-readable payload)",
     )
+    _add_observability(p)
     _add_common(p)
 
     p = sub.add_parser(
@@ -169,7 +190,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("table", "json"), default="table",
         help="output format (json emits a machine-readable payload)",
     )
+    _add_observability(p)
     _add_common(p)
+
+    p = sub.add_parser(
+        "trace", help="inspect span traces written with --trace"
+    )
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+    ts = tsub.add_parser(
+        "summarize",
+        help="per-span-name wall-clock vs cumulative breakdown of a trace",
+    )
+    ts.add_argument("path", help="trace file (Chrome trace JSON or JSONL)")
 
     return parser
 
@@ -235,6 +267,37 @@ def cmd_paths(args) -> int:
     return 0
 
 
+def _warn_health(*results) -> None:
+    """Uniform stderr health warnings for any mix of campaign results.
+
+    Fires whenever *any* result is degraded or suspect, regardless of the
+    output format or subcommand — machine-readable stdout (``--format
+    json``) must never silently swallow a health flag.  Results without
+    health fields (e.g. :class:`SAVFResult`) contribute nothing.
+    """
+    degraded = [r for r in results if getattr(r, "degraded", False)]
+    if degraded:
+        names = ", ".join(
+            sorted({getattr(r, "structure", "?") for r in degraded})
+        )
+        print(
+            f"warning: campaign execution was degraded for {names} (worker "
+            "faults were recovered; records are unaffected — see --stats)",
+            file=sys.stderr,
+        )
+    suspect = [r for r in results if getattr(r, "suspect", False)]
+    if suspect:
+        print(
+            "warning: result flagged SUSPECT by the invariant guards — do "
+            "not trust these numbers:",
+            file=sys.stderr,
+        )
+        for result in suspect:
+            name = getattr(result, "structure", "?")
+            for reason in getattr(result, "suspect_reasons", ()):
+                print(f"  - [{name}] {reason}", file=sys.stderr)
+
+
 def cmd_delayavf(args) -> int:
     config = CampaignConfig.from_cli_args(args)
     try:
@@ -242,12 +305,16 @@ def cmd_delayavf(args) -> int:
             args.structure, args.benchmark, config=config, ecc=args.ecc,
             target_half_width=args.target_half_width,
             confidence=args.confidence,
+            trace=args.trace,
+            progress=args.progress,
+            metrics_out=args.metrics_out,
         )
     except ReproError as exc:
         print(f"error: {exc.describe()}", file=sys.stderr)
         return 1
     finally:
         api.shutdown()
+    _warn_health(result)
     if args.format == "json":
         print(json.dumps(result.to_payload(), indent=2))
         return 0
@@ -273,20 +340,6 @@ def cmd_delayavf(args) -> int:
             f"(+/- at {args.confidence:.0%} confidence)"
         ),
     ))
-    if result.degraded:
-        print(
-            "warning: campaign execution was degraded (worker faults were "
-            "recovered; records are unaffected — see --stats)",
-            file=sys.stderr,
-        )
-    if result.suspect:
-        print(
-            "warning: result flagged SUSPECT by the invariant guards — do "
-            "not trust these numbers:",
-            file=sys.stderr,
-        )
-        for reason in result.suspect_reasons:
-            print(f"  - {reason}", file=sys.stderr)
     if config.stats:
         print()
         print(render_telemetry(
@@ -347,12 +400,16 @@ def cmd_savf(args) -> int:
         result = api.savf(
             args.structure, args.benchmark,
             bits=args.bits, seed=args.seed, config=config, ecc=args.ecc,
+            trace=args.trace,
+            progress=args.progress,
+            metrics_out=args.metrics_out,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     finally:
         api.shutdown()
+    _warn_health(result)
     if args.format == "json":
         print(json.dumps(result.to_payload(), indent=2))
         return 0
@@ -367,6 +424,41 @@ def cmd_savf(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """``repro trace summarize``: per-span wall vs cumulative breakdown."""
+    from repro.core.tracing import load_trace, summarize_trace, trace_wall_seconds
+
+    try:
+        spans = load_trace(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read trace {args.path!r}: {exc}", file=sys.stderr)
+        return 1
+    if not spans:
+        print(f"error: no spans in {args.path!r}", file=sys.stderr)
+        return 1
+    processes = {span.get("pid") for span in spans}
+    rows = [
+        [
+            summary.name,
+            summary.cat,
+            summary.count,
+            f"{summary.wall_seconds * 1000:.1f} ms",
+            f"{summary.cpu_seconds * 1000:.1f} ms",
+        ]
+        for summary in summarize_trace(spans)
+    ]
+    print(render_table(
+        ["span", "cat", "count", "wall", "cum"],
+        rows,
+        title=(
+            f"{args.path}: {len(spans)} spans across {len(processes)} "
+            f"process(es), {trace_wall_seconds(spans):.2f} s wall "
+            "(wall merges overlaps; cum sums every span)"
+        ),
+    ))
+    return 0
+
+
 _COMMANDS = {
     "structures": cmd_structures,
     "run": cmd_run,
@@ -375,6 +467,7 @@ _COMMANDS = {
     "delayavf": cmd_delayavf,
     "doctor": cmd_doctor,
     "savf": cmd_savf,
+    "trace": cmd_trace,
 }
 
 

@@ -54,6 +54,7 @@ import warnings
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
+from repro.core import tracing
 from repro.core.group_ace import Outcome
 
 #: Bump when the on-disk layout or key derivation changes.
@@ -385,7 +386,10 @@ class VerdictCache:
         if not self._dirty:
             return
         self.directory.mkdir(parents=True, exist_ok=True)
-        with _flush_lock(self.path):
+        with tracing.span(
+            "cache.flush", cat="cache",
+            records=len(self._records), verdicts=len(self._verdicts),
+        ), _flush_lock(self.path):
             self._load(self.path, replace=False)
             payload = {
                 "schema_version": CACHE_FORMAT,

@@ -22,10 +22,12 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import time
 import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core import tracing
 from repro.core.cache import (
     observables_digest,
     program_signature,
@@ -48,7 +50,9 @@ from repro.core.executor import (
 )
 from repro.core.group_ace import GroupAceAnalyzer
 from repro.core.guards import apply_guards, ensure_preflight, preflight_campaign
+from repro.core.metrics import heartbeat_path, write_metrics
 from repro.core.orace import OraceAnalyzer
+from repro.core.progress import Heartbeat, ProgressReporter
 from repro.core.plan import build_plan, build_refinement_plan
 from repro.core.results import DelayAVFResult, StructureCampaignResult
 from repro.core.sampling import (
@@ -128,6 +132,18 @@ class CampaignConfig:
     refine_max_rounds: int = 8
     #: maximum per-round sample growth factor of an adaptive campaign
     refine_growth: float = 2.0
+    #: collect span-based tracing (CLI ``--trace PATH`` sets this; workers
+    #: inherit it through the SessionSpec so their spans travel back with
+    #: shard results)
+    trace: bool = False
+    #: stream live shard progress to stderr (CLI ``--progress``)
+    progress: bool = False
+    #: write a Prometheus-textfile / JSON metrics snapshot here when the
+    #: campaign finishes, and a throttled ``<path>.heartbeat`` JSON while it
+    #: runs (CLI ``--metrics-out PATH``)
+    metrics_out: Optional[str] = None
+    #: minimum seconds between heartbeat-file rewrites
+    heartbeat_seconds: float = 2.0
 
     def __post_init__(self):
         if not self.delay_fractions:
@@ -169,6 +185,8 @@ class CampaignConfig:
             raise ValueError("refine_max_rounds must be >= 1")
         if self.refine_growth <= 1.0:
             raise ValueError("refine_growth must be > 1.0")
+        if self.heartbeat_seconds <= 0:
+            raise ValueError("heartbeat_seconds must be > 0")
 
     @classmethod
     def from_cli_args(cls, args) -> "CampaignConfig":
@@ -197,6 +215,9 @@ class CampaignConfig:
             shard_timeout=pick("shard_timeout", defaults.shard_timeout),
             max_retries=pick("max_retries", defaults.max_retries),
             resume=bool(getattr(args, "resume", False)),
+            trace=bool(getattr(args, "trace", None)),
+            progress=bool(getattr(args, "progress", False)),
+            metrics_out=getattr(args, "metrics_out", None),
         )
 
 
@@ -301,7 +322,10 @@ class CampaignSession:
             known, _, _, source = self._known_length()
             if known is None:
                 # Pass 1 (cold only): plain probe run to learn the length.
-                with self.telemetry.timer("golden"):
+                with self.telemetry.timer("golden"), tracing.span(
+                    "session.probe_run", cat="session",
+                    benchmark=self.program.name,
+                ):
                     self.telemetry.incr("probe_runs")
                     probe = self.system.run_program(
                         self.program, max_cycles=self.config.max_run_cycles
@@ -430,7 +454,10 @@ class CampaignSession:
         self._golden = fresh
 
     def _instrumented_run_at(self, checkpoint_cycles: Sequence[int]) -> RunResult:
-        with self.telemetry.timer("golden"):
+        with self.telemetry.timer("golden"), tracing.span(
+            "session.golden_run", cat="session",
+            benchmark=self.program.name, checkpoints=len(checkpoint_cycles),
+        ):
             self.telemetry.incr("golden_runs")
             golden = self.system.run_program(
                 self.program,
@@ -451,7 +478,9 @@ class CampaignSession:
         """Fault-free event-simulated waveforms of one sampled cycle."""
         waves = self._waveforms.get(cycle)
         if waves is None:
-            with self.telemetry.timer("waveforms"):
+            with self.telemetry.timer("waveforms"), tracing.span(
+                "session.waveforms", cat="session", cycle=cycle
+            ):
                 ckpt = self.checkpoint(cycle)
                 waves = self.system.event_sim.simulate_cycle(
                     ckpt.prev_settled, ckpt.dff_values, ckpt.input_values, cycle=cycle
@@ -480,6 +509,11 @@ class DelayAVFEngine:
     ):
         self.config = config if config is not None else CampaignConfig()
         self.spec = spec
+        if self.config.trace:
+            # Enable before anything expensive so session bootstrap (probe /
+            # golden runs) is captured too.  No reset: an api/CLI layer may
+            # already have primed the buffer.
+            tracing.enable()
         if self.config.preflight:
             # Fail fast on bad inputs — before the cache is opened, before
             # any golden run, and long before any shard executes.
@@ -563,20 +597,28 @@ class DelayAVFEngine:
         """
         resume = self.config.resume if resume is None else bool(resume)
         before = self.telemetry.snapshot()
-        with self.telemetry.timer("plan"):
-            plan = build_plan(
-                structure,
-                self.program.name,
-                self.system.structure_wires(structure),
-                self.session.sampled_cycles,
-                self.config,
-                delay_fractions=delay_fractions,
-                max_wires=max_wires,
-                seed=seed,
-            )
-        executor = executor if executor is not None else self.default_executor()
-        result = self._execute_plan(plan, executor, resume)
-        self._finalize(result, before)
+        started = time.perf_counter()
+        reporter = self._make_reporter(structure)
+        with tracing.span(
+            "campaign.run", cat="campaign",
+            structure=structure, benchmark=self.program.name,
+        ):
+            with self.telemetry.timer("plan"):
+                plan = build_plan(
+                    structure,
+                    self.program.name,
+                    self.system.structure_wires(structure),
+                    self.session.sampled_cycles,
+                    self.config,
+                    delay_fractions=delay_fractions,
+                    max_wires=max_wires,
+                    seed=seed,
+                )
+            executor = executor if executor is not None else self.default_executor()
+            result = self._execute_plan(plan, executor, resume, reporter)
+            self._finalize(result, before, started)
+        if reporter is not None:
+            reporter.finish("degraded" if result.degraded else "done")
         return result
 
     def run_structure_adaptive(
@@ -622,49 +664,64 @@ class DelayAVFEngine:
         executor = executor if executor is not None else self.default_executor()
         base_seed = self.config.seed if seed is None else seed
         before = self.telemetry.snapshot()
-        with self.telemetry.timer("plan"):
-            plan = build_plan(
-                structure,
-                self.program.name,
-                self.system.structure_wires(structure),
-                self.session.sampled_cycles,
-                self.config,
-                delay_fractions=delay_fractions,
-                max_wires=max_wires,
-                seed=seed,
-            )
-        result = self._execute_plan(plan, executor, resume)
-        for round_index in range(1, max_rounds + 1):
-            worst = self._worst_interval(result, confidence)
-            if worst.half_width <= target_half_width:
-                break
-            with self.telemetry.timer("refine"):
-                new_wires, new_cycles = self._plan_growth(
-                    plan, worst, target_half_width, confidence, growth_cap,
-                    structure, base_seed, round_index,
-                )
-            if not new_wires and not new_cycles:
-                break  # full population sampled; this is as tight as it gets
-            if new_cycles:
-                self.session.ensure_checkpoints(new_cycles)
+        started = time.perf_counter()
+        reporter = self._make_reporter(structure)
+        with tracing.span(
+            "campaign.run", cat="campaign",
+            structure=structure, benchmark=self.program.name, adaptive=True,
+        ):
             with self.telemetry.timer("plan"):
-                refinement = build_refinement_plan(plan, new_wires, new_cycles)
-            self.telemetry.incr("refinement_rounds")
-            self.telemetry.incr("extra_shards", len(refinement.shards))
-            round_result = self._execute_plan(refinement, executor, resume)
-            for delay, delay_result in round_result.by_delay.items():
-                result.by_delay[delay].records.extend(delay_result.records)
-            plan = dataclasses.replace(
-                plan,
-                wire_indices=refinement.wire_indices,
-                sampled_cycles=refinement.sampled_cycles,
-            )
-            result.sampled_wires = len(plan.wire_indices)
-            result.sampled_cycles = plan.sampled_cycles
-        self.telemetry.set_gauge(
-            "ci_half_width", self._worst_interval(result, confidence).half_width
-        )
-        self._finalize(result, before)
+                plan = build_plan(
+                    structure,
+                    self.program.name,
+                    self.system.structure_wires(structure),
+                    self.session.sampled_cycles,
+                    self.config,
+                    delay_fractions=delay_fractions,
+                    max_wires=max_wires,
+                    seed=seed,
+                )
+            result = self._execute_plan(plan, executor, resume, reporter)
+            for round_index in range(1, max_rounds + 1):
+                worst = self._worst_interval(result, confidence)
+                if reporter is not None:
+                    reporter.refinement(
+                        round_index - 1, worst.half_width, target_half_width
+                    )
+                if worst.half_width <= target_half_width:
+                    break
+                with self.telemetry.timer("refine"):
+                    new_wires, new_cycles = self._plan_growth(
+                        plan, worst, target_half_width, confidence, growth_cap,
+                        structure, base_seed, round_index,
+                    )
+                if not new_wires and not new_cycles:
+                    break  # full population sampled; as tight as it gets
+                if new_cycles:
+                    self.session.ensure_checkpoints(new_cycles)
+                with self.telemetry.timer("plan"):
+                    refinement = build_refinement_plan(plan, new_wires, new_cycles)
+                self.telemetry.incr("refinement_rounds")
+                self.telemetry.incr("extra_shards", len(refinement.shards))
+                round_result = self._execute_plan(
+                    refinement, executor, resume, reporter
+                )
+                for delay, delay_result in round_result.by_delay.items():
+                    result.by_delay[delay].records.extend(delay_result.records)
+                plan = dataclasses.replace(
+                    plan,
+                    wire_indices=refinement.wire_indices,
+                    sampled_cycles=refinement.sampled_cycles,
+                )
+                result.sampled_wires = len(plan.wire_indices)
+                result.sampled_cycles = plan.sampled_cycles
+            final_half_width = self._worst_interval(result, confidence).half_width
+            self.telemetry.set_gauge("ci_half_width", final_half_width)
+            if reporter is not None:
+                reporter.set_half_width(final_half_width)
+            self._finalize(result, before, started)
+        if reporter is not None:
+            reporter.finish("degraded" if result.degraded else "done")
         return result
 
     # ------------------------------------------------------------------
@@ -733,8 +790,24 @@ class DelayAVFEngine:
         )
         return tuple(new_wires), tuple(new_cycles)
 
+    def _make_reporter(self, structure: str) -> Optional[ProgressReporter]:
+        """A progress reporter when any liveness channel is configured."""
+        if not (self.config.progress or self.config.metrics_out):
+            return None
+        heartbeat = None
+        if self.config.metrics_out:
+            heartbeat = Heartbeat(
+                heartbeat_path(self.config.metrics_out),
+                min_interval=self.config.heartbeat_seconds,
+            )
+        return ProgressReporter(
+            enabled=bool(self.config.progress),
+            heartbeat=heartbeat,
+            label=f"{self.program.name}/{structure}",
+        )
+
     def _execute_plan(
-        self, plan, executor: Executor, resume: bool
+        self, plan, executor: Executor, resume: bool, reporter=None
     ) -> StructureCampaignResult:
         """Resume-split, execute, merge, and persist one plan."""
         with_orace = bool(self.config.compute_orace)
@@ -746,19 +819,40 @@ class DelayAVFEngine:
             if resumed:
                 self.telemetry.incr("shards_resumed", len(resumed))
                 exec_plan = dataclasses.replace(plan, shards=tuple(remaining))
-        with self.telemetry.timer("execute"):
+        if reporter is not None:
+            # First wave starts the counters (resumed shards count as done);
+            # refinement waves only grow the budget.
+            if reporter.state == "idle":
+                reporter.start(len(plan.shards), resumed=len(resumed))
+            else:
+                reporter.add_total(len(exec_plan.shards))
+        with self.telemetry.timer("execute"), tracing.span(
+            "campaign.execute", cat="campaign",
+            structure=plan.structure, shards=len(exec_plan.shards),
+        ):
             shard_results = (
-                list(executor.execute(exec_plan, session=self.session, spec=self.spec))
+                list(
+                    executor.execute(
+                        exec_plan,
+                        session=self.session,
+                        spec=self.spec,
+                        progress=reporter,
+                    )
+                )
                 if exec_plan.shards
                 else []
             )
-        with self.telemetry.timer("merge"):
+        with self.telemetry.timer("merge"), tracing.span(
+            "campaign.merge", cat="campaign", structure=plan.structure
+        ):
             result = merge_shard_results(plan, shard_results + resumed)
         # Worker telemetry arrives as per-shard snapshot deltas; fold it into
         # the session-wide telemetry, then report this campaign's slice.
+        # Worker trace buffers ride along the same way.
         for shard_result in shard_results:
             if shard_result.telemetry is not None:
                 self.telemetry.merge_snapshot(shard_result.telemetry)
+            tracing.extend(shard_result.spans)
         if self.verdict_cache is not None:
             # Persist every merged record from the owning process too: worker
             # flushes already wrote them shard-by-shard, but this guarantees
@@ -782,11 +876,19 @@ class DelayAVFEngine:
             self.verdict_cache.flush()
         return result
 
-    def _finalize(self, result: StructureCampaignResult, before) -> None:
+    def _finalize(
+        self, result: StructureCampaignResult, before, started: Optional[float] = None
+    ) -> None:
         """Guard-check the merged result and attach its telemetry slice."""
         if self.config.guards:
-            with self.telemetry.timer("guards"):
+            with self.telemetry.timer("guards"), tracing.span(
+                "campaign.guards", cat="campaign", structure=result.structure
+            ):
                 apply_guards(result, self.telemetry)
+        if started is not None:
+            # End-to-end campaign wall-clock, recorded last so it bounds every
+            # other phase's wall column in the result's telemetry slice.
+            self.telemetry.add_seconds("campaign", time.perf_counter() - started)
         result.telemetry = CampaignTelemetry.from_snapshot(
             self.telemetry.diff(before)
         )
@@ -794,6 +896,19 @@ class DelayAVFEngine:
             result.telemetry.count(counter)
             for counter in ("shard_timeouts", "pool_rebuilds", "serial_fallbacks")
         )
+        if self.config.metrics_out:
+            write_metrics(
+                self.config.metrics_out,
+                result.telemetry,
+                labels={
+                    "structure": result.structure,
+                    "benchmark": result.benchmark,
+                },
+                extra={
+                    "degraded": bool(result.degraded),
+                    "suspect": bool(result.suspect),
+                },
+            )
 
     # ------------------------------------------------------------------
     def _split_resumable(self, plan, with_orace: bool, clock: float):

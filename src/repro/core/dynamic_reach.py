@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core import tracing
 from repro.core.static_reach import StaticReachability
 from repro.core.telemetry import CampaignTelemetry
 from repro.netlist.netlist import Wire
@@ -114,7 +115,10 @@ class DynamicReachability:
             hits_before = sim.cone_index.hits
             builds_before = sim.cone_index.builds
             fallbacks_before = sim.batch_scalar_fallbacks
-            with telemetry.timer("batch_resim"):
+            with telemetry.timer("batch_resim"), tracing.span(
+                "dynamic.batch_reach", cat="sim",
+                cycle=waves.cycle, queries=len(keys),
+            ):
                 batch = sim.resimulate_batch(
                     waves,
                     [(wire, fraction * period) for wire, fraction in keys],

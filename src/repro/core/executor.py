@@ -41,6 +41,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core import tracing
 from repro.core.cache import (
     record_from_payload,
     record_key,
@@ -100,6 +101,7 @@ class ShardResult:
     shard_index: int
     by_delay: Dict[float, List[InjectionRecord]]
     telemetry: Optional[Dict[str, Dict]] = None  #: telemetry snapshot delta
+    spans: Optional[List[Dict]] = None  #: trace spans drained from the worker
 
 
 # ----------------------------------------------------------------------
@@ -121,6 +123,19 @@ def execute_shard(session, plan: CampaignPlan, shard: WorkShard) -> ShardResult:
     fan-out-cone construction and fault-free waveform slicing across the
     whole cycle before the per-record evaluation loop runs.
     """
+    with tracing.span(
+        "shard.execute",
+        cat="shard",
+        structure=plan.structure,
+        shard=shard.index,
+        cycle=shard.cycle,
+        wires=len(shard.wire_indices),
+        delays=len(shard.delay_fractions),
+    ):
+        return _execute_shard_body(session, plan, shard)
+
+
+def _execute_shard_body(session, plan: CampaignPlan, shard: WorkShard) -> ShardResult:
     config = session.config
     telemetry = session.telemetry
     cache = session.verdict_cache
@@ -265,8 +280,15 @@ class Executor(abc.ABC):
         plan: CampaignPlan,
         session=None,
         spec: Optional[SessionSpec] = None,
+        progress=None,
     ) -> List[ShardResult]:
-        """Run every shard of *plan*; results may arrive in any order."""
+        """Run every shard of *plan*; results may arrive in any order.
+
+        *progress*, when given, is a :class:`repro.core.progress.ProgressReporter`
+        notified as shards complete (``shard_done``) and as recovery actions
+        fire (``note``) so long campaigns stream liveness to stderr and the
+        heartbeat file.
+        """
 
     def close(self) -> None:  # pragma: no cover - trivial default
         """Release executor resources (worker pools); idempotent."""
@@ -275,12 +297,19 @@ class Executor(abc.ABC):
 class SerialExecutor(Executor):
     """In-process execution against a live session (default behaviour)."""
 
-    def execute(self, plan, session=None, spec=None):
+    def execute(self, plan, session=None, spec=None, progress=None):
         if session is None:
             if spec is None:
                 raise ValueError("SerialExecutor needs a session or a spec")
             session = spec.build_session()
-        return [execute_shard(session, plan, shard) for shard in plan.shards]
+        results = []
+        for shard in plan.shards:
+            before = session.telemetry.snapshot() if progress is not None else None
+            result = execute_shard(session, plan, shard)
+            if progress is not None:
+                progress.shard_done(session.telemetry.diff(before))
+            results.append(result)
+        return results
 
 
 # Per-worker-process session, built once by the pool initializer.
@@ -303,6 +332,12 @@ def _worker_flush() -> None:
 
 def _worker_init(spec: SessionSpec) -> None:
     global _WORKER_SESSION
+    # A forked worker inherits the parent's tracer buffer — reset it so the
+    # coordinator's spans do not come back duplicated with shard results, and
+    # enable tracing only when the campaign asked for it.
+    tracing.configure(
+        bool(getattr(spec.config, "trace", False)), reset=True
+    )
     _WORKER_SESSION = spec.build_session()
     atexit.register(_worker_flush)
 
@@ -347,6 +382,11 @@ def _worker_run_shard(item: Tuple[CampaignPlan, WorkShard]) -> ShardResult:
     before = session.telemetry.snapshot()
     result = execute_shard(session, plan, shard)
     result.telemetry = session.telemetry.diff(before)
+    if tracing.enabled():
+        # Spans are plain dicts: they pickle back with the result, and the
+        # coordinator folds them into its own buffer (one trace per campaign,
+        # one Perfetto track per worker pid).
+        result.spans = tracing.drain()
     return result
 
 
@@ -403,7 +443,7 @@ class ParallelExecutor(Executor):
         self._spec: Optional[SessionSpec] = None
         self._fallback_session = None
 
-    def execute(self, plan, session=None, spec=None):
+    def execute(self, plan, session=None, spec=None, progress=None):
         if spec is None:
             raise ValueError(
                 "ParallelExecutor needs a picklable SessionSpec; construct "
@@ -420,10 +460,13 @@ class ParallelExecutor(Executor):
         retry_rounds = 0
         while pending:
             pool = self._ensure_pool(spec)
-            futures = [
-                (index, pool.submit(_worker_run_shard, (plan, pending[index])))
-                for index in sorted(pending)
-            ]
+            with tracing.span(
+                "executor.submit", cat="executor", shards=len(pending)
+            ):
+                futures = [
+                    (index, pool.submit(_worker_run_shard, (plan, pending[index])))
+                    for index in sorted(pending)
+                ]
             pool_failed = had_retries = False
             for index, future in futures:
                 if pool_failed:
@@ -433,6 +476,7 @@ class ParallelExecutor(Executor):
                         try:
                             done[index] = future.result(timeout=0)
                             pending.pop(index)
+                            self._harvested(done[index], progress)
                             continue
                         except Exception:
                             pass
@@ -441,10 +485,16 @@ class ParallelExecutor(Executor):
                 try:
                     done[index] = future.result(timeout=self.shard_timeout)
                     pending.pop(index)
+                    self._harvested(done[index], progress)
                 except BrokenExecutor:
                     pool_failed = True
                 except FutureTimeoutError:
                     telemetry.incr("shard_timeouts")
+                    tracing.instant(
+                        "executor.shard_timeout", cat="executor", shard=index
+                    )
+                    if progress is not None:
+                        progress.note("timeouts")
                     attempts[index] += 1
                     pool_failed = True  # the hung worker poisons the pool
                 except Exception as exc:
@@ -455,19 +505,40 @@ class ParallelExecutor(Executor):
                             f"failed {attempts[index]} times; giving up"
                         ) from exc
                     telemetry.incr("shard_retries")
+                    tracing.instant(
+                        "executor.retry", cat="executor", shard=index
+                    )
+                    if progress is not None:
+                        progress.note("retries")
                     had_retries = True
             if pool_failed:
-                self._discard_pool()
+                with tracing.span("executor.pool_rebuild", cat="executor"):
+                    self._discard_pool()
                 if rebuilds_left > 0:
                     rebuilds_left -= 1
                     telemetry.incr("pool_rebuilds")
                     telemetry.incr("shard_retries", len(pending))
+                    if progress is not None:
+                        progress.note("pool_rebuilds")
                     continue
                 # Pool-rebuild budget exhausted: limp home in-process.
                 telemetry.incr("serial_fallbacks")
-                fallback = self._serial_session(session, spec)
-                for index in sorted(pending):
-                    done[index] = execute_shard(fallback, plan, pending[index])
+                if progress is not None:
+                    progress.note("serial_fallbacks")
+                with tracing.span(
+                    "executor.serial_fallback", cat="executor",
+                    shards=len(pending),
+                ):
+                    fallback = self._serial_session(session, spec)
+                    for index in sorted(pending):
+                        before = (
+                            fallback.telemetry.snapshot()
+                            if progress is not None
+                            else None
+                        )
+                        done[index] = execute_shard(fallback, plan, pending[index])
+                        if progress is not None:
+                            progress.shard_done(fallback.telemetry.diff(before))
                 pending.clear()
             elif had_retries and pending:
                 retry_rounds += 1
@@ -475,6 +546,12 @@ class ParallelExecutor(Executor):
                     min(2.0, self.retry_backoff * (2 ** (retry_rounds - 1)))
                 )
         return [done[index] for index in sorted(done)]
+
+    @staticmethod
+    def _harvested(result: ShardResult, progress) -> None:
+        """Progress bookkeeping for one shard result back from the pool."""
+        if progress is not None:
+            progress.shard_done(result.telemetry)
 
     def _serial_session(self, session, spec: SessionSpec):
         """The session serial-fallback shards run against.

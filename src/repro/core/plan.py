@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
+from repro.core import tracing
 from repro.core.sampling import sample_wires
 
 
@@ -87,35 +88,39 @@ def build_plan(
     plans — and therefore merged results — are byte-identical to the legacy
     nested loops.
     """
-    delays = tuple(
-        delay_fractions if delay_fractions is not None else config.delay_fractions
-    )
-    chosen = sample_wires(
-        wires,
-        max_wires if max_wires is not None else config.max_wires,
-        seed if seed is not None else config.seed,
-    )
-    # One enumerate pass; the old per-wire list.index() lookup was O(n^2).
-    index_of = {wire: index for index, wire in enumerate(wires)}
-    wire_indices = tuple(index_of[wire] for wire in chosen)
-    shards = tuple(
-        WorkShard(
-            index=position,
-            cycle=cycle,
+    with tracing.span(
+        "plan.build", cat="plan",
+        structure=structure, cycles=len(sampled_cycles),
+    ):
+        delays = tuple(
+            delay_fractions if delay_fractions is not None else config.delay_fractions
+        )
+        chosen = sample_wires(
+            wires,
+            max_wires if max_wires is not None else config.max_wires,
+            seed if seed is not None else config.seed,
+        )
+        # One enumerate pass; the old per-wire list.index() lookup was O(n^2).
+        index_of = {wire: index for index, wire in enumerate(wires)}
+        wire_indices = tuple(index_of[wire] for wire in chosen)
+        shards = tuple(
+            WorkShard(
+                index=position,
+                cycle=cycle,
+                wire_indices=wire_indices,
+                delay_fractions=delays,
+            )
+            for position, cycle in enumerate(sampled_cycles)
+        )
+        return CampaignPlan(
+            structure=structure,
+            benchmark=benchmark,
+            wire_count=len(wires),
             wire_indices=wire_indices,
             delay_fractions=delays,
+            sampled_cycles=tuple(sampled_cycles),
+            shards=shards,
         )
-        for position, cycle in enumerate(sampled_cycles)
-    )
-    return CampaignPlan(
-        structure=structure,
-        benchmark=benchmark,
-        wire_count=len(wires),
-        wire_indices=wire_indices,
-        delay_fractions=delays,
-        sampled_cycles=tuple(sampled_cycles),
-        shards=shards,
-    )
 
 
 def build_refinement_plan(
@@ -135,6 +140,20 @@ def build_refinement_plan(
     fault-free waveforms and GroupACE verdicts are already warm), then the
     new cycles.
     """
+    with tracing.span(
+        "plan.refinement", cat="plan",
+        structure=base.structure,
+        new_wires=len(tuple(new_wire_indices)),
+        new_cycles=len(tuple(new_cycles)),
+    ):
+        return _build_refinement_plan(base, new_wire_indices, new_cycles)
+
+
+def _build_refinement_plan(
+    base: CampaignPlan,
+    new_wire_indices: Sequence[int],
+    new_cycles: Sequence[int],
+) -> CampaignPlan:
     new_wires = tuple(new_wire_indices)
     all_wires = base.wire_indices + new_wires
     shards = []

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core import tracing
 from repro.core.campaign import CampaignSession
 from repro.core.group_ace import Outcome
 from repro.core.results import SAVFResult
@@ -27,13 +28,30 @@ class SAVFEngine:
         structure: str,
         max_bits: Optional[int] = None,
         seed: int = 0,
+        progress=None,
     ) -> SAVFResult:
         """Flip each sampled state bit at each sampled cycle.
 
         sAVF = (# ACE samples) / (# samples), the sampled form of Eq. 1.
         Raises ``ValueError`` for structures without state elements (the
         paper's decoder/ALU rows exist only in the DelayAVF world).
+        *progress*, when given, is a
+        :class:`repro.core.progress.ProgressReporter` ticked once per sampled
+        cycle (the sAVF loop's natural shard).
         """
+        with tracing.span(
+            "campaign.savf", cat="campaign",
+            structure=structure, benchmark=self.session.program.name,
+        ):
+            return self._run_structure_body(structure, max_bits, seed, progress)
+
+    def _run_structure_body(
+        self,
+        structure: str,
+        max_bits: Optional[int],
+        seed: int,
+        progress,
+    ) -> SAVFResult:
         system = self.session.system
         scope = system.structures.get(structure, structure)
         dffs = system.netlist.dffs_of_structure(scope)
@@ -45,6 +63,8 @@ class SAVFEngine:
         chosen = sample_wires(dffs, max_bits, seed)
         ace = sdc = due = samples = 0
         lanes = self.session.config.batch_lanes
+        if progress is not None:
+            progress.start(len(self.session.sampled_cycles))
         for cycle in self.session.sampled_cycles:
             checkpoint = self.session.checkpoint(cycle)
             if lanes > 1:
@@ -69,6 +89,10 @@ class SAVFEngine:
                     sdc += 1
                 elif outcome is Outcome.DUE:
                     due += 1
+            if progress is not None:
+                progress.shard_done()
+        if progress is not None:
+            progress.finish()
         return SAVFResult(
             structure=structure,
             benchmark=self.session.program.name,

@@ -8,13 +8,25 @@ report *why* it was fast or slow: how many injections the §V-C short-circuits
 skipped, how well the GroupACE / verdict caches performed, how full the
 packed-simulator lanes ran, and where the wall-clock time went.
 
-Counters are plain integer increments (cheap enough for per-injection use);
-gauges are last-write-wins floats for point-in-time measurements (the final
-``ci_half_width`` of an adaptive campaign is a level, not a tally); phase
-timers are cumulative ``time.perf_counter`` spans.  Instances merge, so the
-parallel executor can combine per-worker telemetry into one campaign report,
-and snapshots/diffs are plain dicts, so they pickle across process
-boundaries.
+Counters are plain integer increments (cheap enough for per-injection use).
+Gauges are point-in-time float levels (the final ``ci_half_width`` of an
+adaptive campaign is a level, not a tally); when per-worker gauges merge back
+into the coordinator, each gauge follows its declared policy in
+:data:`GAUGE_MERGE_POLICIES` — ``max`` (the default: the worst level wins,
+deterministically, no matter which worker's future completes first), ``min``,
+or ``last`` (explicit opt-in to completion-order semantics).
+
+Phase timers are cumulative ``time.perf_counter`` spans kept in **two**
+ledgers: ``phase_seconds`` sums every span including per-worker ones merged
+across process boundaries (labelled ``cpu·workers`` in reports — for a
+parallel campaign this exceeds wall-clock by roughly the parallelism), and
+``phase_wall_seconds`` records only spans observed by the owning process and
+is deliberately *not* merged from worker snapshots, so on the coordinator it
+is genuine wall-clock.  Serial campaigns show identical columns.
+
+Instances merge, so the parallel executor can combine per-worker telemetry
+into one campaign report, and snapshots/diffs are plain dicts, so they pickle
+across process boundaries.
 
 The fault-tolerance counters (``shard_retries``, ``shard_timeouts``,
 ``pool_rebuilds``, ``serial_fallbacks``, ``shards_resumed``) record how hard
@@ -70,6 +82,7 @@ COUNTER_ORDER = (
 
 #: Presentation order for the known phases.
 PHASE_ORDER = (
+    "campaign",
     "golden",
     "plan",
     "waveforms",
@@ -85,20 +98,46 @@ PHASE_ORDER = (
 #: Presentation order for the known gauges.
 GAUGE_ORDER = ("ci_half_width",)
 
+#: How each gauge combines when worker snapshots merge into the coordinator.
+#: ``max``: the largest incoming-or-current value wins (order-independent;
+#: right for "worst level observed" gauges like ``ci_half_width`` — a
+#: campaign is only as converged as its least-converged worker).  ``min``:
+#: the smallest wins.  ``last``: incoming overwrites current — the historical
+#: behaviour, now an explicit opt-in because it makes the merged value depend
+#: on future-completion order.  Undeclared gauges default to
+#: :data:`DEFAULT_GAUGE_POLICY`.
+GAUGE_MERGE_POLICIES: Dict[str, str] = {
+    "ci_half_width": "max",
+}
+
+DEFAULT_GAUGE_POLICY = "max"
+
+_VALID_GAUGE_POLICIES = frozenset({"max", "min", "last"})
+
+
+def gauge_merge_policy(name: str) -> str:
+    """The declared merge policy for gauge *name* (default ``max``)."""
+    policy = GAUGE_MERGE_POLICIES.get(name, DEFAULT_GAUGE_POLICY)
+    if policy not in _VALID_GAUGE_POLICIES:
+        raise ValueError(f"unknown gauge merge policy {policy!r} for {name!r}")
+    return policy
+
 
 class CampaignTelemetry:
     """Mutable counters + gauges + phase timers for one campaign session."""
 
-    __slots__ = ("counters", "phase_seconds", "gauges")
+    __slots__ = ("counters", "phase_seconds", "phase_wall_seconds", "gauges")
 
     def __init__(
         self,
         counters: Optional[Dict[str, int]] = None,
         phase_seconds: Optional[Dict[str, float]] = None,
         gauges: Optional[Dict[str, float]] = None,
+        phase_wall_seconds: Optional[Dict[str, float]] = None,
     ):
         self.counters: Dict[str, int] = dict(counters or {})
         self.phase_seconds: Dict[str, float] = dict(phase_seconds or {})
+        self.phase_wall_seconds: Dict[str, float] = dict(phase_wall_seconds or {})
         self.gauges: Dict[str, float] = dict(gauges or {})
 
     # ------------------------------------------------------------------
@@ -111,15 +150,36 @@ class CampaignTelemetry:
     def set_gauge(self, name: str, value: float) -> None:
         self.gauges[name] = float(value)
 
+    def merge_gauge(self, name: str, value: float) -> None:
+        """Fold an incoming (e.g. per-worker) gauge in by its declared policy."""
+        value = float(value)
+        current = self.gauges.get(name)
+        policy = gauge_merge_policy(name)
+        if current is None or policy == "last":
+            self.gauges[name] = value
+        elif policy == "max":
+            self.gauges[name] = max(current, value)
+        else:  # "min"
+            self.gauges[name] = min(current, value)
+
     def gauge(self, name: str) -> Optional[float]:
         return self.gauges.get(name)
 
-    def add_seconds(self, phase: str, seconds: float) -> None:
+    def add_seconds(self, phase: str, seconds: float, wall: bool = True) -> None:
         self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+        if wall:
+            self.phase_wall_seconds[phase] = (
+                self.phase_wall_seconds.get(phase, 0.0) + seconds
+            )
 
     @contextmanager
     def timer(self, phase: str) -> Iterator[None]:
-        """Accumulate the wall-clock time of the ``with`` body under *phase*."""
+        """Accumulate the wall-clock time of the ``with`` body under *phase*.
+
+        Spans recorded through :meth:`timer` are wall-clock *in the recording
+        process* and land in both ledgers; only the merge step (which brings
+        in spans timed by other processes) adds to ``phase_seconds`` alone.
+        """
         start = time.perf_counter()
         try:
             yield
@@ -133,35 +193,66 @@ class CampaignTelemetry:
         return {
             "counters": dict(self.counters),
             "phase_seconds": dict(self.phase_seconds),
+            "phase_wall_seconds": dict(self.phase_wall_seconds),
             "gauges": dict(self.gauges),
         }
 
     def diff(self, before: Dict[str, Dict]) -> Dict[str, Dict]:
-        """Snapshot delta since *before* (an earlier :meth:`snapshot`)."""
-        counters = {
-            name: value - before["counters"].get(name, 0)
-            for name, value in self.counters.items()
-            if value != before["counters"].get(name, 0)
-        }
-        phases = {
-            name: value - before["phase_seconds"].get(name, 0.0)
-            for name, value in self.phase_seconds.items()
-            if value != before["phase_seconds"].get(name, 0.0)
-        }
+        """Snapshot delta since *before* (an earlier :meth:`snapshot`).
+
+        All sections treat *before* defensively (an older-shape snapshot
+        missing a section reads as empty) and symmetrically: a counter or
+        phase present only in *before* yields a negative delta instead of
+        being silently dropped.
+        """
+        before_counters = before.get("counters", {})
+        before_phases = before.get("phase_seconds", {})
+        before_wall = before.get("phase_wall_seconds", {})
+        before_gauges = before.get("gauges", {})
+        counters = {}
+        for name in sorted(set(self.counters) | set(before_counters)):
+            delta = self.counters.get(name, 0) - before_counters.get(name, 0)
+            if delta:
+                counters[name] = delta
+        phases = {}
+        for name in sorted(set(self.phase_seconds) | set(before_phases)):
+            delta = self.phase_seconds.get(name, 0.0) - before_phases.get(name, 0.0)
+            if delta:
+                phases[name] = delta
+        wall = {}
+        for name in sorted(set(self.phase_wall_seconds) | set(before_wall)):
+            delta = self.phase_wall_seconds.get(name, 0.0) - before_wall.get(
+                name, 0.0
+            )
+            if delta:
+                wall[name] = delta
         gauges = {
             name: value
             for name, value in self.gauges.items()
-            if value != before.get("gauges", {}).get(name)
+            if value != before_gauges.get(name)
         }
-        return {"counters": counters, "phase_seconds": phases, "gauges": gauges}
+        return {
+            "counters": counters,
+            "phase_seconds": phases,
+            "phase_wall_seconds": wall,
+            "gauges": gauges,
+        }
 
     def merge_snapshot(self, snap: Dict[str, Dict]) -> None:
+        """Fold a (typically per-worker) snapshot delta into this instance.
+
+        Counters and cumulative ``phase_seconds`` sum; gauges follow their
+        declared policy in :data:`GAUGE_MERGE_POLICIES`; incoming
+        ``phase_wall_seconds`` are intentionally **dropped** — a worker's
+        wall-clock is CPU time from the coordinator's point of view, and the
+        coordinator's own wall ledger already covers the elapsed time.
+        """
         for name, value in snap.get("counters", {}).items():
             self.incr(name, value)
         for name, value in snap.get("phase_seconds", {}).items():
-            self.add_seconds(name, value)
+            self.add_seconds(name, value, wall=False)
         for name, value in snap.get("gauges", {}).items():
-            self.set_gauge(name, value)
+            self.merge_gauge(name, value)
 
     def merge(self, other: "CampaignTelemetry") -> None:
         self.merge_snapshot(other.snapshot())
@@ -169,7 +260,10 @@ class CampaignTelemetry:
     @classmethod
     def from_snapshot(cls, snap: Dict[str, Dict]) -> "CampaignTelemetry":
         return cls(
-            snap.get("counters"), snap.get("phase_seconds"), snap.get("gauges")
+            snap.get("counters"),
+            snap.get("phase_seconds"),
+            snap.get("gauges"),
+            snap.get("phase_wall_seconds"),
         )
 
     # ------------------------------------------------------------------
@@ -181,6 +275,7 @@ class CampaignTelemetry:
     def __setstate__(self, state):
         self.counters = dict(state.get("counters", {}))
         self.phase_seconds = dict(state.get("phase_seconds", {}))
+        self.phase_wall_seconds = dict(state.get("phase_wall_seconds", {}))
         self.gauges = dict(state.get("gauges", {}))
 
     def __eq__(self, other) -> bool:
@@ -189,6 +284,7 @@ class CampaignTelemetry:
         return (
             self.counters == other.counters
             and self.phase_seconds == other.phase_seconds
+            and self.phase_wall_seconds == other.phase_wall_seconds
             and self.gauges == other.gauges
         )
 
@@ -196,5 +292,6 @@ class CampaignTelemetry:
         return (
             f"CampaignTelemetry(counters={self.counters!r}, "
             f"phase_seconds={self.phase_seconds!r}, "
+            f"phase_wall_seconds={self.phase_wall_seconds!r}, "
             f"gauges={self.gauges!r})"
         )

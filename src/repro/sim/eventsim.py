@@ -50,6 +50,21 @@ from typing import TYPE_CHECKING
 from repro.netlist.cells import CellKind, eval_cell
 from repro.netlist.netlist import Netlist, PinType, Wire
 
+# Memoized lazy import: a top-level ``from repro.core import tracing`` here
+# would re-enter repro.core's eager package init while *this* module is still
+# initializing (repro.sim -> eventsim -> repro.core -> campaign -> eventsim),
+# so the tracing module is resolved on first use instead.
+_tracing = None
+
+
+def _trace():
+    global _tracing
+    if _tracing is None:
+        from repro.core import tracing as _module
+
+        _tracing = _module
+    return _tracing
+
 if TYPE_CHECKING:  # avoid a circular import; only needed for annotations
     from repro.timing.sta import StaticTiming
 
@@ -138,21 +153,22 @@ class ConeIndex:
             self.hits += 1
             return cached
         self.builds += 1
-        netlist = self._netlist
-        fanout_cells = self._fanout_cells
-        seen = set(roots)
-        stack = list(roots)
-        while stack:
-            cell = stack.pop()
-            for nxt, _pin in fanout_cells[netlist.cell_outputs[cell]]:
-                if nxt not in seen:
-                    seen.add(nxt)
-                    stack.append(nxt)
-        levels = self._sta.cell_levels
-        cells = tuple(sorted(seen, key=lambda c: (levels[c], c)))
-        cone = _Cone(cells=cells, pos={c: p for p, c in enumerate(cells)})
-        self._cones[roots] = cone
-        return cone
+        with _trace().span("sim.cone_build", cat="sim", roots=len(roots)):
+            netlist = self._netlist
+            fanout_cells = self._fanout_cells
+            seen = set(roots)
+            stack = list(roots)
+            while stack:
+                cell = stack.pop()
+                for nxt, _pin in fanout_cells[netlist.cell_outputs[cell]]:
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append(nxt)
+            levels = self._sta.cell_levels
+            cells = tuple(sorted(seen, key=lambda c: (levels[c], c)))
+            cone = _Cone(cells=cells, pos={c: p for p, c in enumerate(cells)})
+            self._cones[roots] = cone
+            return cone
 
 
 class _Lane:
@@ -353,6 +369,17 @@ class EventSimulator:
         Returns one ``{dff_index: erroneous latched value}`` dict per
         injection, in input order.
         """
+        with _trace().span(
+            "sim.batch_resim", cat="sim",
+            cycle=waves.cycle, injections=len(injections),
+        ):
+            return self._resimulate_batch_body(waves, injections)
+
+    def _resimulate_batch_body(
+        self,
+        waves: CycleWaveforms,
+        injections: Sequence[Tuple[Wire, float]],
+    ) -> List[Dict[int, int]]:
         results: List[Optional[Dict[int, int]]] = [None] * len(injections)
         groups: Dict[int, List[int]] = {}
         for i, (wire, _extra) in enumerate(injections):

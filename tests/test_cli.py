@@ -88,3 +88,80 @@ def test_savf_logic_structure_errors(capsys):
 def test_bad_benchmark_rejected():
     with pytest.raises(SystemExit):
         main(["run", "quicksort"])
+
+
+# ----------------------------------------------------------------------
+# Observability surface (--trace / --metrics-out / health warnings)
+# ----------------------------------------------------------------------
+class _FakeUnhealthyResult:
+    """Minimal stand-in for a degraded + suspect StructureCampaignResult."""
+
+    structure = "alu"
+    degraded = True
+    suspect = True
+    suspect_reasons = ("alu@0.9: dynamic reach exceeds static reach",)
+
+    def to_payload(self):
+        return {"structure": self.structure, "degraded": self.degraded}
+
+
+def test_health_warnings_fire_for_json_format(capsys, monkeypatch):
+    """--format json must not swallow degraded/suspect warnings (they go to
+    stderr; stdout stays machine-readable)."""
+    import json as jsonlib
+
+    import repro.cli as cli
+
+    monkeypatch.setattr(cli.api, "analyze", lambda *a, **k: _FakeUnhealthyResult())
+    monkeypatch.setattr(cli.api, "shutdown", lambda: None)
+    assert main(["delayavf", "libfibcall", "alu", "--format", "json"]) == 0
+    captured = capsys.readouterr()
+    payload = jsonlib.loads(captured.out)  # stdout is pure JSON
+    assert payload["structure"] == "alu"
+    assert "degraded" in captured.err
+    assert "SUSPECT" in captured.err
+    assert "dynamic reach exceeds static reach" in captured.err
+
+
+def test_health_warnings_fire_for_table_format(capsys, monkeypatch):
+    import repro.cli as cli
+
+    fake = _FakeUnhealthyResult()
+    fake.suspect = False
+    monkeypatch.setattr(cli.api, "savf", lambda *a, **k: fake)
+    monkeypatch.setattr(cli.api, "shutdown", lambda: None)
+    # SAVFResult normally has no health fields; a degraded one still warns,
+    # and the savf table renderer is bypassed via the json format.
+    assert main(["savf", "libfibcall", "regfile", "--format", "json"]) == 0
+    assert "degraded" in capsys.readouterr().err
+
+
+def test_delayavf_trace_and_metrics_end_to_end(capsys, tmp_path):
+    import json as jsonlib
+
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    assert main([
+        "delayavf", "libstrstr", "lsu",
+        "--delays", "0.9", "--wires", "4", "--cycles", "2",
+        "--trace", str(trace_path), "--metrics-out", str(metrics_path),
+        "--progress",
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "shards" in captured.err  # the --progress ticker ran
+    trace = jsonlib.loads(trace_path.read_text())
+    names = {event["name"] for event in trace["traceEvents"]}
+    assert {"campaign.run", "shard.execute"} <= names
+    metrics = jsonlib.loads(metrics_path.read_text())
+    assert metrics["counters"]["injections"] > 0
+    assert "campaign" in metrics["phase_wall_seconds"]
+    assert metrics_path.with_suffix(".json.heartbeat").exists()
+    # The summarize subcommand digests what --trace wrote.
+    assert main(["trace", "summarize", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "campaign.run" in out and "wall" in out and "cum" in out
+
+
+def test_trace_summarize_rejects_missing_file(capsys, tmp_path):
+    assert main(["trace", "summarize", str(tmp_path / "nope.json")]) == 1
+    assert "cannot read trace" in capsys.readouterr().err

@@ -1,0 +1,183 @@
+"""Telemetry aggregation: gauge merge policies, wall/cpu ledgers, diffs."""
+
+import pickle
+import random
+
+import pytest
+
+from repro.core.telemetry import (
+    DEFAULT_GAUGE_POLICY,
+    GAUGE_MERGE_POLICIES,
+    CampaignTelemetry,
+    gauge_merge_policy,
+)
+
+
+# ----------------------------------------------------------------------
+# Gauge merge policies (the set_gauge-clobber fix)
+# ----------------------------------------------------------------------
+def test_declared_policies_are_valid():
+    assert DEFAULT_GAUGE_POLICY == "max"
+    assert gauge_merge_policy("ci_half_width") == "max"
+    assert gauge_merge_policy("never_heard_of_it") == DEFAULT_GAUGE_POLICY
+    for name in GAUGE_MERGE_POLICIES:
+        assert gauge_merge_policy(name) in {"max", "min", "last"}
+
+
+def test_unknown_policy_rejected(monkeypatch):
+    monkeypatch.setitem(GAUGE_MERGE_POLICIES, "bogus_gauge", "average")
+    with pytest.raises(ValueError, match="average"):
+        gauge_merge_policy("bogus_gauge")
+
+
+def test_merge_gauge_max_min_last(monkeypatch):
+    monkeypatch.setitem(GAUGE_MERGE_POLICIES, "floor_gauge", "min")
+    monkeypatch.setitem(GAUGE_MERGE_POLICIES, "latest_gauge", "last")
+    telemetry = CampaignTelemetry()
+    for value in (0.3, 0.7, 0.5):
+        telemetry.merge_gauge("ci_half_width", value)   # max
+        telemetry.merge_gauge("floor_gauge", value)     # min
+        telemetry.merge_gauge("latest_gauge", value)    # last
+    assert telemetry.gauge("ci_half_width") == pytest.approx(0.7)
+    assert telemetry.gauge("floor_gauge") == pytest.approx(0.3)
+    assert telemetry.gauge("latest_gauge") == pytest.approx(0.5)
+
+
+def test_merge_snapshot_gauges_order_independent():
+    """The bug this PR fixes: per-worker gauges used to land via set_gauge,
+    so the merged value depended on which worker's future completed first.
+    Under the policy registry, any completion order merges identically."""
+    worker_snaps = [
+        {"gauges": {"ci_half_width": value}}
+        for value in (0.02, 0.11, 0.05, 0.08, 0.11, 0.01)
+    ]
+    merged = []
+    rng = random.Random(7)
+    for _ in range(10):
+        order = list(worker_snaps)
+        rng.shuffle(order)
+        telemetry = CampaignTelemetry()
+        for snap in order:
+            telemetry.merge_snapshot(snap)
+        merged.append(telemetry.gauges)
+    assert all(gauges == merged[0] for gauges in merged)
+    assert merged[0]["ci_half_width"] == pytest.approx(0.11)
+
+
+def test_merged_telemetry_bit_identical_under_shuffle():
+    """Full-snapshot variant: counters, phases, and gauges all merge to the
+    same instance regardless of worker completion order."""
+    snaps = [
+        {
+            "counters": {"injections": 10 * k, "shard_retries": k % 2},
+            "phase_seconds": {"waveforms": 0.25 * k, "evaluate": 0.1},
+            "phase_wall_seconds": {"waveforms": 0.25 * k},  # must be dropped
+            "gauges": {"ci_half_width": 0.01 * k},
+        }
+        for k in range(1, 6)
+    ]
+    reference = CampaignTelemetry()
+    for snap in snaps:
+        reference.merge_snapshot(snap)
+    rng = random.Random(1234)
+    for _ in range(10):
+        order = list(snaps)
+        rng.shuffle(order)
+        telemetry = CampaignTelemetry()
+        for snap in order:
+            telemetry.merge_snapshot(snap)
+        assert telemetry == reference
+        assert telemetry.snapshot() == reference.snapshot()
+
+
+# ----------------------------------------------------------------------
+# Wall vs cpu·workers ledgers
+# ----------------------------------------------------------------------
+def test_timer_records_both_ledgers():
+    telemetry = CampaignTelemetry()
+    with telemetry.timer("waveforms"):
+        pass
+    assert telemetry.phase_seconds["waveforms"] >= 0.0
+    assert telemetry.phase_wall_seconds["waveforms"] == (
+        telemetry.phase_seconds["waveforms"]
+    )
+
+
+def test_add_seconds_wall_flag():
+    telemetry = CampaignTelemetry()
+    telemetry.add_seconds("execute", 2.0)
+    telemetry.add_seconds("execute", 3.0, wall=False)
+    assert telemetry.phase_seconds["execute"] == pytest.approx(5.0)
+    assert telemetry.phase_wall_seconds["execute"] == pytest.approx(2.0)
+
+
+def test_merge_snapshot_drops_incoming_wall():
+    """A worker's wall-clock is cpu time from the coordinator's viewpoint."""
+    coordinator = CampaignTelemetry()
+    coordinator.add_seconds("waveforms", 1.0)
+    worker_delta = {
+        "phase_seconds": {"waveforms": 4.0, "evaluate": 2.0},
+        "phase_wall_seconds": {"waveforms": 4.0, "evaluate": 2.0},
+    }
+    coordinator.merge_snapshot(worker_delta)
+    assert coordinator.phase_seconds["waveforms"] == pytest.approx(5.0)
+    assert coordinator.phase_seconds["evaluate"] == pytest.approx(2.0)
+    assert coordinator.phase_wall_seconds["waveforms"] == pytest.approx(1.0)
+    assert "evaluate" not in coordinator.phase_wall_seconds
+
+
+def test_snapshot_roundtrip_includes_wall():
+    telemetry = CampaignTelemetry()
+    telemetry.incr("injections", 3)
+    telemetry.add_seconds("execute", 1.5)
+    telemetry.add_seconds("waveforms", 0.5, wall=False)
+    telemetry.set_gauge("ci_half_width", 0.04)
+    snap = telemetry.snapshot()
+    assert snap["phase_wall_seconds"] == {"execute": 1.5}
+    rebuilt = CampaignTelemetry.from_snapshot(snap)
+    assert rebuilt == telemetry
+    assert pickle.loads(pickle.dumps(telemetry)) == telemetry
+
+
+# ----------------------------------------------------------------------
+# Defensive, symmetric diff
+# ----------------------------------------------------------------------
+def test_diff_accepts_older_shape_snapshot():
+    """A snapshot persisted before this PR has no phase_wall_seconds (and a
+    truly ancient one may carry only counters); diff must not raise."""
+    telemetry = CampaignTelemetry()
+    telemetry.incr("injections", 5)
+    telemetry.add_seconds("execute", 1.0)
+    telemetry.set_gauge("ci_half_width", 0.1)
+    delta = telemetry.diff({"counters": {"injections": 2}})
+    assert delta["counters"] == {"injections": 3}
+    assert delta["phase_seconds"] == {"execute": 1.0}
+    assert delta["phase_wall_seconds"] == {"execute": 1.0}
+    assert delta["gauges"] == {"ci_half_width": 0.1}
+    assert telemetry.diff({}) == telemetry.snapshot()
+
+
+def test_diff_is_symmetric_in_keys():
+    """Names present only in *before* surface as negative deltas in every
+    section instead of being silently dropped."""
+    telemetry = CampaignTelemetry()
+    telemetry.incr("injections", 1)
+    before = {
+        "counters": {"injections": 4, "golden_runs": 2},
+        "phase_seconds": {"golden": 3.0},
+        "phase_wall_seconds": {"golden": 3.0},
+        "gauges": {},
+    }
+    delta = telemetry.diff(before)
+    assert delta["counters"] == {"injections": -3, "golden_runs": -2}
+    assert delta["phase_seconds"] == {"golden": -3.0}
+    assert delta["phase_wall_seconds"] == {"golden": -3.0}
+
+
+def test_diff_gauges_report_changed_values():
+    telemetry = CampaignTelemetry()
+    telemetry.set_gauge("ci_half_width", 0.05)
+    assert telemetry.diff({"gauges": {"ci_half_width": 0.05}})["gauges"] == {}
+    assert telemetry.diff({"gauges": {"ci_half_width": 0.2}})["gauges"] == {
+        "ci_half_width": 0.05
+    }
