@@ -99,6 +99,25 @@ def _engine(benchmark: str, ecc: bool) -> DelayAVFEngine:
     return DelayAVFEngine(system(ecc), spec.program, config, spec=spec)
 
 
+#: Structures the figure benches sweep together.  The figure benches need
+#: the full benchmark × structure cross-product, so all 15 campaigns are
+#: run as one spanning group: every Beebs workload runs on the same SoC
+#: netlist, and one packed prefetch resolves the GroupACE queries of every
+#: campaign in shared 64-lane words (`run_structures_spanning`).
+GROUPED_STRUCTURES = ("alu", "decoder", "regfile")
+
+
+@lru_cache(maxsize=None)
+def _grouped_results(ecc: bool):
+    from repro.core.campaign import run_structures_spanning
+
+    engines = [engine(b, ecc) for b in BENCHMARK_NAMES]
+    spanned = run_structures_spanning(
+        [(eng, GROUPED_STRUCTURES) for eng in engines]
+    )
+    return dict(zip(BENCHMARK_NAMES, spanned))
+
+
 @lru_cache(maxsize=None)
 def structure_result(
     benchmark: str,
@@ -106,6 +125,12 @@ def structure_result(
     ecc: bool = False,
     delays: Optional[Tuple[float, ...]] = None,
 ) -> StructureCampaignResult:
+    if (
+        delays is None
+        and structure in GROUPED_STRUCTURES
+        and benchmark in BENCHMARK_NAMES
+    ):
+        return _grouped_results(bool(ecc))[benchmark][structure]
     return engine(benchmark, ecc).run_structure(
         structure, delay_fractions=delays
     )

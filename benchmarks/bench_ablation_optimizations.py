@@ -114,20 +114,79 @@ def _collect():
                 brute[(cycle, wire_index, delay)] = (failure, len(errors))
     brute_time = time.perf_counter() - t0
 
+    # Lane-width ablation: GroupACE resolutions — the injected timing-
+    # agnostic re-simulations lane packing accelerates — at packed widths
+    # 1 / 8 / 64 (1 = the pre-packing scalar loop).  The strided wire
+    # sample above is mostly masked (no state errors, nothing to resolve),
+    # so error-producing injections are gathered with the cone-limited
+    # event sim over the full wire list first.  Fresh analyzer per width
+    # so caches cannot coast; verdict maps must be identical.
+    error_sets = {}
+    for cycle in cycles:
+        waves = session.waveforms(cycle)
+        for wire_index, wire in enumerate(system.structure_wires(STRUCTURE)):
+            if wire.net not in waves.changes:
+                continue
+            errors = system.event_sim.resimulate(
+                waves, wire, max(DELAYS) * system.clock_period
+            )
+            if errors:
+                error_sets[(cycle, wire_index)] = errors
+            if sum(c == cycle for c, _ in error_sets) >= 16:
+                break
+    lane_results = {}
+    for lanes in (1, 8, 64):
+        group = GroupAceAnalyzer(
+            system, session.program, session.golden,
+            margin_cycles=session.config.margin_cycles,
+        )
+        t0 = time.perf_counter()
+        for cycle in cycles:
+            checkpoint = session.checkpoint(cycle)
+            pending = [
+                errors for (c, _), errors in error_sets.items()
+                if c == cycle
+            ]
+            if pending:
+                group.prefetch(checkpoint, pending, lanes=lanes)
+        verdicts = {
+            key: group.outcome_of_state_errors(
+                session.checkpoint(key[0]), errors
+            ).is_failure
+            for key, errors in error_sets.items()
+        }
+        lane_results[lanes] = (time.perf_counter() - t0, verdicts)
+
     return (
         batched, optimized, brute,
         batched_time, optimized_time, brute_time,
-        len(optimized), batch_resims,
+        len(optimized), batch_resims, lane_results,
     )
 
 
 def test_ablation_optimizations_exact(benchmark):
-    batched, optimized, brute, bat_t, opt_t, brute_t, n, batch_resims = (
-        benchmark.pedantic(_collect, rounds=1, iterations=1)
-    )
+    (batched, optimized, brute, bat_t, opt_t, brute_t, n, batch_resims,
+     lane_results) = benchmark.pedantic(_collect, rounds=1, iterations=1)
     assert batched == brute, "batched engine changed a DelayACE verdict"
     assert optimized == brute, "optimizations changed a DelayACE verdict"
     assert batch_resims > 0, "batched pipeline never used the batch engine"
+    # Lane packing is exact: identical GroupACE verdicts at every width.
+    lane1_verdicts = lane_results[1][1]
+    assert lane1_verdicts, "lane ablation resolved no injections"
+    for lanes, (_, verdicts) in lane_results.items():
+        assert verdicts == lane1_verdicts, (
+            f"lane width {lanes} changed a GroupACE verdict"
+        )
+    lane_rows = [
+        [f"groupace lanes={lanes}", len(verdicts), f"{seconds:.2f}",
+         f"{1000 * seconds / max(1, len(verdicts)):.1f}"]
+        for lanes, (seconds, verdicts) in sorted(lane_results.items())
+    ]
+    lane1_t = lane_results[1][0]
+    lane_rows.append(
+        ["speedup (lanes 64 vs 1)", "",
+         f"{lane1_t / max(lane_results[64][0], 1e-9):.1f}x", ""]
+    )
     text = render_table(
         ["pipeline", "injections", "seconds", "per-injection ms"],
         [
@@ -139,7 +198,7 @@ def test_ablation_optimizations_exact(benchmark):
              f"{brute_t / max(opt_t, 1e-9):.1f}x", ""],
             ["speedup (vs batched)", "",
              f"{brute_t / max(bat_t, 1e-9):.1f}x", ""],
-        ],
+        ] + lane_rows,
         title=(
             "Ablation — §V-C optimizations: identical verdicts "
             f"({STRUCTURE}/{BENCH}, d in {DELAYS}, "

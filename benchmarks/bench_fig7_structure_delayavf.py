@@ -12,7 +12,9 @@ fails unless the batched timing-aware engine actually ran — guarding against
 a silent fallback to per-injection scalar resimulation.
 """
 
+import json
 import os
+import time
 
 import _shared
 from repro.analysis.figures import render_grouped_bars
@@ -38,7 +40,16 @@ def _collect():
 
 
 def test_fig7_structure_delayavf(benchmark):
-    geo = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    walls = {}
+
+    def _timed_collect():
+        started = time.perf_counter()
+        try:
+            return _collect()
+        finally:
+            walls["collect"] = time.perf_counter() - started
+
+    geo = benchmark.pedantic(_timed_collect, rounds=1, iterations=1)
     peak = max(v for group in geo.values() for v in group.values()) or 1.0
     normalized = {
         s: {k: v / peak for k, v in group.items()} for s, group in geo.items()
@@ -66,6 +77,45 @@ def test_fig7_structure_delayavf(benchmark):
         assert combined.count("batch_resims") > 0, (
             "cold fig7 run reported zero batch_resims — the batched "
             "timing-aware engine never ran"
+        )
+    # Lane-packing snapshot for the perf trajectory: update_experiments.py
+    # folds this into BENCH_lanes.json after a bench run.
+    cone_slots = combined.count("packed_cone_lane_slots")
+    ga_slots = combined.count("lane_slots")
+    _shared.RESULTS_DIR.mkdir(exist_ok=True)
+    (_shared.RESULTS_DIR / "fig7_lane_stats.json").write_text(
+        json.dumps(
+            {
+                "cold_fig7_wall_seconds": round(walls["collect"], 3),
+                "packed_cone_occupancy": round(
+                    combined.count("packed_cone_lanes") / cone_slots, 4
+                ) if cone_slots else None,
+                "group_ace_lane_occupancy": round(
+                    combined.count("lanes_filled") / ga_slots, 4
+                ) if ga_slots else None,
+                "lane_batches": combined.count("lane_batches"),
+                "wires": _shared.WIRES,
+                "cycles": _shared.CYCLES,
+                "jobs": _shared.JOBS,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    if os.environ.get("REPRO_BENCH_REQUIRE_PACKED_CONES"):
+        # Lane-smoke gate: the word-packed cone pass must actually engage
+        # (not silently fall back to per-lane scalar kernels), and the
+        # packed words must be reasonably occupied.
+        assert combined.count("packed_cone_lanes") > 0, (
+            "cold fig7 run packed zero cone lanes — the word-packed "
+            "event-sim path never engaged"
+        )
+        slots = combined.count("packed_cone_lane_slots")
+        occupancy = combined.count("packed_cone_lanes") / max(1, slots)
+        assert occupancy >= 0.5, (
+            f"mean packed-cone occupancy {occupancy:.1%} below 50% — "
+            "lane packing is running mostly empty words"
         )
 
     # Shape: mean-over-d ordering ALU > regfile (paper: ~5x); DelayAVF at

@@ -38,7 +38,11 @@ from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 from repro.core import tracing
 from repro.core.cache import program_signature
-from repro.core.campaign import CampaignConfig, DelayAVFEngine
+from repro.core.campaign import (
+    CampaignConfig,
+    DelayAVFEngine,
+    run_structures_spanning,
+)
 from repro.core.executor import SessionSpec
 from repro.core.results import SAVFResult, StructureCampaignResult
 from repro.core.savf import SAVFEngine
@@ -91,8 +95,9 @@ def _observed_config(
     trace: Optional[str],
     progress: Optional[bool],
     metrics_out: Optional[str],
+    lanes: Optional[int] = None,
 ) -> CampaignConfig:
-    """Fold per-call observability overrides into a campaign config."""
+    """Fold per-call observability / lane-width overrides into a config."""
     overrides = {}
     if trace:
         overrides["trace"] = True
@@ -100,6 +105,10 @@ def _observed_config(
         overrides["progress"] = bool(progress)
     if metrics_out is not None:
         overrides["metrics_out"] = str(metrics_out)
+    if lanes is not None:
+        overrides["lanes"] = int(lanes)
+        # An explicit per-call width wins over a deprecated alias too.
+        overrides["batch_lanes"] = None
     return dataclasses.replace(config, **overrides) if overrides else config
 
 
@@ -115,6 +124,7 @@ def analyze(
     trace: Optional[str] = None,
     progress: Optional[bool] = None,
     metrics_out: Optional[str] = None,
+    lanes: Optional[int] = None,
 ) -> StructureCampaignResult:
     """Run (or resume) a DelayAVF campaign for one structure and workload.
 
@@ -143,14 +153,16 @@ def analyze(
     Observability per call: *trace* names a file that receives the
     campaign's span trace when the run finishes (Chrome trace-event JSON,
     loadable in Perfetto, or JSONL for a ``.jsonl`` path); *progress*
-    streams live shard progress to stderr; *metrics_out* writes a
+    streams live shard progress to stderr; *lanes* overrides the packed
+    simulation width (1..64 bit-planes; 1 disables packing) without
+    rebuilding the config; *metrics_out* writes a
     Prometheus-textfile / JSON metrics snapshot (plus a throttled
     ``.heartbeat`` file while running).  Each maps onto the corresponding
     :class:`CampaignConfig` field — passing them here merely overrides the
     config for this call.
     """
     run_config = _observed_config(
-        config or CampaignConfig(), trace, progress, metrics_out
+        config or CampaignConfig(), trace, progress, metrics_out, lanes
     )
     if trace:
         # Fresh buffer per traced call — engine construction below (probe /
@@ -181,8 +193,12 @@ def sweep(
 ) -> Dict[Tuple[str, str], StructureCampaignResult]:
     """Cross-product campaign: every structure under every workload.
 
-    Iterates workload-outermost so each engine's golden run and warm caches
-    serve all its structures before the next workload loads.  *delays*
+    With lane packing on (the default) the whole cross-product resolves its
+    GroupACE queries in one shared packed prefetch spanning structures AND
+    workloads (:func:`~repro.core.campaign.run_structures_spanning`): every
+    workload of the SoC runs on the same netlist, so all the campaigns'
+    injected simulations share the same 64-lane words.  Records are
+    byte-identical to per-structure :func:`analyze` calls.  *delays*
     overrides the config's delay sweep for every campaign in the sweep.
     Returns ``{(structure, workload_name): result}``.
     """
@@ -191,12 +207,13 @@ def sweep(
         config = dataclasses.replace(config, delay_fractions=tuple(delays))
     results: Dict[Tuple[str, str], StructureCampaignResult] = {}
     structures = list(structures)
-    for workload in workloads:
-        engine = _engine(workload, ecc, config)
-        for structure in structures:
-            results[(structure, engine.program.name)] = engine.run_structure(
-                structure
-            )
+    engines = [_engine(workload, ecc, config) for workload in workloads]
+    spanned = run_structures_spanning(
+        [(engine, structures) for engine in engines]
+    )
+    for engine, by_structure in zip(engines, spanned):
+        for structure, result in by_structure.items():
+            results[(structure, engine.program.name)] = result
     return results
 
 
@@ -211,16 +228,18 @@ def savf(
     trace: Optional[str] = None,
     progress: Optional[bool] = None,
     metrics_out: Optional[str] = None,
+    lanes: Optional[int] = None,
 ) -> SAVFResult:
     """Particle-strike sAVF estimate (the paper's comparison baseline).
 
     Reuses the same cached campaign session as :func:`analyze`, so running
     both for one workload costs a single golden run.  *trace* / *progress* /
-    *metrics_out* behave as in :func:`analyze` (per-cycle progress ticks;
-    the metrics snapshot covers the telemetry delta of this call).
+    *metrics_out* / *lanes* behave as in :func:`analyze` (per-cycle
+    progress ticks; the metrics snapshot covers the telemetry delta of this
+    call).
     """
     run_config = _observed_config(
-        config or CampaignConfig(), trace, progress, metrics_out
+        config or CampaignConfig(), trace, progress, metrics_out, lanes
     )
     if trace:
         tracing.enable(reset=True)

@@ -110,6 +110,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cycles", type=int, default=6)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
+        "--lanes", type=int, default=None,
+        help="packed simulation width in bit-planes, 1..64 "
+             "(1 disables lane packing; default 64)",
+    )
+    p.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes (>1 shards the campaign over a process pool)",
     )
@@ -177,6 +182,10 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PS",
         help="operating clock period override to validate against the "
              "longest register-to-register path",
+    )
+    p.add_argument(
+        "--lanes", type=int, default=None,
+        help="packed simulation width to validate (1..64 bit-planes)",
     )
     _add_common(p)
 
@@ -299,7 +308,11 @@ def _warn_health(*results) -> None:
 
 
 def cmd_delayavf(args) -> int:
-    config = CampaignConfig.from_cli_args(args)
+    try:
+        config = CampaignConfig.from_cli_args(args)
+    except ValueError as exc:
+        print(f"error: invalid campaign configuration: {exc}", file=sys.stderr)
+        return 1
     try:
         result = api.analyze(
             args.structure, args.benchmark, config=config, ecc=args.ecc,
@@ -358,8 +371,19 @@ def cmd_doctor(args) -> int:
     caveats).
     """
     system = build_system(use_ecc=args.ecc, clock_period_ps=args.clock_period)
-    config = CampaignConfig.from_cli_args(args)
     findings: List[Finding] = []
+    try:
+        config = CampaignConfig.from_cli_args(args)
+    except ValueError as exc:
+        findings.append(Finding(
+            severity="error", code="config.invalid",
+            message=f"invalid campaign configuration: {exc}",
+            hint="campaign knobs are validated up front; fix the flag value",
+        ))
+        for finding in findings:
+            print(finding.render())
+        print(f"doctor: {len(findings)} error(s), 0 warning(s)")
+        return 1
     program = None
     if args.benchmark is not None:
         if args.benchmark in BENCHMARK_NAMES:

@@ -45,10 +45,13 @@ from repro.core.executor import (
     SerialExecutor,
     SessionSpec,
     ShardResult,
+    evaluate_prepared_shards,
     merge_shard_results,
     open_configured_cache,
+    plan_queries,
+    prepare_plan_shards,
 )
-from repro.core.group_ace import GroupAceAnalyzer
+from repro.core.group_ace import GroupAceAnalyzer, prefetch_spanning_multi
 from repro.core.guards import apply_guards, ensure_preflight, preflight_campaign
 from repro.core.metrics import heartbeat_path, write_metrics
 from repro.core.orace import OraceAnalyzer
@@ -70,6 +73,7 @@ from repro.core.telemetry import CampaignTelemetry
 from repro.isa.assembler import Program
 from repro.sim.cyclesim import Checkpoint, RunResult
 from repro.sim.eventsim import CycleWaveforms
+from repro.sim.packed import MAX_LANES, PackedCycleSimulator
 from repro.workloads.lengths import known_length
 
 
@@ -94,8 +98,13 @@ class CampaignConfig:
     margin_cycles: int = 3000  #: extra cycles before declaring a hang (DUE)
     max_run_cycles: int = 200_000
     compute_orace: bool = True
-    #: GroupACE runs packed per bit-plane batch (1 disables batching)
-    batch_lanes: int = 8
+    #: lane width of every packed simulation layer — GroupACE bit-plane
+    #: batches and the event simulator's word-packed cone passes (1 disables
+    #: packing; 64 is a full machine word)
+    lanes: int = 64
+    #: deprecated alias for ``lanes`` (pre-lane-packing name, uint8-era
+    #: 1..8 range no longer enforced); when set it overrides ``lanes``
+    batch_lanes: Optional[int] = None
     #: worker processes per structure campaign (>1 selects ParallelExecutor;
     #: requires the engine to be built from a picklable SessionSpec)
     jobs: int = 1
@@ -165,8 +174,16 @@ class CampaignConfig:
             raise ValueError("warmup_cycles / margin_cycles must be >= 0")
         if self.max_run_cycles < 1:
             raise ValueError("max_run_cycles must be >= 1")
-        if not 1 <= self.batch_lanes <= 8:
-            raise ValueError("batch_lanes must be in 1..8 (uint8 bit-planes)")
+        if not 1 <= self.lanes <= 64:
+            raise ValueError(
+                f"lanes must be in 1..64 (bit-planes of one machine word), "
+                f"got {self.lanes}"
+            )
+        if self.batch_lanes is not None and not 1 <= self.batch_lanes <= 64:
+            raise ValueError(
+                f"batch_lanes (deprecated alias of lanes) must be in 1..64, "
+                f"got {self.batch_lanes}"
+            )
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
         if self.shard_timeout is not None and self.shard_timeout <= 0:
@@ -187,6 +204,12 @@ class CampaignConfig:
             raise ValueError("refine_growth must be > 1.0")
         if self.heartbeat_seconds <= 0:
             raise ValueError("heartbeat_seconds must be > 0")
+
+    @property
+    def lane_width(self) -> int:
+        """Effective packed-lane width; ``batch_lanes`` (deprecated)
+        overrides ``lanes`` when explicitly set."""
+        return self.batch_lanes if self.batch_lanes is not None else self.lanes
 
     @classmethod
     def from_cli_args(cls, args) -> "CampaignConfig":
@@ -209,6 +232,7 @@ class CampaignConfig:
             cycle_count=pick("cycles", defaults.cycle_count),
             max_wires=pick("wires", defaults.max_wires),
             seed=pick("seed", defaults.seed),
+            lanes=pick("lanes", defaults.lanes),
             jobs=pick("jobs", defaults.jobs),
             cache_dir=getattr(args, "cache_dir", None),
             stats=bool(getattr(args, "stats", False)),
@@ -386,6 +410,39 @@ class CampaignSession:
             self._record_workload(golden)
             self._golden = golden
         return self._golden
+
+    def adopt_golden(self, golden: RunResult) -> bool:
+        """Install an externally computed golden run (the packed path).
+
+        Applies the same verification the scalar :attr:`golden` property
+        does — cycle count against the known workload length, observables
+        against the memo/persisted digest.  Returns ``False`` (and installs
+        nothing) when the run cannot be trusted, e.g. a stale bundled length
+        hint: the caller simply leaves the session to its scalar path, which
+        re-samples and re-runs.  ``True`` when the session already has a
+        golden run or *golden* was verified and installed.
+        """
+        if self._golden is not None:
+            return True
+        if not golden.halted:
+            raise self._halt_error()
+        expected, known_observables, known_digest, _ = self._known_length()
+        if expected is None or golden.cycles != expected:
+            return False
+        if (
+            known_observables is not None
+            and golden.observables != known_observables
+        ):
+            return False
+        if (
+            known_digest is not None
+            and observables_digest(golden.observables) != known_digest
+        ):
+            return False
+        self._record_workload(golden)
+        self._golden = golden
+        self.telemetry.incr("golden_runs")
+        return True
 
     # ------------------------------------------------------------------
     @property
@@ -621,6 +678,144 @@ class DelayAVFEngine:
             reporter.finish("degraded" if result.degraded else "done")
         return result
 
+    def run_structures(
+        self,
+        structures: Sequence[str],
+        delay_fractions: Optional[Sequence[float]] = None,
+        max_wires: Optional[int] = None,
+        seed: Optional[int] = None,
+        resume: Optional[bool] = None,
+    ) -> Dict[str, StructureCampaignResult]:
+        """Run several structures' campaigns with one shared packed prefetch.
+
+        One engine serves every structure of its benchmark, and GroupACE/
+        ORACE resolution is timing-agnostic, so the forward simulations of
+        *all* the campaigns pack into the same 64-lane words: each campaign
+        alone rarely fills a word, and every extra batch costs a full
+        program-length simulation.  Records are byte-identical to sequential
+        :meth:`run_structure` calls — only the packing changes.
+
+        Falls back to sequential :meth:`run_structure` calls when lane
+        packing is off (``lanes=1``) or shards run on a worker pool
+        (``jobs > 1``; workers pack per-shard instead).  Because the
+        prefetch is shared, the per-campaign ``campaign`` wall-clock slices
+        overlap: the shared prefetch seconds are reported once, not split
+        per structure.
+        """
+        structures = list(structures)
+        if self.config.lane_width <= 1 or self.config.jobs > 1:
+            return {
+                structure: self.run_structure(
+                    structure,
+                    delay_fractions=delay_fractions,
+                    max_wires=max_wires,
+                    seed=seed,
+                    resume=resume,
+                )
+                for structure in structures
+            }
+        staged = self._stage_structures(
+            structures, delay_fractions, max_wires, seed, resume
+        )
+        queries = []
+        for stage in staged:
+            queries.extend(plan_queries(self.session, stage.prepared))
+        lanes = self.config.lane_width
+        if queries:
+            with tracing.span(
+                "campaign.prefetch", cat="executor",
+                queries=len(queries), lanes=lanes, structures=len(staged),
+            ):
+                with self.telemetry.timer("prefetch"):
+                    self.session.group_ace.prefetch_spanning(
+                        queries, lanes=lanes
+                    )
+        return self._finish_staged(staged)
+
+    def _stage_structures(
+        self,
+        structures: Sequence[str],
+        delay_fractions=None,
+        max_wires=None,
+        seed=None,
+        resume=None,
+    ) -> List["_StagedCampaign"]:
+        """Plan, resume-split, and prepare every structure's shards."""
+        resume_flag = self.config.resume if resume is None else bool(resume)
+        with_orace = bool(self.config.compute_orace)
+        clock = self.system.clock_period
+        staged: List[_StagedCampaign] = []
+        for structure in structures:
+            before = self.telemetry.snapshot()
+            started = time.perf_counter()
+            reporter = self._make_reporter(structure)
+            with tracing.span(
+                "campaign.prepare", cat="campaign",
+                structure=structure, benchmark=self.program.name,
+            ):
+                with self.telemetry.timer("plan"):
+                    plan = build_plan(
+                        structure,
+                        self.program.name,
+                        self.system.structure_wires(structure),
+                        self.session.sampled_cycles,
+                        self.config,
+                        delay_fractions=delay_fractions,
+                        max_wires=max_wires,
+                        seed=seed,
+                    )
+                resumed: List = []
+                exec_plan = plan
+                if resume_flag and self.verdict_cache is not None:
+                    resumed, remaining = self._split_resumable(
+                        plan, with_orace, clock
+                    )
+                    if resumed:
+                        self.telemetry.incr("shards_resumed", len(resumed))
+                        exec_plan = dataclasses.replace(
+                            plan, shards=tuple(remaining)
+                        )
+                if reporter is not None:
+                    reporter.start(len(plan.shards), resumed=len(resumed))
+                prepared = prepare_plan_shards(self.session, exec_plan)
+            staged.append(
+                _StagedCampaign(
+                    engine=self, structure=structure, plan=plan,
+                    exec_plan=exec_plan, prepared=prepared, resumed=resumed,
+                    before=before, started=started, reporter=reporter,
+                )
+            )
+        return staged
+
+    def _finish_staged(
+        self, staged: Sequence["_StagedCampaign"]
+    ) -> Dict[str, StructureCampaignResult]:
+        """Evaluate, merge, persist, and finalize staged campaigns."""
+        results: Dict[str, StructureCampaignResult] = {}
+        for stage in staged:
+            with tracing.span(
+                "campaign.run", cat="campaign",
+                structure=stage.structure, benchmark=self.program.name,
+                grouped=True,
+            ):
+                with self.telemetry.timer("execute"):
+                    shard_results = evaluate_prepared_shards(
+                        self.session, stage.exec_plan, stage.prepared,
+                        progress=stage.reporter,
+                    )
+                with self.telemetry.timer("merge"), tracing.span(
+                    "campaign.merge", cat="campaign", structure=stage.structure
+                ):
+                    result = merge_shard_results(
+                        stage.plan, shard_results + stage.resumed
+                    )
+                self._persist_result(stage.plan, result)
+                self._finalize(result, stage.before, stage.started)
+            if stage.reporter is not None:
+                stage.reporter.finish("done")
+            results[stage.structure] = result
+        return results
+
     def run_structure_adaptive(
         self,
         structure: str,
@@ -853,28 +1048,37 @@ class DelayAVFEngine:
             if shard_result.telemetry is not None:
                 self.telemetry.merge_snapshot(shard_result.telemetry)
             tracing.extend(shard_result.spans)
-        if self.verdict_cache is not None:
-            # Persist every merged record from the owning process too: worker
-            # flushes already wrote them shard-by-shard, but this guarantees
-            # a complete record table even if a worker died mid-campaign.
-            for delay, delay_result in result.by_delay.items():
-                for record in delay_result.records:
-                    self.verdict_cache.put_record(
-                        record_key(
-                            plan.structure, record.cycle, record.wire_index,
-                            delay, with_orace, clock,
-                        ),
-                        record_to_payload(record),
-                    )
-            for shard in plan.shards:
-                self.verdict_cache.mark_shard_complete(
-                    shard_key(
-                        plan.structure, shard.cycle, shard.wire_indices,
-                        shard.delay_fractions, with_orace, clock,
-                    )
-                )
-            self.verdict_cache.flush()
+        self._persist_result(plan, result)
         return result
+
+    def _persist_result(self, plan, result: StructureCampaignResult) -> None:
+        """Write a merged campaign's records and shard markers to the cache.
+
+        Worker flushes already wrote records shard-by-shard, but persisting
+        from the owning process too guarantees a complete record table even
+        if a worker died mid-campaign.
+        """
+        if self.verdict_cache is None:
+            return
+        with_orace = bool(self.config.compute_orace)
+        clock = self.system.clock_period
+        for delay, delay_result in result.by_delay.items():
+            for record in delay_result.records:
+                self.verdict_cache.put_record(
+                    record_key(
+                        plan.structure, record.cycle, record.wire_index,
+                        delay, with_orace, clock,
+                    ),
+                    record_to_payload(record),
+                )
+        for shard in plan.shards:
+            self.verdict_cache.mark_shard_complete(
+                shard_key(
+                    plan.structure, shard.cycle, shard.wire_indices,
+                    shard.delay_fractions, with_orace, clock,
+                )
+            )
+        self.verdict_cache.flush()
 
     def _finalize(
         self, result: StructureCampaignResult, before, started: Optional[float] = None
@@ -889,6 +1093,37 @@ class DelayAVFEngine:
             # End-to-end campaign wall-clock, recorded last so it bounds every
             # other phase's wall column in the result's telemetry slice.
             self.telemetry.add_seconds("campaign", time.perf_counter() - started)
+        # Lane-occupancy gauges, recomputed from this campaign's slice of the
+        # merged (coordinator + worker) counters: how full the packed words
+        # actually ran.
+        before_counters = before.get("counters", {})
+
+        def campaign_count(name: str) -> int:
+            return self.telemetry.count(name) - before_counters.get(name, 0)
+
+        slots = campaign_count("packed_cone_lane_slots")
+        if slots:
+            self.telemetry.set_gauge(
+                "packed_lane_occupancy",
+                campaign_count("packed_cone_lanes") / slots,
+            )
+        ace_slots = campaign_count("lane_slots")
+        if ace_slots:
+            self.telemetry.set_gauge(
+                "group_ace_lane_occupancy",
+                campaign_count("lanes_filled") / ace_slots,
+            )
+        # The coordinator session's shared EvalPlan program cache (satellite
+        # of the bounded-memoization work: observable size + evictions).
+        plan_obj = getattr(self.session.system, "plan", None)
+        if plan_obj is not None and hasattr(plan_obj, "program_cache_size"):
+            self.telemetry.set_gauge(
+                "eval_programs_cached", float(plan_obj.program_cache_size)
+            )
+            self.telemetry.set_gauge(
+                "eval_program_evictions",
+                float(plan_obj.program_cache_evictions),
+            )
         result.telemetry = CampaignTelemetry.from_snapshot(
             self.telemetry.diff(before)
         )
@@ -978,3 +1213,169 @@ class DelayAVFEngine:
                 self.session.sampled_cycles[:max_cycles]
             )
         return result
+
+
+@dataclass
+class _StagedCampaign:
+    """One structure campaign paused between preparation and evaluation."""
+
+    engine: DelayAVFEngine
+    structure: str
+    plan: object
+    exec_plan: object
+    prepared: List
+    resumed: List
+    before: object
+    started: float
+    reporter: Optional[ProgressReporter]
+
+
+def run_structures_spanning(
+    runs: Sequence[Tuple[DelayAVFEngine, Sequence[str]]],
+) -> List[Dict[str, StructureCampaignResult]]:
+    """Run several *engines'* structure campaigns with one packed prefetch.
+
+    The widest packing the lane dimension supports: every workload of one
+    SoC runs on the same netlist (programs live in the per-lane
+    environments), so the GroupACE resolutions of *all* the campaigns —
+    across structures AND workloads — share the same 64-lane words.  Each
+    lane converges against its own workload's golden run; records are
+    byte-identical to sequential :meth:`DelayAVFEngine.run_structure` calls
+    per engine.
+
+    Engines that cannot join a packed group (lane packing off, or a worker
+    pool configured) fall back to their own :meth:`run_structures` path;
+    engines whose netlists differ (e.g. ECC variants) still batch — the
+    packer partitions lanes by netlist internally.  Returns one
+    ``{structure: result}`` dict per input engine, in order.
+    """
+    packed: List[Tuple[int, DelayAVFEngine, Sequence[str]]] = []
+    results: List[Optional[Dict[str, StructureCampaignResult]]] = [
+        None
+    ] * len(runs)
+    for index, (engine, structures) in enumerate(runs):
+        if engine.config.lane_width <= 1 or engine.config.jobs > 1:
+            results[index] = engine.run_structures(structures)
+        else:
+            packed.append((index, engine, list(structures)))
+    if not packed:
+        return results
+    # The golden runs themselves are lane-packable: they are plain scalar
+    # simulations of the same netlist from reset, one per workload.  Run
+    # them as one packed word before staging touches session.golden.
+    packed_golden_runs([engine.session for _, engine, _ in packed])
+    staged_by_engine: List[Tuple[int, DelayAVFEngine, List[_StagedCampaign]]] = []
+    for index, engine, structures in packed:
+        staged_by_engine.append(
+            (index, engine, engine._stage_structures(structures))
+        )
+    groups = []
+    total_queries = 0
+    for _, engine, staged in staged_by_engine:
+        queries = []
+        for stage in staged:
+            queries.extend(plan_queries(engine.session, stage.prepared))
+        total_queries += len(queries)
+        if queries:
+            groups.append((engine.session.group_ace, queries))
+    if groups:
+        lanes = min(engine.config.lane_width for _, engine, _ in staged_by_engine)
+        first_engine = staged_by_engine[0][1]
+        with tracing.span(
+            "campaign.prefetch", cat="executor",
+            queries=total_queries, lanes=lanes, engines=len(groups),
+        ):
+            with first_engine.telemetry.timer("prefetch"):
+                prefetch_spanning_multi(groups, lanes=lanes)
+    for index, engine, staged in staged_by_engine:
+        results[index] = engine._finish_staged(staged)
+    return results
+
+
+def packed_golden_runs(sessions: Sequence[CampaignSession]) -> None:
+    """Run several sessions' golden runs through shared packed words.
+
+    Each eligible session's instrumented golden run — fingerprint every
+    cycle, checkpoint at its sampled cycles — is one scalar simulation of
+    the shared netlist from reset, so up to :data:`MAX_LANES` of them pack
+    into the bit-planes of one word, exactly like injected re-simulations
+    do.  Produces per-lane :class:`RunResult`\\ s bit-identical to scalar
+    :meth:`CycleSimulator.run` (same fingerprints, same checkpoints
+    including ``prev_settled``, same observables) and installs them via
+    :meth:`CampaignSession.adopt_golden`.
+
+    A session is eligible only if its workload length is already known
+    (memo, cache, or bundled hint) — checkpoint positions are sampled from
+    the length, and probing it here would itself cost a scalar run.
+    Sessions that are ineligible, already golden, or whose packed run fails
+    adoption (stale hint) simply keep their lazy scalar path.  Best-effort
+    by design: never changes what a session's golden run contains, only how
+    it is computed.
+    """
+    eligible: List[CampaignSession] = []
+    for session in sessions:
+        if session._golden is not None:
+            continue
+        known, _, _, _ = session._known_length()
+        if known is None:
+            continue
+        eligible.append(session)
+    by_netlist: Dict[int, List[CampaignSession]] = {}
+    for session in eligible:
+        by_netlist.setdefault(id(session.system.netlist), []).append(session)
+    for group in by_netlist.values():
+        for start in range(0, len(group), MAX_LANES):
+            _run_packed_golden_chunk(group[start : start + MAX_LANES])
+
+
+def _run_packed_golden_chunk(chunk: Sequence[CampaignSession]) -> None:
+    """One packed word's worth of golden runs, scalar-run-exact per lane.
+
+    Mirrors the scalar :meth:`CycleSimulator.run` loop per lane: at each
+    cycle boundary append the state fingerprint, capture a checkpoint if
+    the cycle is sampled (``prev_settled`` is the lane's just-settled net
+    values — available because :meth:`PackedCycleSimulator.step` leaves the
+    settled values of the cycle it latched), then step.  A lane whose
+    environment halts (or that hits its ``max_run_cycles`` cap) finalizes
+    its result and retires; the word keeps stepping for the rest.
+    """
+    first = chunk[0]
+    with first.telemetry.timer("golden"), tracing.span(
+        "session.golden_run_packed", cat="session", workloads=len(chunk),
+    ):
+        scalar = first.system.simulator()
+        psim = PackedCycleSimulator(scalar.netlist, scalar.plan)
+        envs = [s.system.make_env(s.program) for s in chunk]
+        wanted = [set(s.sampled_cycles) for s in chunk]
+        caps = [s.config.max_run_cycles for s in chunk]
+        results = [
+            RunResult(cycles=0, halted=False, observables=()) for _ in chunk
+        ]
+        psim.load_reset(envs)
+        psim.settle()  # boundary-0 settled values (scalar reset() semantics)
+        active = set(range(len(chunk)))
+        while active:
+            for lane in sorted(active):
+                run = results[lane]
+                cycle = psim.lane_cycles[lane]
+                run.fingerprints.append(psim.lane_fingerprint(lane))
+                if cycle in wanted[lane]:
+                    run.checkpoints[cycle] = Checkpoint(
+                        cycle=cycle,
+                        dff_values=psim.lane_dff_values(lane),
+                        input_values=dict(psim.lane_inputs[lane]),
+                        env_snapshot=envs[lane].snapshot(),
+                        prev_settled=psim.lane_settled_values(lane),
+                    )
+            psim.step()
+            for lane in sorted(active):
+                halted = envs[lane].halted()
+                if halted or psim.lane_cycles[lane] >= caps[lane]:
+                    run = results[lane]
+                    run.cycles = psim.lane_cycles[lane]
+                    run.halted = halted
+                    run.observables = envs[lane].observables()
+                    active.discard(lane)
+                    psim.retire_lane(lane)
+    for session, run in zip(chunk, results):
+        session.adopt_golden(run)

@@ -80,6 +80,7 @@ class DynamicReachability:
         self,
         waves: CycleWaveforms,
         queries: Sequence[Tuple[Wire, float]],
+        lanes: int = 64,
     ) -> List[Dict[int, int]]:
         """Batched :meth:`reachable_set` over one cycle's injections.
 
@@ -87,9 +88,10 @@ class DynamicReachability:
         (wire, delay-fraction) query first, then re-simulates the remaining
         misses in one :meth:`EventSimulator.resimulate_batch` call so that
         injections sharing a fan-out cone share its construction and
-        fault-free slices.  Results are memoized like the scalar path, so a
-        later :meth:`reachable_set` for the same query is a cache hit.
-        Returns one reachable-set dict per query, in input order.
+        fault-free slices, word-packed up to *lanes* bit-planes wide.
+        Results are memoized like the scalar path, so a later
+        :meth:`reachable_set` for the same query is a cache hit.  Returns
+        one reachable-set dict per query, in input order.
         """
         telemetry = self.telemetry
         results: List[Optional[Dict[int, int]]] = [None] * len(queries)
@@ -115,13 +117,20 @@ class DynamicReachability:
             hits_before = sim.cone_index.hits
             builds_before = sim.cone_index.builds
             fallbacks_before = sim.batch_scalar_fallbacks
+            packed_before = (
+                sim.packed_cone_words,
+                sim.packed_cone_lanes,
+                sim.packed_cone_lane_slots,
+                sim.packed_scalar_lanes,
+            )
             with telemetry.timer("batch_resim"), tracing.span(
                 "dynamic.batch_reach", cat="sim",
-                cycle=waves.cycle, queries=len(keys),
+                cycle=waves.cycle, queries=len(keys), lanes=lanes,
             ):
                 batch = sim.resimulate_batch(
                     waves,
                     [(wire, fraction * period) for wire, fraction in keys],
+                    lanes=lanes,
                 )
             telemetry.incr("batch_resims", len(keys))
             telemetry.incr(
@@ -133,6 +142,20 @@ class DynamicReachability:
             telemetry.incr(
                 "batch_scalar_fallbacks",
                 sim.batch_scalar_fallbacks - fallbacks_before,
+            )
+            telemetry.incr(
+                "packed_cone_words", sim.packed_cone_words - packed_before[0]
+            )
+            telemetry.incr(
+                "packed_cone_lanes", sim.packed_cone_lanes - packed_before[1]
+            )
+            telemetry.incr(
+                "packed_cone_lane_slots",
+                sim.packed_cone_lane_slots - packed_before[2],
+            )
+            telemetry.incr(
+                "packed_scalar_lanes",
+                sim.packed_scalar_lanes - packed_before[3],
             )
             for key, errors in zip(keys, batch):
                 wire, fraction = key

@@ -135,7 +135,25 @@ def execute_shard(session, plan: CampaignPlan, shard: WorkShard) -> ShardResult:
         return _execute_shard_body(session, plan, shard)
 
 
-def _execute_shard_body(session, plan: CampaignPlan, shard: WorkShard) -> ShardResult:
+@dataclass
+class _PreparedShard:
+    """A shard's timing-aware pass, paused before GroupACE resolution."""
+
+    shard: WorkShard
+    chosen: List[Tuple[int, Any]]  #: (wire index, wire) pairs
+    cached: Dict[Tuple[int, float], InjectionRecord]
+    waves: Any = None
+    checkpoint: Any = None
+    reach_sets: List[Dict[int, int]] = None
+
+
+def _prepare_shard(session, plan: CampaignPlan, shard: WorkShard) -> _PreparedShard:
+    """Record-cache lookups plus the batched timing-aware reachability pass.
+
+    Everything *before* GroupACE resolution: the returned object carries the
+    dynamically reachable error sets the prefetch (per-shard or
+    campaign-spanning) still has to resolve.
+    """
     config = session.config
     telemetry = session.telemetry
     cache = session.verdict_cache
@@ -143,50 +161,63 @@ def _execute_shard_body(session, plan: CampaignPlan, shard: WorkShard) -> ShardR
     wires = session.system.structure_wires(plan.structure)
     chosen = [(index, wires[index]) for index in shard.wire_indices]
 
-    def key_of(index: int, delay: float) -> str:
-        return record_key(
-            plan.structure, shard.cycle, index, delay,
-            with_orace, session.system.clock_period,
-        )
-
     cached: Dict[Tuple[int, float], InjectionRecord] = {}
     if cache is not None:
         for index, _ in chosen:
             for delay in shard.delay_fractions:
-                payload = cache.get_record(key_of(index, delay))
+                payload = cache.get_record(
+                    _record_key_of(session, plan, shard, index, delay)
+                )
                 if payload is not None:
                     cached[(index, delay)] = record_from_payload(
                         payload, index, shard.cycle, delay
                     )
         telemetry.incr("record_cache_hits", len(cached))
 
+    prepared = _PreparedShard(shard=shard, chosen=chosen, cached=cached)
     pending = shard.injection_pairs(skip=cached)
-    waves = checkpoint = None
     if pending:
-        waves = session.waveforms(shard.cycle)
-        checkpoint = session.checkpoint(shard.cycle)
+        prepared.waves = session.waveforms(shard.cycle)
+        prepared.checkpoint = session.checkpoint(shard.cycle)
         # Batched timing-aware pass: resolve every pending dynamically
         # reachable set through the shared-cone batch API up front, so the
-        # per-record evaluation below runs against warm per-cycle memos.
+        # per-record evaluation afterwards runs against warm per-cycle memos.
         wire_of = dict(chosen)
-        reach_sets = session.dynamic.reachable_set_batch(
-            waves, [(wire_of[index], delay) for index, delay in pending]
+        lane_width = int(getattr(plan, "lane_width", config.lane_width))
+        prepared.reach_sets = session.dynamic.reachable_set_batch(
+            prepared.waves,
+            [(wire_of[index], delay) for index, delay in pending],
+            lanes=lane_width,
         )
-        if config.batch_lanes > 1:
-            with telemetry.timer("prefetch"):
-                _prefetch_group_ace(session, checkpoint, reach_sets, config)
+    return prepared
 
+
+def _record_key_of(session, plan, shard, index: int, delay: float) -> str:
+    return record_key(
+        plan.structure, shard.cycle, index, delay,
+        bool(session.config.compute_orace), session.system.clock_period,
+    )
+
+
+def _evaluate_shard(
+    session, plan: CampaignPlan, prepared: _PreparedShard
+) -> ShardResult:
+    """The per-record evaluation loop over a prepared shard."""
+    shard = prepared.shard
+    config = session.config
+    cache = session.verdict_cache
+    with_orace = bool(config.compute_orace)
     by_delay: Dict[float, List[InjectionRecord]] = {
         delay: [] for delay in shard.delay_fractions
     }
-    with telemetry.timer("evaluate"):
-        for index, wire in chosen:
+    with session.telemetry.timer("evaluate"):
+        for index, wire in prepared.chosen:
             for delay in shard.delay_fractions:
-                record = cached.get((index, delay))
+                record = prepared.cached.get((index, delay))
                 if record is None:
                     record = session.evaluator.evaluate(
-                        waves,
-                        checkpoint,
+                        prepared.waves,
+                        prepared.checkpoint,
                         wire,
                         index,
                         delay,
@@ -194,7 +225,8 @@ def _execute_shard_body(session, plan: CampaignPlan, shard: WorkShard) -> ShardR
                     )
                     if cache is not None:
                         cache.put_record(
-                            key_of(index, delay), record_to_payload(record)
+                            _record_key_of(session, plan, shard, index, delay),
+                            record_to_payload(record),
                         )
                 by_delay[delay].append(record)
     if cache is not None:
@@ -216,26 +248,121 @@ def _execute_shard_body(session, plan: CampaignPlan, shard: WorkShard) -> ShardR
     return ShardResult(shard_index=shard.index, by_delay=by_delay)
 
 
-def _prefetch_group_ace(session, checkpoint, reach_sets, config) -> None:
-    """Batch-resolve this cycle's GroupACE (and ORACE) queries.
+def _execute_shard_body(session, plan: CampaignPlan, shard: WorkShard) -> ShardResult:
+    prepared = _prepare_shard(session, plan, shard)
+    lane_width = int(getattr(plan, "lane_width", session.config.lane_width))
+    if prepared.reach_sets and lane_width > 1:
+        with session.telemetry.timer("prefetch"):
+            session.group_ace.prefetch_spanning(
+                _group_ace_queries(
+                    session, [(prepared.checkpoint, prepared.reach_sets)]
+                ),
+                lanes=lane_width,
+            )
+    return _evaluate_shard(session, plan, prepared)
 
-    ``reach_sets`` holds the dynamically reachable sets the batched
-    timing-aware pass already computed for every pending injection.  Collects
-    each non-empty set — plus the per-member singleton sets ORACE requires
-    for multi-bit errors — and resolves them lane-parallel, so the scalar
-    evaluation pass afterwards is pure cache hits.
+
+def _group_ace_queries(session, checkpointed_sets):
+    """Flatten (checkpoint, reach sets) pairs into spanning prefetch items.
+
+    ``checkpointed_sets`` holds one entry per prepared shard.  Collects each
+    non-empty dynamically reachable set — plus the per-member singleton sets
+    ORACE requires for multi-bit errors — so one lane-parallel resolution
+    makes the scalar evaluation pass afterwards pure cache hits.
     """
     queries = []
-    for errors in reach_sets:
-        if not errors:
-            continue
-        queries.append(errors)
-        if config.compute_orace and len(errors) > 1:
-            queries.extend({dff: value} for dff, value in errors.items())
+    orace = bool(session.config.compute_orace)
+    for checkpoint, reach_sets in checkpointed_sets:
+        for errors in reach_sets:
+            if not errors:
+                continue
+            queries.append((checkpoint, errors))
+            if orace and len(errors) > 1:
+                queries.extend(
+                    (checkpoint, {dff: value}) for dff, value in errors.items()
+                )
+    return queries
+
+
+def prepare_plan_shards(
+    session, plan: CampaignPlan
+) -> List[_PreparedShard]:
+    """Prepare every shard of a plan (pass 1 of the spanning path)."""
+    prepared_shards: List[_PreparedShard] = []
+    for shard in plan.shards:
+        with tracing.span(
+            "shard.execute",
+            cat="shard",
+            structure=plan.structure,
+            shard=shard.index,
+            cycle=shard.cycle,
+            wires=len(shard.wire_indices),
+            delays=len(shard.delay_fractions),
+        ):
+            prepared_shards.append(_prepare_shard(session, plan, shard))
+    return prepared_shards
+
+
+def plan_queries(session, prepared_shards: List[_PreparedShard]):
+    """Spanning GroupACE/ORACE queries still unresolved after preparation."""
+    return _group_ace_queries(
+        session,
+        [
+            (prepared.checkpoint, prepared.reach_sets)
+            for prepared in prepared_shards
+            if prepared.reach_sets
+        ],
+    )
+
+
+def evaluate_prepared_shards(
+    session, plan: CampaignPlan, prepared_shards: List[_PreparedShard],
+    progress=None,
+) -> List[ShardResult]:
+    """Per-shard evaluation loops (pass 3 of the spanning path)."""
+    telemetry = session.telemetry
+    results = []
+    for prepared in prepared_shards:
+        before = telemetry.snapshot() if progress is not None else None
+        with tracing.span(
+            "shard.evaluate", cat="executor",
+            structure=plan.structure, shard=prepared.shard.index,
+        ):
+            result = _evaluate_shard(session, plan, prepared)
+        if progress is not None:
+            progress.shard_done(telemetry.diff(before))
+        results.append(result)
+    return results
+
+
+def execute_shards_spanning(
+    session, plan: CampaignPlan, progress=None
+) -> List[ShardResult]:
+    """Run a plan's shards with lane packing spanning the whole campaign.
+
+    Single cycles rarely contribute enough unique error sets to fill a
+    64-lane word, so per-shard prefetching leaves most planes idle.  This
+    path prepares *every* shard first (record-cache lookups, waveforms, the
+    batched timing-aware reachability pass), resolves all GroupACE/ORACE
+    queries of the campaign in one cross-checkpoint lane-parallel prefetch,
+    then runs the per-shard evaluation loops against the warm cache.
+    Records are byte-identical to the per-shard path — only the packing of
+    the timing-agnostic simulations changes.  (One engine can pack even
+    wider — across whole campaigns — via
+    :meth:`repro.core.campaign.DelayAVFEngine.run_structures`.)
+    """
+    telemetry = session.telemetry
+    prepared_shards = prepare_plan_shards(session, plan)
+    queries = plan_queries(session, prepared_shards)
+    lane_width = int(getattr(plan, "lane_width", session.config.lane_width))
     if queries:
-        session.group_ace.prefetch(
-            checkpoint, queries, lanes=config.batch_lanes
-        )
+        with tracing.span(
+            "campaign.prefetch", cat="executor",
+            queries=len(queries), lanes=lane_width,
+        ):
+            with telemetry.timer("prefetch"):
+                session.group_ace.prefetch_spanning(queries, lanes=lane_width)
+    return evaluate_prepared_shards(session, plan, prepared_shards, progress)
 
 
 def merge_shard_results(
@@ -295,13 +422,21 @@ class Executor(abc.ABC):
 
 
 class SerialExecutor(Executor):
-    """In-process execution against a live session (default behaviour)."""
+    """In-process execution against a live session (default behaviour).
+
+    With a packed lane width (``plan.lane_width > 1``) the serial path packs
+    GroupACE resolution *across* shards (:func:`execute_shards_spanning`);
+    at width 1 it runs the historical one-shard-at-a-time loop.
+    """
 
     def execute(self, plan, session=None, spec=None, progress=None):
         if session is None:
             if spec is None:
                 raise ValueError("SerialExecutor needs a session or a spec")
             session = spec.build_session()
+        lane_width = int(getattr(plan, "lane_width", session.config.lane_width))
+        if lane_width > 1:
+            return execute_shards_spanning(session, plan, progress)
         results = []
         for shard in plan.shards:
             before = session.telemetry.snapshot() if progress is not None else None

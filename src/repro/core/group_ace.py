@@ -152,107 +152,89 @@ class GroupAceAnalyzer:
         bit-plane simulator.  Subsequent :meth:`outcome_of_state_errors`
         calls for these sets are cache hits, so callers can keep using the
         scalar API unchanged.
+
+        Raises ``ValueError`` for a lane width outside ``1..MAX_LANES`` —
+        :class:`repro.core.campaign.CampaignConfig` validates user input
+        before it gets here, so an out-of-range value is a programming
+        error, not something to silently clamp.
         """
-        lanes = max(1, min(int(lanes), MAX_LANES))
-        unique: List[Tuple[Tuple, Dict[int, int]]] = []
+        self.prefetch_spanning(
+            [(checkpoint, overrides) for overrides in sets],
+            at_next_boundary=at_next_boundary,
+            lanes=lanes,
+        )
+
+    def prefetch_spanning(
+        self,
+        items: Sequence[Tuple[Checkpoint, Dict[int, int]]],
+        at_next_boundary: bool = True,
+        lanes: int = MAX_LANES,
+    ) -> None:
+        """Batch-resolve error sets spanning *different* checkpoints.
+
+        The lane dimension packs across the whole campaign, not just within
+        one cycle: zero-delay simulation is Markovian, so lanes starting at
+        different checkpoints (each with its own environment, inputs, and
+        cycle counter) share one packed word.  This is what fills 64-wide
+        words when any single cycle only contributes a handful of unique
+        error sets.  Deduplication, verdict-cache flow, and outcomes are
+        identical to per-checkpoint :meth:`prefetch`.  (For packing across
+        *different analyzers* — several workloads sharing one netlist — see
+        :func:`prefetch_spanning_multi`.)
+        """
+        prefetch_spanning_multi(
+            [(self, items)], at_next_boundary=at_next_boundary, lanes=lanes
+        )
+
+    def _dedup_items(
+        self,
+        items: Sequence[Tuple[Checkpoint, Dict[int, int]]],
+        at_next_boundary: bool,
+    ) -> List["_LaneTask"]:
+        """Filter *items* against the caches; return unresolved lane tasks."""
+        unique: List[_LaneTask] = []
         seen = set()
-        for overrides in sets:
+        for checkpoint, overrides in items:
             if not overrides:
                 continue
-            items = tuple(sorted(overrides.items()))
-            key = (checkpoint.cycle, at_next_boundary, items)
+            key_items = tuple(sorted(overrides.items()))
+            key = (checkpoint.cycle, at_next_boundary, key_items)
             if key in self._cache or key in seen:
                 continue
             if self.verdict_cache is not None:
                 persisted = self.verdict_cache.lookup(
-                    checkpoint.cycle, at_next_boundary, items
+                    checkpoint.cycle, at_next_boundary, key_items
                 )
                 if persisted is not None:
                     self.telemetry.incr("verdict_cache_hits")
                     self._cache[key] = persisted
                     continue
             seen.add(key)
-            unique.append((key, dict(overrides)))
-        for start in range(0, len(unique), lanes):
-            chunk = unique[start : start + lanes]
-            outcomes = self._run_injected_batch(
-                checkpoint, [overrides for _, overrides in chunk],
-                at_next_boundary,
+            unique.append(_LaneTask(self, key, checkpoint, dict(overrides)))
+        return unique
+
+    def _store_outcome(
+        self, task: "_LaneTask", outcome: Outcome, at_next_boundary: bool
+    ) -> None:
+        self._cache[task.key] = outcome
+        if self.verdict_cache is not None:
+            self.verdict_cache.store(
+                task.key[0], at_next_boundary, task.key[2], outcome
             )
-            self.telemetry.incr("lane_batches")
-            self.telemetry.incr("lanes_filled", len(chunk))
-            self.telemetry.incr("group_ace_runs", len(chunk))
-            for (key, _), outcome in zip(chunk, outcomes):
-                self._cache[key] = outcome
-                if self.verdict_cache is not None:
-                    self.verdict_cache.store(
-                        checkpoint.cycle, at_next_boundary, key[2], outcome
-                    )
 
     def _run_injected_batch(
         self,
-        checkpoint: Checkpoint,
-        override_sets: List[Dict[int, int]],
+        lane_items: Sequence[Tuple[Checkpoint, Dict[int, int]]],
         at_next_boundary: bool,
     ) -> List[Outcome]:
-        """Run up to :data:`MAX_LANES` injections simultaneously.
-
-        Bit-exact with :meth:`_run_injected` per lane: the same fingerprint
-        convergence checks, halt handling, and DUE budget are applied at the
-        same cycle boundaries.
-        """
-        count = len(override_sets)
-        psim = self._packed
-        envs = [self.system.make_env(self.program) for _ in range(count)]
-        psim.load(checkpoint, envs)
-        if at_next_boundary:
-            psim.step()
-        for lane, overrides in enumerate(override_sets):
-            psim.override_lane_dffs(lane, overrides)
-        budget = self.golden.cycles + self.margin_cycles
-        golden_fps = self.golden.fingerprints
-        golden_obs = self.golden.observables
-        self.stats.runs += count
-        start_cycle = psim.cycle
-        outcomes: List[Outcome] = [Outcome.MASKED] * count
-        unresolved = set(range(count))
-        while unresolved:
-            cycle = psim.cycle
-            for lane in sorted(unresolved):
-                if (
-                    cycle < len(golden_fps)
-                    and psim.lane_fingerprint(lane) == golden_fps[cycle]
-                ):
-                    produced = envs[lane].observables()
-                    outcomes[lane] = (
-                        Outcome.MASKED
-                        if produced == golden_obs[: len(produced)]
-                        else Outcome.SDC
-                    )
-                    self.stats.converged += 1
-                    unresolved.discard(lane)
-            if not unresolved:
-                break
-            if cycle >= budget:
-                for lane in unresolved:
-                    outcomes[lane] = Outcome.DUE
-                    self.stats.timed_out += 1
-                unresolved.clear()
-                break
-            psim.step()
-            for lane in sorted(unresolved):
-                if envs[lane].halted():
-                    produced = envs[lane].observables()
-                    if produced == golden_obs:
-                        outcomes[lane] = Outcome.MASKED
-                    elif any(e and e[0] == "trap" for e in produced):
-                        outcomes[lane] = Outcome.DUE
-                    else:
-                        outcomes[lane] = Outcome.SDC
-                    self.stats.ran_to_halt += 1
-                    unresolved.discard(lane)
-        self.stats.cycles_simulated += psim.cycle - start_cycle
-        return outcomes
+        """Run up to :data:`MAX_LANES` injections of this workload at once."""
+        return _run_lane_tasks(
+            [
+                _LaneTask(self, None, checkpoint, overrides)
+                for checkpoint, overrides in lane_items
+            ],
+            at_next_boundary,
+        )
 
     # ------------------------------------------------------------------
     def _run_injected(
@@ -299,3 +281,159 @@ class GroupAceAnalyzer:
         if any(event and event[0] == "trap" for event in produced):
             return Outcome.DUE
         return Outcome.SDC
+
+
+@dataclass
+class _LaneTask:
+    """One unresolved injection: its analyzer, cache key, and inputs."""
+
+    analyzer: GroupAceAnalyzer
+    key: Optional[Tuple]
+    checkpoint: Checkpoint
+    overrides: Dict[int, int]
+
+
+def prefetch_spanning_multi(
+    groups: Sequence[
+        Tuple[GroupAceAnalyzer, Sequence[Tuple[Checkpoint, Dict[int, int]]]]
+    ],
+    at_next_boundary: bool = True,
+    lanes: int = MAX_LANES,
+) -> None:
+    """Batch-resolve error sets spanning different *analyzers*.
+
+    The widest packing: analyzers for different workloads (programs) share
+    one netlist — everything program-specific lives in the per-lane
+    environment — so their injected runs pack into the same 64-lane words.
+    Each lane converges against the golden fingerprints, budget, and
+    observables of *its own* workload; deduplication, verdict-cache flow,
+    and outcomes per analyzer are identical to :meth:`prefetch_spanning`.
+
+    Analyzers whose netlist differs from the first group's (e.g. an ECC
+    variant among plain ones) are resolved in their own batches rather than
+    rejected.  Batch-level telemetry (``lane_batches``/``lane_slots``) is
+    attributed to the first analyzer of each batch; per-lane counters go to
+    each lane's own analyzer.
+    """
+    lanes = int(lanes)
+    if not 1 <= lanes <= MAX_LANES:
+        raise ValueError(f"lanes must be in 1..{MAX_LANES}, got {lanes}")
+    tasks: List[_LaneTask] = []
+    for analyzer, items in groups:
+        tasks.extend(analyzer._dedup_items(items, at_next_boundary))
+    # Partition by netlist identity: lanes can only share a packed word when
+    # they share the value-array geometry.
+    by_netlist: Dict[int, List[_LaneTask]] = {}
+    for task in tasks:
+        by_netlist.setdefault(id(task.analyzer.sim.netlist), []).append(task)
+    for netlist_tasks in by_netlist.values():
+        for start in range(0, len(netlist_tasks), lanes):
+            chunk = netlist_tasks[start : start + lanes]
+            outcomes = _run_lane_tasks(chunk, at_next_boundary)
+            owner = chunk[0].analyzer.telemetry
+            owner.incr("lane_batches")
+            owner.incr("lane_slots", lanes)
+            for task, outcome in zip(chunk, outcomes):
+                task.analyzer.telemetry.incr("lanes_filled")
+                task.analyzer.telemetry.incr("group_ace_runs")
+                task.analyzer._store_outcome(task, outcome, at_next_boundary)
+
+
+def _run_lane_tasks(
+    tasks: Sequence[_LaneTask], at_next_boundary: bool
+) -> List[Outcome]:
+    """Run up to :data:`MAX_LANES` injections simultaneously.
+
+    Bit-exact with :meth:`GroupAceAnalyzer._run_injected` per lane: the same
+    fingerprint convergence checks, halt handling, and DUE budget are
+    applied at the same (per-lane absolute) cycle boundaries — each lane
+    compares against the golden fingerprints and observables of its own
+    analyzer's workload and burns that analyzer's DUE budget from its own
+    start cycle.
+    """
+    count = len(tasks)
+    psim = tasks[0].analyzer._packed
+    envs = [
+        task.analyzer.system.make_env(task.analyzer.program) for task in tasks
+    ]
+    psim.load_lanes(
+        [(task.checkpoint, env) for task, env in zip(tasks, envs)]
+    )
+    if at_next_boundary:
+        psim.step()
+    for lane, task in enumerate(tasks):
+        psim.override_lane_dffs(lane, task.overrides)
+    # Per-lane convergence context: each lane resolves against its own
+    # workload's golden run.
+    golden_fps = [task.analyzer.golden.fingerprints for task in tasks]
+    golden_obs = [task.analyzer.golden.observables for task in tasks]
+    budgets = [
+        task.analyzer.golden.cycles + task.analyzer.margin_cycles
+        for task in tasks
+    ]
+    stats = [task.analyzer.stats for task in tasks]
+    for s in stats:
+        s.runs += 1
+    steps_taken = 0
+    outcomes: List[Outcome] = [Outcome.MASKED] * count
+    unresolved = set(range(count))
+    # Loop detection for the post-golden margin tail: past the golden
+    # run's end a lane can only halt or burn the DUE budget.  The system
+    # (DFFs + inputs + environment) is deterministic and closed, so a
+    # lane that revisits a full state it has already been in can never
+    # halt — it is provably DUE right now, no need to simulate the rest
+    # of the margin.  Hashes gate an exact full-state comparison, so a
+    # hash collision can never misclassify a lane.
+    seen_states: Dict[int, Dict[int, Tuple]] = {}
+
+    def resolve(lane: int, outcome: Outcome) -> None:
+        outcomes[lane] = outcome
+        unresolved.discard(lane)
+        psim.retire_lane(lane)
+        seen_states.pop(lane, None)
+
+    while unresolved:
+        for lane in sorted(unresolved):
+            cycle = psim.lane_cycles[lane]
+            fps = golden_fps[lane]
+            if cycle < len(fps):
+                if psim.lane_fingerprint(lane) == fps[cycle]:
+                    produced = envs[lane].observables()
+                    stats[lane].converged += 1
+                    resolve(
+                        lane,
+                        Outcome.MASKED
+                        if produced == golden_obs[lane][: len(produced)]
+                        else Outcome.SDC,
+                    )
+            elif cycle >= budgets[lane]:
+                stats[lane].timed_out += 1
+                resolve(lane, Outcome.DUE)
+            else:
+                state = (
+                    psim.lane_dff_values(lane).tobytes(),
+                    tuple(sorted(psim.lane_inputs[lane].items())),
+                    envs[lane].fingerprint(),
+                )
+                lane_seen = seen_states.setdefault(lane, {})
+                previous = lane_seen.setdefault(hash(state), state)
+                if previous is not state and previous == state:
+                    stats[lane].timed_out += 1
+                    resolve(lane, Outcome.DUE)
+        if not unresolved:
+            break
+        psim.step()
+        steps_taken += 1
+        for lane in sorted(unresolved):
+            if envs[lane].halted():
+                produced = envs[lane].observables()
+                if produced == golden_obs[lane]:
+                    outcome = Outcome.MASKED
+                elif any(e and e[0] == "trap" for e in produced):
+                    outcome = Outcome.DUE
+                else:
+                    outcome = Outcome.SDC
+                stats[lane].ran_to_halt += 1
+                resolve(lane, outcome)
+    tasks[0].analyzer.stats.cycles_simulated += steps_taken
+    return outcomes

@@ -65,6 +65,12 @@ class CampaignPlan:
     delay_fractions: Tuple[float, ...]
     sampled_cycles: Tuple[int, ...]
     shards: Tuple[WorkShard, ...]
+    #: packed-lane width every simulation layer of this campaign uses —
+    #: stamped from ``config.lane_width`` so workers executing a pickled
+    #: shard fill the same words as the coordinator.  Each shard carries a
+    #: whole cycle's wire × delay cross-product, so the batch feed is
+    #: always a lane-width multiple until the final partial word.
+    lane_width: int = 64
 
     @property
     def total_injections(self) -> int:
@@ -120,6 +126,7 @@ def build_plan(
             delay_fractions=delays,
             sampled_cycles=tuple(sampled_cycles),
             shards=shards,
+            lane_width=int(getattr(config, "lane_width", 64)),
         )
 
 
@@ -184,4 +191,5 @@ def _build_refinement_plan(
         delay_fractions=base.delay_fractions,
         sampled_cycles=base.sampled_cycles + tuple(new_cycles),
         shards=tuple(shards),
+        lane_width=base.lane_width,
     )

@@ -62,6 +62,10 @@ COUNTER_ORDER = (
     "cone_resims",
     "batch_resims",
     "batch_scalar_fallbacks",
+    "packed_cone_words",
+    "packed_cone_lanes",
+    "packed_cone_lane_slots",
+    "packed_scalar_lanes",
     "cone_index_hits",
     "cone_index_builds",
     "group_ace_runs",
@@ -70,6 +74,7 @@ COUNTER_ORDER = (
     "record_cache_hits",
     "lane_batches",
     "lanes_filled",
+    "lane_slots",
     "shard_retries",
     "shard_timeouts",
     "pool_rebuilds",
@@ -96,7 +101,13 @@ PHASE_ORDER = (
 )
 
 #: Presentation order for the known gauges.
-GAUGE_ORDER = ("ci_half_width",)
+GAUGE_ORDER = (
+    "ci_half_width",
+    "packed_lane_occupancy",
+    "group_ace_lane_occupancy",
+    "eval_programs_cached",
+    "eval_program_evictions",
+)
 
 #: How each gauge combines when worker snapshots merge into the coordinator.
 #: ``max``: the largest incoming-or-current value wins (order-independent;
@@ -108,6 +119,13 @@ GAUGE_ORDER = ("ci_half_width",)
 #: :data:`DEFAULT_GAUGE_POLICY`.
 GAUGE_MERGE_POLICIES: Dict[str, str] = {
     "ci_half_width": "max",
+    # Occupancy gauges are recomputed post-merge from their counters in
+    # DelayAVFEngine._finalize; "last" keeps the recomputed value.
+    "packed_lane_occupancy": "last",
+    "group_ace_lane_occupancy": "last",
+    # Program-cache gauges describe the coordinator's shared EvalPlan.
+    "eval_programs_cached": "max",
+    "eval_program_evictions": "max",
 }
 
 DEFAULT_GAUGE_POLICY = "max"

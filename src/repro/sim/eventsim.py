@@ -28,6 +28,18 @@ Key structure (mirroring the paper's §V-C optimizations):
   fault-free waveform slices are shared.  Injections whose semantics do not
   fit the cone pass (output ports, direct DFF.D sinks, non-toggling
   sources) fall back to the scalar path.
+- Inside a cone pass, the lanes dirty at one cell are *word-packed*
+  (classic parallel fault simulation, up to :data:`MAX_LANES` bit-planes
+  of a Python int): the merged event stream over the union of the lanes'
+  input-event times is applied to packed pin words — shared fault-free pin
+  events once with a multi-lane mask, per-lane private waveforms on their
+  own plane — and :func:`_eval_cell_packed` evaluates the cell once per
+  distinct event time instead of once per lane.  A lane's output bit can
+  only change at that lane's own input-event times (planes are disjoint),
+  so extracting each lane's change-subsequence reproduces the scalar
+  per-lane waveform bit-exactly, transport-delay glitches included.  A
+  cell where only one lane is dirty has nothing to share and takes the
+  scalar kernel — counted in ``packed_scalar_lanes``.
 
 Transport-delay semantics are used: a cell's output waveform is its logic
 function applied to the input waveforms, shifted by the cell's propagation
@@ -80,6 +92,51 @@ _INF = float("inf")
 
 #: Shared read-only empty waveform (avoids allocating one per untouched pin).
 _NO_CHANGES: Waveform = []
+
+#: Bit-planes a packed cone-pass word can carry (Python ints are unbounded,
+#: but lane masks interoperate with the uint64 packed cycle simulator and
+#: word width beyond 64 stops paying for itself).
+MAX_LANES = 64
+
+# Plain-int cell kinds for the packed kernel's dispatch chain.
+_BUF = int(CellKind.BUF)
+_NOT = int(CellKind.NOT)
+_AND2 = int(CellKind.AND2)
+_OR2 = int(CellKind.OR2)
+_NAND2 = int(CellKind.NAND2)
+_NOR2 = int(CellKind.NOR2)
+_XOR2 = int(CellKind.XOR2)
+_XNOR2 = int(CellKind.XNOR2)
+_MUX2 = int(CellKind.MUX2)
+
+
+def _eval_cell_packed(kind: int, current: List[int], full: int) -> int:
+    """Word-parallel twin of :func:`eval_cell` on Python-int bit-planes.
+
+    Bit *k* of every input word carries lane *k*; inversion is XOR with the
+    ``full`` active-lane mask, everything else is already bitwise — the same
+    per-plane semantics as :func:`repro.netlist.cells.eval_cell_array`.
+    """
+    if kind == _BUF:
+        return current[0]
+    if kind == _NOT:
+        return current[0] ^ full
+    if kind == _AND2:
+        return current[0] & current[1]
+    if kind == _OR2:
+        return current[0] | current[1]
+    if kind == _NAND2:
+        return (current[0] & current[1]) ^ full
+    if kind == _NOR2:
+        return (current[0] | current[1]) ^ full
+    if kind == _XOR2:
+        return current[0] ^ current[1]
+    if kind == _XNOR2:
+        return (current[0] ^ current[1]) ^ full
+    if kind == _MUX2:
+        a, b, s = current
+        return (a & (s ^ full)) | (b & s)
+    raise ValueError(f"unknown cell kind: {kind!r}")
 
 
 @dataclass
@@ -207,6 +264,15 @@ class EventSimulator:
         self.batch_resims = 0
         #: injections that fell back to the scalar path inside a batch
         self.batch_scalar_fallbacks = 0
+        #: word-packed cell evaluations inside cone passes
+        self.packed_cone_words = 0
+        #: dirty lanes evaluated through those packed words
+        self.packed_cone_lanes = 0
+        #: pack capacity of those words (sum of pack sizes; the occupancy
+        #: gauge is ``packed_cone_lanes / packed_cone_lane_slots``)
+        self.packed_cone_lane_slots = 0
+        #: lone-dirty-lane cell evaluations that took the scalar kernel
+        self.packed_scalar_lanes = 0
 
     # ------------------------------------------------------------------
     # Fault-free cycle simulation
@@ -352,6 +418,7 @@ class EventSimulator:
         self,
         waves: CycleWaveforms,
         injections: Sequence[Tuple[Wire, float]],
+        lanes: int = MAX_LANES,
     ) -> List[Dict[int, int]]:
         """Batched :meth:`resimulate` over same-cycle injections.
 
@@ -360,25 +427,43 @@ class EventSimulator:
         walks each shared cone once: every cell's fault-free input slices
         are gathered a single time while all the group's injections —
         independent delay fractions of one wire, or different wires into the
-        same cell — evaluate as separate lanes.  Lane results are exactly
-        what the scalar path would produce (no cross-lane value reuse, no
-        monotonicity shortcuts); injections the cone pass cannot express
-        (output-port sinks, direct DFF.D sinks, non-toggling sources) take
-        the scalar path instead.
+        same cell — evaluate as separate lanes, word-packed up to *lanes*
+        bit-planes wide wherever two or more lanes are dirty at the same
+        cell.  Lane results are exactly what the scalar path would produce
+        (no cross-lane value reuse, no monotonicity shortcuts); injections
+        the cone pass cannot express (output-port sinks, direct DFF.D
+        sinks, non-toggling sources) take the scalar path instead.
 
         Returns one ``{dff_index: erroneous latched value}`` dict per
         injection, in input order.
         """
+        if not 1 <= lanes <= MAX_LANES:
+            raise ValueError(
+                f"lanes must be in 1..{MAX_LANES}, got {lanes}"
+            )
+        words_before = self.packed_cone_words
+        lanes_before = self.packed_cone_lanes
+        slots_before = self.packed_cone_lane_slots
         with _trace().span(
             "sim.batch_resim", cat="sim",
-            cycle=waves.cycle, injections=len(injections),
+            cycle=waves.cycle, injections=len(injections), lanes=lanes,
         ):
-            return self._resimulate_batch_body(waves, injections)
+            results = self._resimulate_batch_body(waves, injections, lanes)
+        packed_words = self.packed_cone_words - words_before
+        if packed_words:
+            _trace().instant(
+                "sim.packed_cones", cat="sim",
+                words=packed_words,
+                lanes=self.packed_cone_lanes - lanes_before,
+                slots=self.packed_cone_lane_slots - slots_before,
+            )
+        return results
 
     def _resimulate_batch_body(
         self,
         waves: CycleWaveforms,
         injections: Sequence[Tuple[Wire, float]],
+        lane_width: int,
     ) -> List[Dict[int, int]]:
         results: List[Optional[Dict[int, int]]] = [None] * len(injections)
         groups: Dict[int, List[int]] = {}
@@ -395,15 +480,20 @@ class EventSimulator:
                 groups.setdefault(sink.owner, []).append(i)
         for root, idxs in groups.items():
             cone = self.cone_index.cone((root,))
-            lanes = []
-            for i in idxs:
-                wire, extra = injections[i]
-                shifted = [(t + extra, v) for t, v in waves.changes[wire.net]]
-                lanes.append(_Lane({(root, wire.sink.pin): shifted}))
-            self._cone_pass(waves, cone, lanes)
-            self.batch_resims += len(idxs)
-            for lane, i in zip(lanes, idxs):
-                results[i] = lane.errors
+            # Chunk the group to the lane width so every pass fits one word.
+            for start in range(0, len(idxs), lane_width):
+                chunk = idxs[start : start + lane_width]
+                lane_objs = []
+                for i in chunk:
+                    wire, extra = injections[i]
+                    shifted = [
+                        (t + extra, v) for t, v in waves.changes[wire.net]
+                    ]
+                    lane_objs.append(_Lane({(root, wire.sink.pin): shifted}))
+                self._cone_pass(waves, cone, lane_objs)
+                self.batch_resims += len(chunk)
+                for lane, i in zip(lane_objs, chunk):
+                    results[i] = lane.errors
         return results  # type: ignore[return-value]
 
     def _cone_pass(
@@ -417,7 +507,20 @@ class EventSimulator:
         order and skipping cells no lane has marked dirty visits the same
         cells in the same order.  Per-cell fault-free data (input slices,
         baseline output waveform, delay) is gathered once and shared by all
-        lanes; waveform recomputation stays per-lane.
+        lanes.
+
+        When two or more lanes are dirty at a cell, their waveform
+        recomputation is *word-packed*: lane *k* of the dirty set rides bit
+        plane *k*, shared fault-free pin events are applied once under a
+        multi-lane mask, private (override / previously modified) waveforms
+        land on their own plane, and the cell is evaluated once per distinct
+        event time of the merged stream.  Plane disjointness means a lane's
+        output bit only moves at that lane's own input-event times, so each
+        extracted change-subsequence equals the scalar
+        :func:`_recompute_output` result exactly — same times, same values,
+        glitches included.  A cell with a single dirty lane has nothing to
+        pack and takes the scalar kernel (counted in
+        ``packed_scalar_lanes``).
         """
         netlist = self.netlist
         period = self.sta.clock_period
@@ -446,6 +549,7 @@ class EventSimulator:
                 elif lane not in entry:
                     entry.append(lane)
 
+        pack_size = len(lanes)
         for p in range(len(cells)):
             if not outstanding:
                 break
@@ -462,25 +566,79 @@ class EventSimulator:
             base_out = changes.get(out_net, _NO_CHANGES)
             kind = cell_kinds[cell]
             delay = float(cell_delay[cell])
-            for lane in entry:
+            n_dirty = len(entry)
+            if n_dirty > 1:
+                # Word-packed evaluation: one merged event walk for all
+                # dirty lanes, lane k of the entry on bit plane k.
+                full = (1 << n_dirty) - 1
+                current: List[int] = []
+                events: List[Tuple[float, int, int, int]] = []
+                for pin, in_net in enumerate(inputs):
+                    base_initial, base_wf = base_pin_waves[pin]
+                    base_mask = 0
+                    for li, lane in enumerate(entry):
+                        wf = lane.overrides.get((cell, pin))
+                        if wf is None:
+                            wf = lane.modified.get(in_net)
+                        if wf is None:
+                            base_mask |= 1 << li
+                        else:
+                            bit = 1 << li
+                            for t, v in wf:
+                                events.append((t, pin, v, bit))
+                    if base_mask and base_wf:
+                        for t, v in base_wf:
+                            events.append((t, pin, v, base_mask))
+                    current.append(full if base_initial else 0)
+                events.sort()
+                last_word = _eval_cell_packed(kind, current, full)
+                out_wfs: List[Waveform] = [[] for _ in range(n_dirty)]
+                i = 0
+                count = len(events)
+                while i < count:
+                    t = events[i][0]
+                    while i < count and events[i][0] == t:
+                        _, pin, v, m = events[i]
+                        if v:
+                            current[pin] |= m
+                        else:
+                            current[pin] &= full ^ m
+                        i += 1
+                    word = _eval_cell_packed(kind, current, full)
+                    diff = word ^ last_word
+                    if diff:
+                        tt = t + delay
+                        li = 0
+                        while diff:
+                            if diff & 1:
+                                out_wfs[li].append((tt, (word >> li) & 1))
+                            diff >>= 1
+                            li += 1
+                        last_word = word
+                self.packed_cone_words += 1
+                self.packed_cone_lanes += n_dirty
+                self.packed_cone_lane_slots += pack_size
+            else:
+                # A lone dirty lane has nothing to share: scalar kernel.
+                lane = entry[0]
                 pin_waves = base_pin_waves
                 patched = False
-                overrides = lane.overrides
-                modified = lane.modified
                 for pin, in_net in enumerate(inputs):
-                    wf = overrides.get((cell, pin))
+                    wf = lane.overrides.get((cell, pin))
                     if wf is None:
-                        wf = modified.get(in_net)
+                        wf = lane.modified.get(in_net)
                     if wf is None:
                         continue
                     if not patched:
                         pin_waves = list(base_pin_waves)
                         patched = True
                     pin_waves[pin] = (pin_waves[pin][0], wf)
-                out_wf = _recompute_output(kind, pin_waves, delay)
+                out_wfs = [_recompute_output(kind, pin_waves, delay)]
+                self.packed_scalar_lanes += 1
+            for lane, out_wf in zip(entry, out_wfs):
                 if out_wf == base_out:
                     continue  # converged with the fault-free waveform
-                modified[out_net] = out_wf
+                lane.modified[out_net] = out_wf
                 latched = value_at(int(initial[out_net]), out_wf, period)
                 if latched != int(final[out_net]):
                     for dff in fanout_dffs[out_net]:

@@ -14,20 +14,27 @@ collapse into two terms:
     out = ((a & b) & ao_sel | (a ^ b) & ox_sel) ^ (inv_sel & mask)
 
 where ``ao_sel`` (AND- or OR-shaped) / ``ox_sel`` (OR- or XOR-shaped) /
-``inv_sel`` are per-cell constant planes (``0x00`` or ``0xFF``) baked at
+``inv_sel`` are per-cell constant planes (all-zeros or all-ones) baked at
 plan-construction time, and MUX2 cells fuse as ``a ^ ((a ^ b) & s)``.  The
-constants are full bytes, so the same fused pass evaluates all 8 bit-planes
-of the packed lane-parallel simulator at once; masking ``inv_sel`` by the
-active-plane mask keeps inactive planes at zero, bit-exact with per-kind
-scalar evaluation.  :meth:`EvalPlan.evaluate` lazily compiles one *program*
-per mask — a flat step list with pre-masked constants and preallocated
-gather buffers — replacing hundreds of tiny allocating per-(level, kind)
-numpy calls per cycle with a handful of in-place whole-level ones.  This is
-the cycle simulator's (and therefore GroupACE's) inner loop.
+constants are full words, so the same fused pass evaluates every bit-plane
+of the packed lane-parallel simulator at once — 8 lanes in uint8 arrays,
+64 in uint64 — the step program is dtype-generic; masking ``inv_sel`` by
+the active-plane mask keeps inactive planes at zero, bit-exact with
+per-kind scalar evaluation.  :meth:`EvalPlan.evaluate` lazily compiles one
+*program* per (dtype, mask) pair — a flat step list with pre-masked,
+pre-widened constants — replacing hundreds of tiny allocating
+per-(level, kind) numpy calls per cycle with a handful of in-place
+whole-level ones.  The program cache is a small LRU
+(:data:`PROGRAM_CACHE_CAP` entries): scalar simulation uses exactly one
+mask and packed simulation one mask per active lane count, so the bound
+never evicts in practice — it only guards against pathological 64-bit mask
+diversity turning memoization into a leak.  This is the cycle simulator's
+(and therefore GroupACE's) inner loop.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -35,6 +42,9 @@ import numpy as np
 
 from repro.netlist.cells import CellKind, eval_cell_array
 from repro.netlist.netlist import Netlist
+
+#: Bound on compiled step programs kept per plan (LRU eviction beyond it).
+PROGRAM_CACHE_CAP = 32
 
 #: Gate decomposition: kind -> (base function, inverted).  The base function
 #: selects which of the three fused terms carries the cell; 1-input kinds
@@ -88,45 +98,94 @@ class EvalPlan:
     #: fused per-level compilation used by :meth:`evaluate` (``batches`` is
     #: kept as the introspectable per-kind view the tests cross-check)
     fused_levels: Tuple[_FusedLevel, ...] = field(default=(), repr=False)
-    #: lazily compiled per-mask step programs (see :meth:`_compile`)
-    _programs: Dict[int, list] = field(
-        default_factory=dict, repr=False, compare=False
+    #: lazily compiled step programs, LRU-keyed by (dtype char, mask)
+    _programs: "OrderedDict[Tuple[str, int], list]" = field(
+        default_factory=OrderedDict, repr=False, compare=False
+    )
+    #: mutable cache statistics ({"evictions": n}) — surfaced in telemetry
+    _program_stats: Dict[str, int] = field(
+        default_factory=lambda: {"evictions": 0}, repr=False, compare=False
     )
 
-    def _compile(self, mask: int) -> list:
+    @property
+    def program_cache_size(self) -> int:
+        """Number of compiled (dtype, mask) step programs currently cached."""
+        return len(self._programs)
+
+    @property
+    def program_cache_evictions(self) -> int:
+        """Programs evicted so far by the :data:`PROGRAM_CACHE_CAP` bound."""
+        return self._program_stats["evictions"]
+
+    def _compile(self, mask: int, dtype: np.dtype) -> list:
         """Compile the fused levels into a flat step program for ``mask``.
 
+        Selector and inversion constants are widened from their canonical
+        uint8 form to *dtype* (all-ones stays all-ones in the wider word).
         Inversion constants are pre-masked so no trailing ``& mask`` is
         needed: the ``(a & b)`` / ``(a ^ b)`` terms cannot set inactive
         planes on their own (inputs are plane-clean), so XOR-ing a masked
         inversion constant is the only place active planes are introduced.
+
+        Degenerate selectors are specialized away at compile time: an
+        all-ones selector drops its masking op, an all-zeros selector drops
+        its whole term (a level of pure AND/OR gates never computes the XOR
+        term and vice versa), and an all-zeros inversion plane drops the
+        final XOR.  A level holding both gates and MUXes compiles to a
+        *single* step over the concatenated cell arrays: both formulas
+        share the ``(a ^ b)`` term (for a MUX, ``out = a ^ ((a ^ b) & s)``),
+        so the gate slice and the MUX slice of one gathered pair are
+        finished with per-slice views instead of a second gather/scatter
+        round-trip.  Typical levels run in 5-9 numpy ops instead of 9-16.
         """
+        ones = int(np.iinfo(dtype).max)
+        if not 0 < mask <= ones:
+            raise ValueError(
+                f"mask {mask:#x} does not fit the {np.dtype(dtype).name} "
+                f"value planes"
+            )
+
+        def widen(sel: np.ndarray, value: int):
+            """None for an all-zeros selector, True for all-ones, else a plane."""
+            if not sel.any():
+                return None
+            if sel.all():
+                return True
+            out = np.zeros(sel.shape, dtype=dtype)
+            out[sel != 0] = value
+            return out
+
+        _GATE, _MUX, _MIXED = 0, 1, 2
         steps: list = []
         for level in self.fused_levels:
-            if len(level.gate_out):
-                inv = level.inv_sel & np.uint8(mask)
+            gates = len(level.gate_out)
+            muxes = len(level.mux_out)
+            if gates:
+                inv = widen(level.inv_sel, mask)
+                ao = widen(level.ao_sel, ones)
+                ox = widen(level.ox_sel, ones)
+                inv = mask if inv is True else inv
+            if gates and muxes:
                 steps.append(
                     (
-                        True,
-                        level.gate_a,
-                        level.gate_b,
-                        level.gate_out,
-                        level.ao_sel,
-                        level.ox_sel,
-                        inv if inv.any() else None,
+                        _MIXED,
+                        np.concatenate([level.gate_a, level.mux_a]),
+                        np.concatenate([level.gate_b, level.mux_b]),
+                        level.mux_s,
+                        np.concatenate([level.gate_out, level.mux_out]),
+                        gates,
+                        ao,
+                        ox,
+                        inv,
                     )
                 )
-            if len(level.mux_out):
+            elif gates:
                 steps.append(
-                    (
-                        False,
-                        level.mux_a,
-                        level.mux_b,
-                        level.mux_s,
-                        level.mux_out,
-                        None,
-                        None,
-                    )
+                    (_GATE, level.gate_a, level.gate_b, level.gate_out, ao, ox, inv)
+                )
+            elif muxes:
+                steps.append(
+                    (_MUX, level.mux_a, level.mux_b, level.mux_s, level.mux_out)
                 )
         return steps
 
@@ -135,33 +194,80 @@ class EvalPlan:
 
         ``mask`` selects the active bit-planes (see
         :func:`repro.netlist.cells.eval_cell_array`): 1 for a plain scalar
-        simulation, ``(1 << lanes) - 1`` for lane-parallel simulation.
+        simulation, ``(1 << lanes) - 1`` for lane-parallel simulation.  The
+        dtype of *values* picks the word width (uint8 for up to 8 lanes,
+        uint64 for up to 64); programs are compiled per (dtype, mask).
         Inputs must be clean w.r.t. ``mask`` (no bits set on inactive
         planes); both simulators maintain that invariant, and outputs stay
         clean.
         """
-        program = self._programs.get(mask)
+        key = (values.dtype.char, mask)
+        program = self._programs.get(key)
         if program is None:
-            program = self._programs[mask] = self._compile(mask)
-        for is_gate, in_a, in_b, x0, x1, ox, inv in program:
-            if is_gate:  # x0 = gate_out, x1 = ao_sel
+            program = self._programs[key] = self._compile(mask, values.dtype)
+            if len(self._programs) > PROGRAM_CACHE_CAP:
+                self._programs.popitem(last=False)
+                self._program_stats["evictions"] += 1
+        else:
+            self._programs.move_to_end(key)
+        for step in program:
+            tag = step[0]
+            if tag == 0:  # gate-only level
+                _, in_a, in_b, out_idx, ao, ox, inv = step
                 a = values[in_a]
                 b = values[in_b]
-                out = a & b
-                out &= x1
-                a ^= b  # gathered copies; safe to clobber in place
-                a &= ox
-                out |= a
+                if ao is None:  # pure XOR-shaped level: only the (a ^ b) term
+                    a ^= b  # gathered copy; safe to clobber in place
+                    if ox is not True:
+                        a &= ox
+                    out = a
+                elif ox is None:  # pure AND-shaped level: only the (a & b) term
+                    a &= b
+                    if ao is not True:
+                        a &= ao
+                    out = a
+                else:
+                    out = a & b
+                    if ao is not True:
+                        out &= ao
+                    a ^= b
+                    if ox is not True:
+                        a &= ox
+                    out |= a
                 if inv is not None:
                     out ^= inv
-                values[x0] = out
-            else:  # x0 = mux_s, x1 = mux_out
+                values[out_idx] = out
+            elif tag == 1:  # mux-only level
+                _, in_a, in_b, sel, out_idx = step
                 a = values[in_a]
                 t = values[in_b]  # out = a ^ ((a ^ b) & s) == b if s else a
                 t ^= a
-                t &= values[x0]
+                t &= values[sel]
                 t ^= a
-                values[x1] = t
+                values[out_idx] = t
+            else:  # mixed level: [:g] gates, [g:] muxes, one gather/scatter
+                _, in_a, in_b, sel, out_idx, g, ao, ox, inv = step
+                a = values[in_a]
+                b = values[in_b]
+                if ao is not None:
+                    u = a[:g] & b[:g]  # (a & b) term before b is clobbered
+                    if ao is not True:
+                        u &= ao
+                b ^= a  # b := a ^ b across both slices
+                bm = b[g:]
+                bm &= values[sel]
+                bm ^= a[g:]  # mux out = a ^ ((a ^ b) & s)
+                bg = b[:g]
+                if ox is None:  # no XOR-shaped gates: out is the AND term
+                    bg[:] = u
+                else:
+                    if ox is not True:
+                        bg &= ox
+                    if ao is not None:
+                        bg ^= u
+                if inv is not None:
+                    bg ^= inv
+                values[out_idx] = b
 
     def evaluate_reference(self, values: np.ndarray, mask: int = 1) -> None:
         """Per-kind batch evaluation (the fused path's bit-exact oracle)."""

@@ -189,6 +189,10 @@ class IbexMiniSystem:
     debug_probes: Dict[str, List[int]] = field(default_factory=dict)
     #: explicit operating clock period; None means "longest path" (paper).
     clock_period_ps: float | None = None
+    #: scope -> injectable wires, memoized (see :meth:`structure_wires`)
+    _structure_wires_cache: Dict[str, List[Wire]] = field(
+        default_factory=dict, repr=False
+    )
 
     @cached_property
     def plan(self) -> EvalPlan:
@@ -216,9 +220,19 @@ class IbexMiniSystem:
         return MemoryEnvironment(program)
 
     def structure_wires(self, structure: str) -> List[Wire]:
-        """Injectable wires of a structure (by display name or scope)."""
+        """Injectable wires of a structure (by display name or scope).
+
+        Enumerating a structure's wires scans the whole frozen netlist, and
+        every shard preparation needs the list (wire indices in plans and
+        cache keys are positions in it), so it is memoized per scope.  The
+        cached list is shared — callers must treat it as read-only.
+        """
         scope = self.structures.get(structure, structure)
-        return self.netlist.wires_of_structure(scope)
+        wires = self._structure_wires_cache.get(scope)
+        if wires is None:
+            wires = self.netlist.wires_of_structure(scope)
+            self._structure_wires_cache[scope] = wires
+        return wires
 
     def run_program(
         self,

@@ -226,8 +226,16 @@ def test_config_validation_rejects_bad_knobs():
         CampaignConfig(cycle_count=None, cycle_fraction=None)
     with pytest.raises(ValueError, match="max_wires"):
         CampaignConfig(max_wires=0)
+    with pytest.raises(ValueError, match="lanes"):
+        CampaignConfig(lanes=0)
+    with pytest.raises(ValueError, match="lanes"):
+        CampaignConfig(lanes=65)
     with pytest.raises(ValueError, match="batch_lanes"):
-        CampaignConfig(batch_lanes=9)
+        CampaignConfig(batch_lanes=65)
+    # The deprecated alias overrides the new knob when explicitly set.
+    assert CampaignConfig(batch_lanes=8).lane_width == 8
+    assert CampaignConfig(lanes=32).lane_width == 32
+    assert CampaignConfig().lane_width == 64
     with pytest.raises(ValueError, match="jobs"):
         CampaignConfig(jobs=0)
 

@@ -95,7 +95,7 @@ def test_lane_count_validation(system, strstr_program):
     with pytest.raises(ValueError, match="lanes"):
         psim.load(
             golden.checkpoints[10],
-            [system.make_env(strstr_program) for _ in range(9)],
+            [system.make_env(strstr_program) for _ in range(MAX_LANES + 1)],
         )
 
 
