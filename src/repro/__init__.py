@@ -50,6 +50,17 @@ _EXPORTS = {
     "TimingError": ("repro.errors", "TimingError"),
     "WorkloadError": ("repro.errors", "WorkloadError"),
     "CacheError": ("repro.errors", "CacheError"),
+    "UnknownJobError": ("repro.errors", "UnknownJobError"),
+    "DuplicateJobError": ("repro.errors", "DuplicateJobError"),
+    "ServiceDrainingError": ("repro.errors", "ServiceDrainingError"),
+    "ERROR_TAXONOMY": ("repro.errors", "ERROR_TAXONOMY"),
+    "CampaignService": ("repro.service", "CampaignService"),
+    "ServiceConfig": ("repro.service", "ServiceConfig"),
+    "ServiceClient": ("repro.client", "ServiceClient"),
+    "engine_for": ("repro.api", "engine_for"),
+    "engine_cache_stats": ("repro.api", "engine_cache_stats"),
+    "result_from_payload": ("repro.core.results", "result_from_payload"),
+    "PAYLOAD_SCHEMA": ("repro.core.results", "PAYLOAD_SCHEMA"),
 }
 
 
@@ -68,25 +79,36 @@ __all__ = [
     "BENCHMARK_NAMES",
     "CacheError",
     "CampaignConfig",
+    "CampaignService",
     "ConfidenceInterval",
     "DelayAVFEngine",
     "DelayAVFResult",
     "DelayFault",
+    "DuplicateJobError",
+    "ERROR_TAXONOMY",
     "GuardViolation",
     "IbexMiniSystem",
     "InputError",
     "Outcome",
+    "PAYLOAD_SCHEMA",
     "ReproError",
     "SAVFEngine",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceDrainingError",
     "StructureCampaignResult",
     "TimingError",
+    "UnknownJobError",
     "WorkloadError",
     "analyze",
     "bootstrap_interval",
     "build_system",
     "check_campaign_result",
+    "engine_cache_stats",
+    "engine_for",
     "load_benchmark",
     "preflight_campaign",
+    "result_from_payload",
     "savf",
     "shutdown",
     "sweep",

@@ -4,7 +4,7 @@ This module is the supported programmatic entry point.  Instead of wiring a
 system, a session, and an engine together by hand::
 
     system = build_system()
-    session = CampaignSession(system, program, config)   # deprecated
+    session = CampaignSession(system, program, config)   # raises TypeError
     ...
 
 callers make one call::
@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import atexit
 import dataclasses
+import threading
 from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 from repro.core import tracing
@@ -44,17 +45,35 @@ from repro.core.campaign import (
     run_structures_spanning,
 )
 from repro.core.executor import SessionSpec
+from repro.core.metrics import heartbeat_path, write_metrics
+from repro.core.progress import Heartbeat, ProgressReporter
 from repro.core.results import SAVFResult, StructureCampaignResult
 from repro.core.savf import SAVFEngine
 from repro.core.stats import DEFAULT_CONFIDENCE
+from repro.core.telemetry import CampaignTelemetry
 from repro.isa.assembler import Program
 from repro.soc.system import build_system
 from repro.workloads.beebs import load_benchmark
 
-__all__ = ["analyze", "sweep", "savf", "shutdown", "CampaignConfig"]
+__all__ = [
+    "analyze",
+    "sweep",
+    "savf",
+    "engine_for",
+    "engine_cache_stats",
+    "shutdown",
+    "CampaignConfig",
+]
 
-#: (program content signature, ecc, config) -> live engine
+#: (program content signature, ecc, neutral config) -> live engine
 _ENGINES: Dict[Tuple, DelayAVFEngine] = {}
+#: guards _ENGINES / _ENGINE_LOCKS / _CACHE_STATS (never held while an
+#: engine is being *built* — construction can run golden simulations)
+_REGISTRY_LOCK = threading.Lock()
+#: per-key construction locks so two threads asking for the same engine
+#: build it once while threads asking for different engines never serialize
+_ENGINE_LOCKS: Dict[Tuple, threading.Lock] = {}
+_CACHE_STATS = {"hits": 0, "misses": 0}
 
 
 def _resolve_program(workload: Union[str, Program]) -> Program:
@@ -74,20 +93,68 @@ def _engine(
     key by :func:`repro.core.cache.program_signature` — a content hash of
     the image, not the name — so an ad-hoc program that happens to share a
     bundled benchmark's name can never silently reuse the wrong engine
-    (wrong golden run, wrong verdicts).
+    (wrong golden run, wrong verdicts).  The config is *neutralized*
+    (:meth:`CampaignConfig.neutral`) before keying: per-call reporting
+    channels (``progress`` / ``metrics_out`` / ``stats``) never fragment
+    the cache, so concurrent service jobs differing only in where they
+    report share one engine — and its warm verdicts.
+
+    Thread-safe: lookups synchronize on a registry lock, and construction
+    (which may run golden simulations) happens under a per-key lock so two
+    threads asking for the same engine build it exactly once while requests
+    for different engines proceed concurrently.
     """
     program = _resolve_program(workload)
-    key = (program_signature(program), bool(ecc), config)
-    engine = _ENGINES.get(key)
-    if engine is None:
+    neutral = config.neutral()
+    key = (program_signature(program), bool(ecc), neutral)
+    with _REGISTRY_LOCK:
+        engine = _ENGINES.get(key)
+        if engine is not None:
+            _CACHE_STATS["hits"] += 1
+            return engine
+        build_lock = _ENGINE_LOCKS.setdefault(key, threading.Lock())
+    with build_lock:
+        with _REGISTRY_LOCK:
+            engine = _ENGINES.get(key)
+            if engine is not None:
+                _CACHE_STATS["hits"] += 1
+                return engine
         spec = SessionSpec(
             system_factory=build_system,
             program=program,
-            config=config,
+            config=neutral,
             factory_kwargs=(("use_ecc", bool(ecc)),),
         )
-        engine = _ENGINES[key] = DelayAVFEngine.from_spec(spec)
+        engine = DelayAVFEngine.from_spec(spec)
+        with _REGISTRY_LOCK:
+            _ENGINES[key] = engine
+            _CACHE_STATS["misses"] += 1
     return engine
+
+
+def engine_for(
+    workload: Union[str, Program],
+    *,
+    ecc: bool = False,
+    config: Optional[CampaignConfig] = None,
+) -> DelayAVFEngine:
+    """The shared cached engine :func:`analyze` / :func:`savf` would use.
+
+    Public handle for long-lived callers (the campaign service) that need
+    the engine itself — e.g. to serialize runs on it per job.  Same cache,
+    same neutralized key, same thread-safety as the internal path.
+    """
+    return _engine(workload, ecc, config or CampaignConfig())
+
+
+def engine_cache_stats() -> Dict[str, int]:
+    """Engine-cache effectiveness: ``{"hits": ..., "misses": ..., "size": ...}``."""
+    with _REGISTRY_LOCK:
+        return {
+            "hits": _CACHE_STATS["hits"],
+            "misses": _CACHE_STATS["misses"],
+            "size": len(_ENGINES),
+        }
 
 
 def _observed_config(
@@ -107,9 +174,27 @@ def _observed_config(
         overrides["metrics_out"] = str(metrics_out)
     if lanes is not None:
         overrides["lanes"] = int(lanes)
-        # An explicit per-call width wins over a deprecated alias too.
-        overrides["batch_lanes"] = None
     return dataclasses.replace(config, **overrides) if overrides else config
+
+
+def _reporter_for(
+    run_config: CampaignConfig, label: str
+) -> Optional[ProgressReporter]:
+    """Per-call progress reporter (the engine's config is neutral, so the
+    reporting channels live here at the facade)."""
+    if not (run_config.progress or run_config.metrics_out):
+        return None
+    heartbeat = None
+    if run_config.metrics_out:
+        heartbeat = Heartbeat(
+            heartbeat_path(run_config.metrics_out),
+            min_interval=run_config.heartbeat_seconds,
+        )
+    return ProgressReporter(
+        enabled=bool(run_config.progress),
+        heartbeat=heartbeat,
+        label=label,
+    )
 
 
 def analyze(
@@ -169,15 +254,36 @@ def analyze(
         # golden runs on a cold engine) is part of the campaign's story.
         tracing.enable(reset=True)
     engine = _engine(workload, ecc, run_config)
+    reporter = _reporter_for(
+        run_config, f"{engine.program.name}/{structure}"
+    )
     if target_half_width is not None:
         result = engine.run_structure_adaptive(
             structure,
             target_half_width,
             confidence=confidence,
             resume=resume,
+            reporter=reporter,
         )
     else:
-        result = engine.run_structure(structure, resume=resume)
+        result = engine.run_structure(
+            structure, resume=resume, reporter=reporter
+        )
+    if run_config.metrics_out:
+        # The cached engine runs with a neutral config, so the metrics
+        # snapshot is written here from the campaign's telemetry slice.
+        write_metrics(
+            run_config.metrics_out,
+            result.telemetry,
+            labels={
+                "structure": result.structure,
+                "benchmark": result.benchmark,
+            },
+            extra={
+                "degraded": bool(result.degraded),
+                "suspect": bool(result.suspect),
+            },
+        )
     if trace:
         tracing.write_trace(trace, tracing.drain())
     return result
@@ -244,30 +350,14 @@ def savf(
     if trace:
         tracing.enable(reset=True)
     engine = _engine(workload, ecc, run_config)
-    reporter = None
-    if run_config.progress or run_config.metrics_out:
-        from repro.core.metrics import heartbeat_path
-        from repro.core.progress import Heartbeat, ProgressReporter
-
-        heartbeat = None
-        if run_config.metrics_out:
-            heartbeat = Heartbeat(
-                heartbeat_path(run_config.metrics_out),
-                min_interval=run_config.heartbeat_seconds,
-            )
-        reporter = ProgressReporter(
-            enabled=bool(run_config.progress),
-            heartbeat=heartbeat,
-            label=f"{engine.program.name}/{structure}:savf",
-        )
+    reporter = _reporter_for(
+        run_config, f"{engine.program.name}/{structure}:savf"
+    )
     before = engine.telemetry.snapshot()
     result = SAVFEngine(engine.session).run_structure(
         structure, max_bits=bits, seed=seed, progress=reporter
     )
     if run_config.metrics_out:
-        from repro.core.metrics import write_metrics
-        from repro.core.telemetry import CampaignTelemetry
-
         write_metrics(
             run_config.metrics_out,
             CampaignTelemetry.from_snapshot(engine.telemetry.diff(before)),
@@ -289,8 +379,10 @@ def shutdown() -> None:
     path's worker pools are reclaimed even when callers never shut down
     explicitly.
     """
-    engines = list(_ENGINES.values())
-    _ENGINES.clear()
+    with _REGISTRY_LOCK:
+        engines = list(_ENGINES.values())
+        _ENGINES.clear()
+        _ENGINE_LOCKS.clear()
     for engine in engines:
         engine.close()
 

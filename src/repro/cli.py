@@ -14,6 +14,7 @@ Examples::
     python -m repro delayavf md5 alu --target-half-width 0.02
     python -m repro doctor md5 alu --cache-dir .verdicts
     python -m repro savf libstrstr regfile --bits 24 --ecc
+    python -m repro serve --port 8321 --workers 2 --cache-dir .verdicts
 
 ``doctor`` preflights inputs without running anything and exits 0 when every
 check passes, 1 on a fatal input error, and 2 when there are only warnings,
@@ -43,7 +44,14 @@ from repro.core.guards import (
     preflight_structure,
     preflight_system,
 )
-from repro.errors import InputError, ReproError
+from repro.errors import (
+    EXIT_FATAL,
+    EXIT_OK,
+    EXIT_WARNINGS,
+    InputError,
+    ReproError,
+    exit_code_for,
+)
 from repro.isa.disasm import disassemble
 from repro.netlist.stats import structure_stats
 from repro.soc.system import build_system
@@ -203,6 +211,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
 
     p = sub.add_parser(
+        "serve",
+        help="run the campaign service daemon (JSON over HTTP, /v1 API)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=8321,
+        help="listen port (0 binds an ephemeral port; the bound address is "
+             "printed once listening)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent job-executing worker threads (default: 2)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="default persistent verdict-cache directory applied to jobs "
+             "that do not set one (repeat queries then warm-start from it)",
+    )
+
+    p = sub.add_parser(
         "trace", help="inspect span traces written with --trace"
     )
     tsub = p.add_subparsers(dest="trace_command", required=True)
@@ -312,7 +340,7 @@ def cmd_delayavf(args) -> int:
         config = CampaignConfig.from_cli_args(args)
     except ValueError as exc:
         print(f"error: invalid campaign configuration: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_FATAL
     try:
         result = api.analyze(
             args.structure, args.benchmark, config=config, ecc=args.ecc,
@@ -324,13 +352,13 @@ def cmd_delayavf(args) -> int:
         )
     except ReproError as exc:
         print(f"error: {exc.describe()}", file=sys.stderr)
-        return 1
+        return exit_code_for(exc)
     finally:
         api.shutdown()
     _warn_health(result)
     if args.format == "json":
         print(json.dumps(result.to_payload(), indent=2))
-        return 0
+        return EXIT_OK
     rows = []
     achieved = 0
     for delay in config.delay_fractions:
@@ -383,7 +411,7 @@ def cmd_doctor(args) -> int:
         for finding in findings:
             print(finding.render())
         print(f"doctor: {len(findings)} error(s), 0 warning(s)")
-        return 1
+        return EXIT_FATAL
     program = None
     if args.benchmark is not None:
         if args.benchmark in BENCHMARK_NAMES:
@@ -410,12 +438,12 @@ def cmd_doctor(args) -> int:
     warns = len(findings) - errors
     if errors:
         print(f"doctor: {errors} error(s), {warns} warning(s)")
-        return 1
+        return EXIT_FATAL
     if warns:
         print(f"doctor: {warns} warning(s), no errors")
-        return 2
+        return EXIT_WARNINGS
     print("doctor: all checks passed")
-    return 0
+    return EXIT_OK
 
 
 def cmd_savf(args) -> int:
@@ -428,15 +456,18 @@ def cmd_savf(args) -> int:
             progress=args.progress,
             metrics_out=args.metrics_out,
         )
+    except ReproError as exc:
+        print(f"error: {exc.describe()}", file=sys.stderr)
+        return exit_code_for(exc)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_FATAL
     finally:
         api.shutdown()
     _warn_health(result)
     if args.format == "json":
         print(json.dumps(result.to_payload(), indent=2))
-        return 0
+        return EXIT_OK
     print(render_table(
         ["structure", "samples", "ACE", "SDC", "DUE", "sAVF"],
         [[result.structure, result.samples, result.ace_count,
@@ -446,6 +477,29 @@ def cmd_savf(args) -> int:
               "(+/- at 95% confidence)",
     ))
     return 0
+
+
+def cmd_serve(args) -> int:
+    """``repro serve``: run the campaign service until SIGTERM/SIGINT."""
+    from repro.service import CampaignService, ServiceConfig
+
+    try:
+        service = CampaignService(ServiceConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+        ))
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot start service: {exc}", file=sys.stderr)
+        return EXIT_FATAL
+    host, port = service.address
+    # One parseable line, flushed before blocking, so scripts (and the CI
+    # smoke) can discover an ephemeral port.
+    print(f"repro-service listening on http://{host}:{port}", flush=True)
+    service.serve_forever()
+    print("repro-service drained and stopped", flush=True)
+    return EXIT_OK
 
 
 def cmd_trace(args) -> int:
@@ -491,6 +545,7 @@ _COMMANDS = {
     "delayavf": cmd_delayavf,
     "doctor": cmd_doctor,
     "savf": cmd_savf,
+    "serve": cmd_serve,
     "trace": cmd_trace,
 }
 

@@ -1,0 +1,136 @@
+"""Thin stdlib client for the campaign service (:mod:`repro.service`).
+
+:class:`ServiceClient` speaks the daemon's five-endpoint ``/v1`` protocol
+over :mod:`urllib` — submit a job spec, poll its status, fetch the enveloped
+result — and re-raises service-side failures as the *same* typed
+:class:`repro.errors.ReproError` subclasses a local :func:`repro.api.analyze`
+call would have raised (the error payload round-trips through
+:func:`repro.errors.error_from_payload`), so callers handle local and remote
+failures with one ``except``.
+
+Quickstart::
+
+    from repro.client import ServiceClient
+    from repro.core.results import result_from_payload
+
+    client = ServiceClient("http://127.0.0.1:8321")
+    job_id = client.submit({
+        "kind": "analyze", "structure": "alu", "benchmark": "libfibcall",
+        "config": {"delay_fractions": [0.5, 0.9], "max_wires": 8,
+                   "cycle_count": 3},
+    })
+    payload = client.result(job_id, wait=True)   # the repro/v1 envelope
+    result = result_from_payload(payload)        # a StructureCampaignResult
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+from repro.core.results import unwrap_payload
+from repro.errors import ReproError, error_from_payload
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """One service endpoint, addressed by base URL (``http://host:port``)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        """One HTTP round-trip; error envelopes raise their typed error."""
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                raw = resp.read()
+                content_type = resp.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                _, error = unwrap_payload(json.loads(raw))
+            except Exception:  # noqa: BLE001 - non-envelope error bodies
+                raise ReproError(
+                    f"service answered HTTP {exc.code}: {raw[:200]!r}"
+                ) from exc
+            raise error_from_payload(error) from exc
+        if content_type.startswith("text/plain"):
+            return raw.decode("utf-8")
+        return json.loads(raw)
+
+    # ------------------------------------------------------------------
+    def submit(self, spec: Dict[str, Any]) -> str:
+        """Submit a job spec; returns its (content-addressed) job id."""
+        return self.submit_info(spec)["id"]
+
+    def submit_info(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Like :meth:`submit` but returns the full acceptance document
+        (``{"id", "state", "deduplicated", "label"}``)."""
+        _, body = unwrap_payload(
+            self._request("POST", "/v1/jobs", spec), expected_kind="job-accepted"
+        )
+        return dict(body)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """The job's bare status document (state, progress, telemetry)."""
+        _, body = unwrap_payload(
+            self._request("GET", f"/v1/jobs/{job_id}"), expected_kind="job"
+        )
+        return dict(body)
+
+    def result(
+        self,
+        job_id: str,
+        wait: bool = True,
+        timeout: Optional[float] = 300.0,
+        poll_seconds: float = 0.2,
+    ) -> Dict[str, Any]:
+        """The job's enveloped result payload.
+
+        With ``wait`` (the default) polls the status endpoint until the job
+        reaches a terminal state (at most *timeout* seconds).  A failed job
+        raises the same typed :class:`repro.errors.ReproError` the campaign
+        raised inside the service.
+        """
+        if wait:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while True:
+                status = self.status(job_id)
+                if status["state"] in ("done", "failed"):
+                    break
+                if deadline is not None and time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"job {job_id} still {status['state']!r} after "
+                        f"{timeout} seconds"
+                    )
+                time.sleep(poll_seconds)
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def metrics(self) -> str:
+        """The Prometheus exposition document from ``/v1/metrics``."""
+        return self._request("GET", "/v1/metrics")
+
+    def healthz(self) -> Dict[str, Any]:
+        _, body = unwrap_payload(
+            self._request("GET", "/v1/healthz"), expected_kind="health"
+        )
+        return dict(body)

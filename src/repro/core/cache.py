@@ -49,6 +49,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 import time
 import warnings
 from pathlib import Path
@@ -234,6 +235,12 @@ class VerdictCache:
         self._dirty = False
         self._calls_since_flush = 0
         self._last_flush = time.monotonic()
+        # Intra-process guard: the campaign service runs concurrent jobs in
+        # threads of one process, and two jobs sharing an engine share this
+        # cache.  (Cross-process safety is the flock in :func:`_flush_lock`;
+        # this lock makes in-memory mutation + flush safe within a process.)
+        # Reentrant because flush() is called from guarded mutators' callers.
+        self._lock = threading.RLock()
         self._load(self.path, replace=True)
 
     @classmethod
@@ -288,13 +295,15 @@ class VerdictCache:
 
     # ------------------------------------------------------------------
     def get_verdict(self, key: str) -> Optional[Outcome]:
-        value = self._verdicts.get(key)
+        with self._lock:
+            value = self._verdicts.get(key)
         return Outcome(value) if value is not None else None
 
     def put_verdict(self, key: str, outcome: Outcome) -> None:
-        if self._verdicts.get(key) != outcome.value:
-            self._verdicts[key] = outcome.value
-            self._dirty = True
+        with self._lock:
+            if self._verdicts.get(key) != outcome.value:
+                self._verdicts[key] = outcome.value
+                self._dirty = True
 
     def lookup(
         self,
@@ -314,16 +323,19 @@ class VerdictCache:
         self.put_verdict(verdict_key(cycle, at_next_boundary, overrides_items), outcome)
 
     def get_record(self, key: str) -> Optional[list]:
-        return self._records.get(key)
+        with self._lock:
+            return self._records.get(key)
 
     def put_record(self, key: str, payload: list) -> None:
-        if self._records.get(key) != payload:
-            self._records[key] = payload
-            self._dirty = True
+        with self._lock:
+            if self._records.get(key) != payload:
+                self._records[key] = payload
+                self._dirty = True
 
     def shard_complete(self, key: str) -> bool:
         """Whether the shard named by :func:`shard_key` has fully persisted."""
-        return key in self._shards
+        with self._lock:
+            return key in self._shards
 
     def mark_shard_complete(self, key: str) -> None:
         """Record that every injection record of one shard has been put.
@@ -332,9 +344,10 @@ class VerdictCache:
         the mark as a promise that the record table can reassemble the shard
         (and falls back to re-execution if it cannot).
         """
-        if key not in self._shards:
-            self._shards[key] = 1
-            self._dirty = True
+        with self._lock:
+            if key not in self._shards:
+                self._shards[key] = 1
+                self._dirty = True
 
     def __len__(self) -> int:
         return len(self._verdicts)
@@ -342,18 +355,20 @@ class VerdictCache:
     # ------------------------------------------------------------------
     def workload_meta(self) -> Optional[Tuple[int, str]]:
         """``(total_cycles, observables_digest)`` of the fault-free run."""
-        cycles = self._meta.get("total_cycles")
-        digest = self._meta.get("observables_sha")
+        with self._lock:
+            cycles = self._meta.get("total_cycles")
+            digest = self._meta.get("observables_sha")
         if isinstance(cycles, int) and isinstance(digest, str):
             return cycles, digest
         return None
 
     def record_workload(self, total_cycles: int, observables: Iterable) -> None:
         digest = observables_digest(observables)
-        if self.workload_meta() != (total_cycles, digest):
-            self._meta["total_cycles"] = total_cycles
-            self._meta["observables_sha"] = digest
-            self._dirty = True
+        with self._lock:
+            if self.workload_meta() != (total_cycles, digest):
+                self._meta["total_cycles"] = total_cycles
+                self._meta["observables_sha"] = digest
+                self._dirty = True
 
     # ------------------------------------------------------------------
     def flush_throttled(self, every_n: int = 8, max_seconds: float = 10.0) -> bool:
@@ -367,50 +382,52 @@ class VerdictCache:
         post-merge flush and the worker's exit hook — keep the store
         eventually complete.  Returns ``True`` when a flush happened.
         """
-        self._calls_since_flush += 1
-        if not self._dirty:
-            return False
-        due = (
-            self._calls_since_flush >= max(1, int(every_n))
-            or time.monotonic() - self._last_flush >= max_seconds
-        )
-        if not due:
-            return False
-        self.flush()
-        return True
+        with self._lock:
+            self._calls_since_flush += 1
+            if not self._dirty:
+                return False
+            due = (
+                self._calls_since_flush >= max(1, int(every_n))
+                or time.monotonic() - self._last_flush >= max_seconds
+            )
+            if not due:
+                return False
+            self.flush()
+            return True
 
     def flush(self) -> None:
         """Merge with the on-disk state and atomically rewrite the file."""
-        self._calls_since_flush = 0
-        self._last_flush = time.monotonic()
-        if not self._dirty:
-            return
-        self.directory.mkdir(parents=True, exist_ok=True)
-        with tracing.span(
-            "cache.flush", cat="cache",
-            records=len(self._records), verdicts=len(self._verdicts),
-        ), _flush_lock(self.path):
-            self._load(self.path, replace=False)
-            payload = {
-                "schema_version": CACHE_FORMAT,
-                "format": CACHE_FORMAT,  # legacy alias read by older builds
-                "scope": self.scope_key,
-                "meta": self._meta,
-                "verdicts": self._verdicts,
-                "records": self._records,
-                "shards": self._shards,
-            }
-            fd, tmp_name = tempfile.mkstemp(
-                prefix=self.path.name, suffix=".tmp", dir=self.directory
-            )
-            try:
-                with os.fdopen(fd, "w") as handle:
-                    json.dump(payload, handle)
-                os.replace(tmp_name, self.path)
-            except BaseException:
+        with self._lock:
+            self._calls_since_flush = 0
+            self._last_flush = time.monotonic()
+            if not self._dirty:
+                return
+            self.directory.mkdir(parents=True, exist_ok=True)
+            with tracing.span(
+                "cache.flush", cat="cache",
+                records=len(self._records), verdicts=len(self._verdicts),
+            ), _flush_lock(self.path):
+                self._load(self.path, replace=False)
+                payload = {
+                    "schema_version": CACHE_FORMAT,
+                    "format": CACHE_FORMAT,  # legacy alias read by older builds
+                    "scope": self.scope_key,
+                    "meta": self._meta,
+                    "verdicts": self._verdicts,
+                    "records": self._records,
+                    "shards": self._shards,
+                }
+                fd, tmp_name = tempfile.mkstemp(
+                    prefix=self.path.name, suffix=".tmp", dir=self.directory
+                )
                 try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
-                raise
-        self._dirty = False
+                    with os.fdopen(fd, "w") as handle:
+                        json.dump(payload, handle)
+                    os.replace(tmp_name, self.path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp_name)
+                    except OSError:
+                        pass
+                    raise
+            self._dirty = False

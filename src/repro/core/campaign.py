@@ -23,7 +23,6 @@ from __future__ import annotations
 import dataclasses
 import math
 import time
-import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -102,8 +101,8 @@ class CampaignConfig:
     #: batches and the event simulator's word-packed cone passes (1 disables
     #: packing; 64 is a full machine word)
     lanes: int = 64
-    #: deprecated alias for ``lanes`` (pre-lane-packing name, uint8-era
-    #: 1..8 range no longer enforced); when set it overrides ``lanes``
+    #: REMOVED alias of ``lanes`` (the deprecation cycle is finished): any
+    #: non-None value raises ``ValueError`` pointing at ``lanes``
     batch_lanes: Optional[int] = None
     #: worker processes per structure campaign (>1 selects ParallelExecutor;
     #: requires the engine to be built from a picklable SessionSpec)
@@ -179,10 +178,10 @@ class CampaignConfig:
                 f"lanes must be in 1..64 (bit-planes of one machine word), "
                 f"got {self.lanes}"
             )
-        if self.batch_lanes is not None and not 1 <= self.batch_lanes <= 64:
+        if self.batch_lanes is not None:
             raise ValueError(
-                f"batch_lanes (deprecated alias of lanes) must be in 1..64, "
-                f"got {self.batch_lanes}"
+                "batch_lanes was removed; pass lanes="
+                f"{self.batch_lanes!r} instead"
             )
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -207,9 +206,9 @@ class CampaignConfig:
 
     @property
     def lane_width(self) -> int:
-        """Effective packed-lane width; ``batch_lanes`` (deprecated)
-        overrides ``lanes`` when explicitly set."""
-        return self.batch_lanes if self.batch_lanes is not None else self.lanes
+        """Effective packed-lane width (``lanes``; the ``batch_lanes`` alias
+        is gone)."""
+        return self.lanes
 
     @classmethod
     def from_cli_args(cls, args) -> "CampaignConfig":
@@ -244,6 +243,58 @@ class CampaignConfig:
             metrics_out=getattr(args, "metrics_out", None),
         )
 
+    def neutral(self) -> "CampaignConfig":
+        """This config with the per-call reporting channels stripped.
+
+        ``progress`` / ``metrics_out`` / ``stats`` only decide where a run
+        *reports*, never what it computes (``trace`` stays: workers inherit
+        it through the :class:`SessionSpec`, so it is engine state).  Keying
+        engine caches on the neutral form lets clients that differ only in
+        reporting share one engine — the multi-tenant service depends on it.
+        """
+        return dataclasses.replace(
+            self, progress=False, metrics_out=None, stats=False
+        )
+
+    # ------------------------------------------------------------------
+    # Wire round-trip (job submissions carry configs as JSON)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict[str, object]:
+        """A JSON-serializable dict :meth:`from_payload` rebuilds exactly."""
+        payload = dataclasses.asdict(self)
+        payload["delay_fractions"] = list(self.delay_fractions)
+        payload.pop("batch_lanes", None)  # removed alias: never on the wire
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload) -> "CampaignConfig":
+        """Build a validated config from a JSON payload (service job specs).
+
+        Unknown keys raise :class:`repro.errors.InputError` — a client
+        sending a knob this build does not have must hear about it rather
+        than silently run with defaults.
+        """
+        from repro.errors import InputError
+
+        if not isinstance(payload, dict):
+            raise InputError(
+                f"config must be a JSON object, got {type(payload).__name__}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise InputError(
+                f"unknown config field(s): {', '.join(unknown)}",
+                hint="known fields: " + ", ".join(sorted(known - {'batch_lanes'})),
+            )
+        kwargs = dict(payload)
+        if "delay_fractions" in kwargs and kwargs["delay_fractions"] is not None:
+            kwargs["delay_fractions"] = tuple(kwargs["delay_fractions"])
+        try:
+            return cls(**kwargs)
+        except (TypeError, ValueError) as exc:
+            raise InputError(f"invalid campaign configuration: {exc}") from exc
+
 
 class CampaignSession:
     """Shared golden-run state for one (system, program) pair.
@@ -275,14 +326,15 @@ class CampaignSession:
         telemetry: Optional[CampaignTelemetry] = None,
         verdict_cache=None,
         _internal: bool = False,
+        allow_legacy: bool = False,
     ):
-        if not _internal:
-            warnings.warn(
-                "Constructing CampaignSession directly is deprecated; use "
-                "the repro.api facade (repro.api.analyze / repro.api.sweep) "
-                "or DelayAVFEngine, which manage the session for you.",
-                DeprecationWarning,
-                stacklevel=2,
+        if not (_internal or allow_legacy):
+            raise TypeError(
+                "Constructing CampaignSession directly is no longer "
+                "supported (the deprecation cycle ended): use the repro.api "
+                "facade (repro.api.analyze / repro.api.sweep) or "
+                "DelayAVFEngine, which manage the session for you, or pass "
+                "allow_legacy=True to opt into the unsupported path."
             )
         self.system = system
         self.program = program
@@ -635,6 +687,7 @@ class DelayAVFEngine:
         seed: Optional[int] = None,
         executor: Optional[Executor] = None,
         resume: Optional[bool] = None,
+        reporter: Optional[ProgressReporter] = None,
     ) -> StructureCampaignResult:
         """Estimate DelayAVF of *structure* across the delay sweep.
 
@@ -655,7 +708,8 @@ class DelayAVFEngine:
         resume = self.config.resume if resume is None else bool(resume)
         before = self.telemetry.snapshot()
         started = time.perf_counter()
-        reporter = self._make_reporter(structure)
+        if reporter is None:
+            reporter = self._make_reporter(structure)
         with tracing.span(
             "campaign.run", cat="campaign",
             structure=structure, benchmark=self.program.name,
@@ -829,6 +883,7 @@ class DelayAVFEngine:
         resume: Optional[bool] = None,
         max_rounds: Optional[int] = None,
         growth: Optional[float] = None,
+        reporter: Optional[ProgressReporter] = None,
     ) -> StructureCampaignResult:
         """Run a campaign, then refine it until its CIs meet a precision
         target.
@@ -860,7 +915,8 @@ class DelayAVFEngine:
         base_seed = self.config.seed if seed is None else seed
         before = self.telemetry.snapshot()
         started = time.perf_counter()
-        reporter = self._make_reporter(structure)
+        if reporter is None:
+            reporter = self._make_reporter(structure)
         with tracing.span(
             "campaign.run", cat="campaign",
             structure=structure, benchmark=self.program.name, adaptive=True,

@@ -65,45 +65,62 @@ def _label_block(labels: Mapping[str, Any]) -> str:
     return "{" + inner + "}"
 
 
+def render_prometheus_sections(sections) -> str:
+    """One exposition document spanning several labeled telemetry slices.
+
+    *sections* is an iterable of ``(telemetry, labels)`` pairs — e.g. the
+    campaign service's per-job telemetry plus its service-level counters.
+    Samples are grouped per metric family (the text format requires each
+    family's lines to be contiguous), with one HELP/TYPE header each, so
+    the result is valid for a real Prometheus scrape.
+    """
+    counter_lines = []
+    gauge_lines = []
+    phase_lines = []
+    for telemetry, labels in sections:
+        labels = dict(labels or {})
+        for name in sorted(telemetry.counters):
+            block = _label_block({**labels, "name": name})
+            counter_lines.append(
+                f"{PROMETHEUS_PREFIX}_counter{block} {telemetry.counters[name]}"
+            )
+        for name in sorted(telemetry.gauges):
+            block = _label_block({**labels, "name": name})
+            gauge_lines.append(
+                f"{PROMETHEUS_PREFIX}_gauge{block} {telemetry.gauges[name]}"
+            )
+        wall = getattr(telemetry, "phase_wall_seconds", {}) or {}
+        for name in sorted(telemetry.phase_seconds):
+            block = _label_block({**labels, "name": name, "kind": "cpu"})
+            phase_lines.append(
+                f"{PROMETHEUS_PREFIX}_phase_seconds{block} "
+                f"{telemetry.phase_seconds[name]:.6f}"
+            )
+        for name in sorted(wall):
+            block = _label_block({**labels, "name": name, "kind": "wall"})
+            phase_lines.append(
+                f"{PROMETHEUS_PREFIX}_phase_seconds{block} {wall[name]:.6f}"
+            )
+    lines = [
+        f"# HELP {PROMETHEUS_PREFIX}_counter Campaign event counters.",
+        f"# TYPE {PROMETHEUS_PREFIX}_counter counter",
+        *counter_lines,
+        f"# HELP {PROMETHEUS_PREFIX}_gauge Campaign point-in-time levels.",
+        f"# TYPE {PROMETHEUS_PREFIX}_gauge gauge",
+        *gauge_lines,
+        f"# HELP {PROMETHEUS_PREFIX}_phase_seconds Per-phase time; "
+        'kind="wall" is coordinator wall-clock, kind="cpu" sums every worker.',
+        f"# TYPE {PROMETHEUS_PREFIX}_phase_seconds gauge",
+        *phase_lines,
+    ]
+    return "\n".join(lines) + "\n"
+
+
 def render_prometheus(
     telemetry, labels: Optional[Mapping[str, Any]] = None
 ) -> str:
     """The telemetry snapshot in Prometheus exposition format."""
-    labels = dict(labels or {})
-    lines = []
-
-    lines.append(f"# HELP {PROMETHEUS_PREFIX}_counter Campaign event counters.")
-    lines.append(f"# TYPE {PROMETHEUS_PREFIX}_counter counter")
-    for name in sorted(telemetry.counters):
-        block = _label_block({**labels, "name": name})
-        lines.append(
-            f"{PROMETHEUS_PREFIX}_counter{block} {telemetry.counters[name]}"
-        )
-
-    lines.append(f"# HELP {PROMETHEUS_PREFIX}_gauge Campaign point-in-time levels.")
-    lines.append(f"# TYPE {PROMETHEUS_PREFIX}_gauge gauge")
-    for name in sorted(telemetry.gauges):
-        block = _label_block({**labels, "name": name})
-        lines.append(f"{PROMETHEUS_PREFIX}_gauge{block} {telemetry.gauges[name]}")
-
-    lines.append(
-        f"# HELP {PROMETHEUS_PREFIX}_phase_seconds Per-phase time; "
-        'kind="wall" is coordinator wall-clock, kind="cpu" sums every worker.'
-    )
-    lines.append(f"# TYPE {PROMETHEUS_PREFIX}_phase_seconds gauge")
-    wall = getattr(telemetry, "phase_wall_seconds", {}) or {}
-    for name in sorted(telemetry.phase_seconds):
-        block = _label_block({**labels, "name": name, "kind": "cpu"})
-        lines.append(
-            f"{PROMETHEUS_PREFIX}_phase_seconds{block} "
-            f"{telemetry.phase_seconds[name]:.6f}"
-        )
-    for name in sorted(wall):
-        block = _label_block({**labels, "name": name, "kind": "wall"})
-        lines.append(
-            f"{PROMETHEUS_PREFIX}_phase_seconds{block} {wall[name]:.6f}"
-        )
-    return "\n".join(lines) + "\n"
+    return render_prometheus_sections([(telemetry, labels)])
 
 
 def metrics_payload(

@@ -109,6 +109,7 @@ class ProgressReporter:
         self.half_width: Optional[float] = None
         self.target_half_width: Optional[float] = None
         self.state = "idle"
+        self._sequence = 0
 
     # ------------------------------------------------------------------
     def start(self, total: int, resumed: int = 0) -> None:
@@ -164,9 +165,17 @@ class ProgressReporter:
 
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
-        """The heartbeat payload (also handy for tests)."""
+        """The heartbeat payload — also the service's progress wire format.
+
+        ``sequence`` increments on every snapshot, so a poller (the service's
+        job-status endpoint, a heartbeat-file watcher) can tell a fresh
+        snapshot from a re-read of the same one even when the visible
+        counters have not moved.
+        """
+        self._sequence += 1
         elapsed = time.monotonic() - self._started if self._started else 0.0
         payload: Dict[str, Any] = {
+            "sequence": self._sequence,
             "label": self.label,
             "state": self.state,
             "shards_done": self.done,

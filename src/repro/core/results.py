@@ -1,10 +1,24 @@
-"""Result records and aggregation helpers for campaigns."""
+"""Result records, aggregation helpers, and the versioned payload envelope.
+
+Every externally visible result — CLI ``--format json`` output, campaign
+service responses, and the ``to_payload`` methods themselves — is wrapped in
+one versioned envelope::
+
+    {"schema": "repro/v1", "kind": "delayavf" | "savf", "result": {...}}
+
+so consumers can dispatch on ``kind`` and future schema revisions can be
+detected instead of misparsed.  :func:`envelope` wraps, :func:`unwrap_payload`
+unwraps (accepting bare pre-envelope payloads for backward compatibility),
+and :func:`result_from_payload` is the single round-trip helper that turns
+any payload — enveloped or legacy-bare — back into the matching result
+object.
+"""
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.core.group_ace import Outcome
 from repro.core.stats import (
@@ -14,6 +28,48 @@ from repro.core.stats import (
     wilson_interval,
 )
 from repro.core.telemetry import CampaignTelemetry
+from repro.errors import InputError
+
+#: The one schema identifier every enveloped payload carries.
+PAYLOAD_SCHEMA = "repro/v1"
+
+
+def envelope(kind: str, result: Dict) -> Dict:
+    """Wrap a bare result payload in the versioned v1 envelope."""
+    return {"schema": PAYLOAD_SCHEMA, "kind": kind, "result": result}
+
+
+def is_enveloped(payload: Mapping) -> bool:
+    """Whether *payload* is a v1 envelope (vs a legacy bare payload)."""
+    return "schema" in payload and "result" in payload
+
+
+def unwrap_payload(
+    payload: Mapping, expected_kind: Optional[str] = None
+) -> Tuple[Optional[str], Mapping]:
+    """``(kind, bare payload)`` of an enveloped **or** legacy-bare payload.
+
+    Legacy payloads (pre-envelope ``to_payload`` output) pass through with
+    ``kind=None``.  An envelope with a schema this build does not read, or a
+    kind differing from *expected_kind*, raises
+    :class:`repro.errors.InputError` — misparsing a future schema silently
+    would be worse than refusing it.
+    """
+    if not is_enveloped(payload):
+        return None, payload
+    schema = payload.get("schema")
+    if schema != PAYLOAD_SCHEMA:
+        raise InputError(
+            f"payload schema {schema!r} is not {PAYLOAD_SCHEMA!r}",
+            hint="this build reads repro/v1 envelopes; upgrade one side",
+        )
+    kind = payload.get("kind")
+    if expected_kind is not None and kind != expected_kind:
+        raise InputError(
+            f"payload kind {kind!r} is not {expected_kind!r}",
+            hint="check which result type this payload was produced from",
+        )
+    return kind, payload["result"]
 
 
 @dataclass(frozen=True)
@@ -236,8 +292,19 @@ class StructureCampaignResult:
     # ------------------------------------------------------------------
     # JSON-friendly round-trip (CLI ``--format json``)
     # ------------------------------------------------------------------
+    #: The envelope ``kind`` of this result type.
+    PAYLOAD_KIND = "delayavf"
+
     def to_payload(self) -> Dict:
-        """A JSON-serializable dict that :meth:`from_payload` round-trips.
+        """The enveloped JSON form that :meth:`from_payload` round-trips.
+
+        Returns a :data:`PAYLOAD_SCHEMA` envelope whose ``result`` is the
+        bare payload of :meth:`result_payload`.
+        """
+        return envelope(self.PAYLOAD_KIND, self.result_payload())
+
+    def result_payload(self) -> Dict:
+        """The bare (un-enveloped) JSON-serializable dict.
 
         ``by_delay`` flattens to a list (JSON object keys must be strings;
         floats would lose identity), each delay carrying its full record
@@ -291,7 +358,11 @@ class StructureCampaignResult:
     @classmethod
     def from_payload(cls, payload: Dict) -> "StructureCampaignResult":
         """Rebuild a result from :meth:`to_payload` output (summaries are
-        recomputed from the records, so only the records are trusted)."""
+        recomputed from the records, so only the records are trusted).
+
+        Accepts both the v1 envelope and legacy bare payloads.
+        """
+        _, payload = unwrap_payload(payload, expected_kind=cls.PAYLOAD_KIND)
         by_delay = {}
         for entry in payload["by_delay"]:
             delay = entry["delay_fraction"]
@@ -355,8 +426,15 @@ class SAVFResult:
             )
         raise ValueError(f"unknown interval method: {method!r}")
 
+    #: The envelope ``kind`` of this result type.
+    PAYLOAD_KIND = "savf"
+
     def to_payload(self) -> Dict:
-        """A JSON-serializable dict that :meth:`from_payload` round-trips."""
+        """The enveloped JSON form that :meth:`from_payload` round-trips."""
+        return envelope(self.PAYLOAD_KIND, self.result_payload())
+
+    def result_payload(self) -> Dict:
+        """The bare (un-enveloped) JSON-serializable dict."""
         return {
             "structure": self.structure,
             "benchmark": self.benchmark,
@@ -370,6 +448,8 @@ class SAVFResult:
 
     @classmethod
     def from_payload(cls, payload: Dict) -> "SAVFResult":
+        """Rebuild from :meth:`to_payload` output (envelope or legacy bare)."""
+        _, payload = unwrap_payload(payload, expected_kind=cls.PAYLOAD_KIND)
         return cls(
             structure=payload["structure"],
             benchmark=payload["benchmark"],
@@ -378,6 +458,32 @@ class SAVFResult:
             sdc_count=payload["sdc_count"],
             due_count=payload["due_count"],
         )
+
+
+def result_from_payload(
+    payload: Mapping,
+) -> Union[StructureCampaignResult, SAVFResult]:
+    """The single round-trip helper: any result payload back to its object.
+
+    Dispatches on the envelope ``kind``; legacy bare payloads (no envelope)
+    are sniffed by shape — ``by_delay`` marks a campaign result, ``ace_count``
+    an sAVF one.  Raises :class:`repro.errors.InputError` for kinds this
+    build cannot rebuild.
+    """
+    kind, bare = unwrap_payload(payload)
+    if kind is None:
+        if "by_delay" in bare:
+            kind = StructureCampaignResult.PAYLOAD_KIND
+        elif "ace_count" in bare:
+            kind = SAVFResult.PAYLOAD_KIND
+    if kind == StructureCampaignResult.PAYLOAD_KIND:
+        return StructureCampaignResult.from_payload(dict(bare))
+    if kind == SAVFResult.PAYLOAD_KIND:
+        return SAVFResult.from_payload(dict(bare))
+    raise InputError(
+        f"cannot rebuild a result from payload kind {kind!r}",
+        hint="known kinds: delayavf, savf",
+    )
 
 
 # ----------------------------------------------------------------------

@@ -83,6 +83,12 @@ COUNTER_ORDER = (
     "refinement_rounds",
     "extra_shards",
     "guard_violations",
+    # Campaign-service job lifecycle (counted by repro.service, reported
+    # through the same telemetry pipeline as everything else).
+    "jobs_submitted",
+    "jobs_deduplicated",
+    "jobs_completed",
+    "jobs_failed",
 )
 
 #: Presentation order for the known phases.

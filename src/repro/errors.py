@@ -1,20 +1,34 @@
-"""Unified error hierarchy for user-facing failures.
+"""Unified error hierarchy and taxonomy for user-facing failures.
 
 Every error the preflight layer (``repro doctor``, the strict-mode checks in
-:mod:`repro.api`) or the campaign engine raises on *bad input* derives from
-:class:`ReproError`, so callers — and pipelines gating on the CLI — can catch
-one type and still dispatch on the machine-readable :attr:`ReproError.code`.
-Errors carry an optional *hint*: one actionable sentence telling the operator
-what to change (raise a knob, fix a path, regenerate a file).
+:mod:`repro.api`), the campaign engine, or the campaign service raises on
+*bad input* derives from :class:`ReproError`, so callers — and pipelines
+gating on the CLI — can catch one type and still dispatch on the
+machine-readable :attr:`ReproError.code`.  Errors carry an optional *hint*:
+one actionable sentence telling the operator what to change (raise a knob,
+fix a path, regenerate a file).
 
 Programming errors (assertion failures, internal invariant breaks) stay
 ordinary exceptions; :class:`ReproError` is reserved for problems the caller
 can fix.
+
+The **taxonomy table** (:data:`ERROR_TAXONOMY`) is the single mapping from
+error codes to how each surface reports them: the CLI exit code (``repro
+doctor``'s 0/1/2 contract extended to every subcommand) and the HTTP status
+the campaign service answers with.  The CLI resolves exits through
+:func:`exit_code_for` and the service resolves statuses through
+:func:`http_status_for`, so the two surfaces can never disagree about what a
+given failure *is* — only about how their transport spells it.
+
+Errors also round-trip as JSON: :func:`error_payload` renders any exception
+into the wire form the service returns, and :func:`error_from_payload`
+rebuilds the matching :class:`ReproError` subclass on the client, so a
+remote failure raises exactly what a local call would have raised.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Mapping, Optional, Tuple, Type
 
 __all__ = [
     "ReproError",
@@ -22,7 +36,24 @@ __all__ = [
     "TimingError",
     "WorkloadError",
     "CacheError",
+    "UnknownJobError",
+    "DuplicateJobError",
+    "ServiceDrainingError",
+    "EXIT_OK",
+    "EXIT_FATAL",
+    "EXIT_WARNINGS",
+    "ERROR_TAXONOMY",
+    "exit_code_for",
+    "http_status_for",
+    "error_payload",
+    "error_from_payload",
 ]
+
+#: The CLI exit-code contract (``repro doctor`` defined it; every subcommand
+#: follows it): 0 = clean, 1 = fatal error, 2 = warnings only.
+EXIT_OK = 0
+EXIT_FATAL = 1
+EXIT_WARNINGS = 2
 
 
 class ReproError(Exception):
@@ -69,3 +100,103 @@ class CacheError(ReproError):
     """The persistent verdict-cache directory is unusable."""
 
     code = "cache"
+
+
+class UnknownJobError(ReproError):
+    """A job id the campaign service has never seen (or has evicted)."""
+
+    code = "unknown-job"
+
+
+class DuplicateJobError(ReproError):
+    """An identical job is already in flight and deduplication was refused
+    (``dedupe: false`` submissions)."""
+
+    code = "duplicate-job"
+
+
+class ServiceDrainingError(ReproError):
+    """The campaign service is draining (SIGTERM received) and no longer
+    accepts new jobs; in-flight jobs finish and results stay readable."""
+
+    code = "draining"
+
+
+#: ``code -> (CLI exit code, HTTP status)``: the one table both surfaces
+#: report from.  Validation failures are client errors (400); a job id the
+#: service does not know is 404; refusing to double-run in-flight work is a
+#: conflict (409); a draining service is temporarily unavailable (503).
+ERROR_TAXONOMY: Dict[str, Tuple[int, int]] = {
+    "repro": (EXIT_FATAL, 400),
+    "input": (EXIT_FATAL, 400),
+    "timing": (EXIT_FATAL, 400),
+    "workload": (EXIT_FATAL, 400),
+    "cache": (EXIT_FATAL, 400),
+    "unknown-job": (EXIT_FATAL, 404),
+    "duplicate-job": (EXIT_FATAL, 409),
+    "draining": (EXIT_FATAL, 503),
+}
+
+#: ``code -> class`` registry used to rebuild typed errors from payloads.
+_ERROR_CLASSES: Dict[str, Type[ReproError]] = {
+    cls.code: cls
+    for cls in (
+        ReproError,
+        InputError,
+        TimingError,
+        WorkloadError,
+        CacheError,
+        UnknownJobError,
+        DuplicateJobError,
+        ServiceDrainingError,
+    )
+}
+
+
+def _taxonomy_row(exc: BaseException) -> Tuple[int, int]:
+    code = getattr(exc, "code", None)
+    if code in ERROR_TAXONOMY:
+        return ERROR_TAXONOMY[code]
+    if isinstance(exc, ReproError):
+        return ERROR_TAXONOMY["repro"]
+    # Non-ReproError escapes are internal faults: fatal exit, HTTP 500.
+    return (EXIT_FATAL, 500)
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """The CLI exit code the taxonomy assigns to *exc* (1 for unknowns)."""
+    return _taxonomy_row(exc)[0]
+
+
+def http_status_for(exc: BaseException) -> int:
+    """The HTTP status the taxonomy assigns to *exc* (500 for unknowns)."""
+    return _taxonomy_row(exc)[1]
+
+
+def error_payload(exc: BaseException) -> Dict[str, Optional[str]]:
+    """The wire form of an error (what the service's error envelope carries).
+
+    ``code`` is the taxonomy category (``"internal"`` for non-
+    :class:`ReproError` escapes — those are bugs, not user input), ``message``
+    the human-readable description, ``hint`` the optional remedy.
+    """
+    if isinstance(exc, ReproError):
+        return {"code": exc.code, "message": str(exc), "hint": exc.hint}
+    return {
+        "code": "internal",
+        "message": f"{type(exc).__name__}: {exc}",
+        "hint": None,
+    }
+
+
+def error_from_payload(payload: Mapping) -> ReproError:
+    """Rebuild the typed :class:`ReproError` a wire payload describes.
+
+    Unknown codes (including ``"internal"``) come back as the base
+    :class:`ReproError`, so clients always get the one catchable type.
+    """
+    cls = _ERROR_CLASSES.get(str(payload.get("code")), ReproError)
+    return cls(
+        str(payload.get("message", "unknown error")),
+        hint=payload.get("hint") or None,
+    )

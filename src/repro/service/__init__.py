@@ -1,0 +1,28 @@
+"""Long-lived campaign analysis service (ROADMAP item 2).
+
+``repro.service`` promotes the :mod:`repro.api` engine/verdict caching into a
+daemon in the DAVOS host/controller shape: a thin JSON-over-HTTP job protocol
+(:mod:`repro.service.daemon`) in front of a shared bounded worker pool
+(:mod:`repro.service.jobs`) that reuses :class:`repro.core.campaign.
+DelayAVFEngine` instances keyed by program content signature.  Many clients
+asking overlapping (structure, workload, delay) questions hit one shared
+content-addressed verdict store instead of re-simulating: a repeat query
+whose verdicts are fully cached returns with zero new simulations.
+
+Start it with ``repro serve`` (or :class:`repro.service.daemon.
+CampaignService` programmatically) and talk to it with
+:class:`repro.client.ServiceClient` or plain ``curl`` — every payload is a
+``repro/v1`` envelope, every error maps through the one taxonomy in
+:mod:`repro.errors`.
+"""
+
+from repro.service.jobs import Job, JobManager, JobSpec
+from repro.service.daemon import CampaignService, ServiceConfig
+
+__all__ = [
+    "CampaignService",
+    "Job",
+    "JobManager",
+    "JobSpec",
+    "ServiceConfig",
+]

@@ -1,0 +1,515 @@
+"""Job model and shared worker pool for the campaign service.
+
+A *job* is one analysis question — ``analyze`` (one structure, one workload,
+the full delay sweep), ``sweep`` (a structure x workload cross-product), or
+``savf`` (the particle-strike baseline) — described entirely by a JSON spec.
+Jobs are identified by the SHA-256 of their canonical spec (priority
+excluded), so two clients asking the identical question submit the *same*
+job: the second submission deduplicates onto the first — onto its in-flight
+run if it is still executing, onto its stored result if it already finished —
+and never simulates anything twice.
+
+Execution happens on a bounded pool of worker threads inside the service
+process.  Workers share the :mod:`repro.api` engine cache (engines keyed by
+program content signature and *neutralized* config), so concurrent jobs over
+one workload share the golden run, the warm waveform/GroupACE caches, and
+the persistent verdict store.  Engines are not safe for concurrent campaign
+runs, so the manager serializes runs per engine (sweep jobs take their
+engines' locks in a stable sorted order, so two sweeps can never deadlock).
+
+Results are exactly what the :mod:`repro.api` facade returns — the job
+runner drives the same engine entry points with the same arguments — so a
+job's enveloped result payload is byte-identical to the same query run
+through :func:`repro.api.analyze` directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import api
+from repro.core.campaign import CampaignConfig
+from repro.core.progress import ProgressReporter
+from repro.core.results import envelope
+from repro.core.savf import SAVFEngine
+from repro.core.telemetry import CampaignTelemetry
+from repro.errors import (
+    InputError,
+    ServiceDrainingError,
+    UnknownJobError,
+    error_payload,
+)
+from repro.soc.core import STRUCTURE_SCOPES
+from repro.workloads.beebs import BENCHMARK_NAMES
+
+JOB_KINDS = ("analyze", "sweep", "savf")
+
+#: Job lifecycle states (the status endpoint reports these verbatim).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+def _require(condition: bool, message: str, hint: Optional[str] = None) -> None:
+    if not condition:
+        raise InputError(message, hint=hint)
+
+
+def _valid_structure(name: Any) -> str:
+    _require(
+        isinstance(name, str) and name in STRUCTURE_SCOPES,
+        f"unknown structure {name!r}",
+        hint="known structures: " + ", ".join(sorted(STRUCTURE_SCOPES)),
+    )
+    return name
+
+
+def _valid_benchmark(name: Any) -> str:
+    _require(
+        isinstance(name, str) and name in BENCHMARK_NAMES,
+        f"unknown benchmark {name!r}",
+        hint="known benchmarks: " + ", ".join(BENCHMARK_NAMES),
+    )
+    return name
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One validated, content-addressed job description.
+
+    Everything except ``priority`` participates in the job's identity:
+    priority decides *when* a job runs, never *what* it computes, so two
+    submissions differing only in priority are the same job (the higher
+    priority wins — see :meth:`JobManager.submit`).
+    """
+
+    kind: str
+    structures: Tuple[str, ...]
+    benchmarks: Tuple[str, ...]
+    config: CampaignConfig
+    ecc: bool = False
+    bits: int = 24  #: savf only: state bits sampled per cycle
+    seed: int = 0  #: savf only: bit-sample seed
+    target_half_width: Optional[float] = None  #: analyze only: adaptive CI
+    confidence: float = 0.95
+    priority: int = 0
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "JobSpec":
+        """Validate a wire-format job submission into a spec.
+
+        Every failure raises :class:`repro.errors.InputError` (HTTP 400 via
+        the taxonomy) with a hint naming the acceptable values.
+        """
+        _require(isinstance(payload, dict), "job spec must be a JSON object")
+        kind = payload.get("kind")
+        _require(
+            kind in JOB_KINDS,
+            f"unknown job kind {kind!r}",
+            hint="known kinds: " + ", ".join(JOB_KINDS),
+        )
+        known_keys = {
+            "kind", "structure", "structures", "benchmark", "benchmarks",
+            "config", "ecc", "bits", "seed", "target_half_width",
+            "confidence", "priority",
+        }
+        unknown = sorted(set(payload) - known_keys)
+        _require(
+            not unknown,
+            f"unknown job field(s): {', '.join(unknown)}",
+            hint="known fields: " + ", ".join(sorted(known_keys)),
+        )
+        if kind == "sweep":
+            structures = payload.get("structures")
+            benchmarks = payload.get("benchmarks")
+            _require(
+                isinstance(structures, list) and structures,
+                "sweep jobs need a non-empty 'structures' list",
+            )
+            _require(
+                isinstance(benchmarks, list) and benchmarks,
+                "sweep jobs need a non-empty 'benchmarks' list",
+            )
+        else:
+            _require(
+                "structure" in payload,
+                f"{kind} jobs need a 'structure'",
+            )
+            _require(
+                "benchmark" in payload,
+                f"{kind} jobs need a 'benchmark'",
+            )
+            structures = [payload["structure"]]
+            benchmarks = [payload["benchmark"]]
+        structures = tuple(_valid_structure(s) for s in structures)
+        benchmarks = tuple(_valid_benchmark(b) for b in benchmarks)
+        config = CampaignConfig.from_payload(payload.get("config") or {})
+        target = payload.get("target_half_width")
+        if target is not None:
+            _require(
+                isinstance(target, (int, float)) and target > 0,
+                "target_half_width must be a positive number",
+            )
+            _require(
+                kind == "analyze",
+                "target_half_width only applies to analyze jobs",
+            )
+        confidence = payload.get("confidence", 0.95)
+        _require(
+            isinstance(confidence, (int, float)) and 0.0 < confidence < 1.0,
+            "confidence must be in (0, 1)",
+        )
+        bits = payload.get("bits", 24)
+        seed = payload.get("seed", 0)
+        priority = payload.get("priority", 0)
+        for name, value in (("bits", bits), ("seed", seed), ("priority", priority)):
+            _require(
+                isinstance(value, int) and not isinstance(value, bool),
+                f"{name} must be an integer",
+            )
+        _require(bits >= 1, "bits must be >= 1")
+        return cls(
+            kind=kind,
+            structures=structures,
+            benchmarks=benchmarks,
+            config=config,
+            ecc=bool(payload.get("ecc", False)),
+            bits=bits,
+            seed=seed,
+            target_half_width=None if target is None else float(target),
+            confidence=float(confidence),
+            priority=priority,
+        )
+
+    def canonical(self) -> Dict[str, Any]:
+        """The identity-bearing wire form (priority excluded by design)."""
+        return {
+            "kind": self.kind,
+            "structures": list(self.structures),
+            "benchmarks": list(self.benchmarks),
+            "config": self.config.to_payload(),
+            "ecc": self.ecc,
+            "bits": self.bits,
+            "seed": self.seed,
+            "target_half_width": self.target_half_width,
+            "confidence": self.confidence,
+        }
+
+    @property
+    def job_id(self) -> str:
+        """Content address: identical questions collapse onto one job."""
+        digest = hashlib.sha256(
+            json.dumps(self.canonical(), sort_keys=True).encode("utf-8")
+        ).hexdigest()
+        return f"job-{digest[:20]}"
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{'+'.join(self.benchmarks)}/{'+'.join(self.structures)}"
+            f":{self.kind}"
+        )
+
+
+class Job:
+    """One submitted job's mutable lifecycle state.
+
+    Guarded by the owning :class:`JobManager`'s lock for state transitions;
+    the progress reporter has its own internal lock, so status polls never
+    block a running campaign.
+    """
+
+    def __init__(self, spec: JobSpec):
+        self.spec = spec
+        self.id = spec.job_id
+        self.state = QUEUED
+        self.priority = spec.priority
+        self.submissions = 1  #: total submissions collapsed onto this job
+        self.result: Optional[Dict[str, Any]] = None
+        self.error: Optional[Dict[str, Any]] = None
+        self.telemetry: Optional[Dict[str, Dict]] = None
+        self.reporter = ProgressReporter(enabled=False, label=spec.label)
+        self.submitted_at = time.time()
+        self.finished_at: Optional[float] = None
+        self._done = threading.Event()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        return self._done.wait(timeout)
+
+    def finish(self, result: Optional[Dict], error: Optional[Dict]) -> None:
+        self.result = result
+        self.error = error
+        self.state = DONE if error is None else FAILED
+        self.finished_at = time.time()
+        self._done.set()
+
+    def status_payload(self) -> Dict[str, Any]:
+        """The enveloped status document (``GET /v1/jobs/<id>``)."""
+        body: Dict[str, Any] = {
+            "id": self.id,
+            "kind": self.spec.kind,
+            "label": self.spec.label,
+            "state": self.state,
+            "priority": self.priority,
+            "submissions": self.submissions,
+            "submitted_unix": self.submitted_at,
+            "progress": self.reporter.snapshot(),
+            "telemetry": self.telemetry,
+            "error": self.error,
+        }
+        if self.finished_at is not None:
+            body["finished_unix"] = self.finished_at
+        return envelope("job", body)
+
+
+class JobManager:
+    """Priority queue + bounded worker pool over the shared engine cache.
+
+    Call :meth:`start` to spin up the workers (separate from construction so
+    tests can submit deterministically before anything runs), :meth:`submit`
+    to enqueue, :meth:`drain` to stop accepting work and finish what is
+    queued.  All public methods are thread-safe.
+    """
+
+    def __init__(self, workers: int = 2, cache_dir: Optional[str] = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = int(workers)
+        self.cache_dir = cache_dir
+        self.telemetry = CampaignTelemetry()
+        self.draining = False
+        self._jobs: Dict[str, Job] = {}
+        self._queue: "queue.PriorityQueue[Tuple[int, int, str]]" = (
+            queue.PriorityQueue()
+        )
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        #: serializes campaign runs per engine (engines share mutable
+        #: session state); keyed by engine identity
+        self._engine_locks: Dict[int, threading.Lock] = {}
+
+    # ------------------------------------------------------------------
+    # Submission / lookup
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> Tuple[Job, bool]:
+        """Enqueue *spec*; returns ``(job, deduplicated)``.
+
+        An identical spec already known — queued, running, or finished —
+        deduplicates onto the existing job instead of enqueueing a second
+        run (a finished job's stored result is simply served again).  A
+        duplicate submission with a higher priority raises the queued job's
+        priority for its *next* dequeue.  Raises
+        :class:`repro.errors.ServiceDrainingError` once :meth:`drain` has
+        begun.
+        """
+        with self._lock:
+            if self.draining:
+                raise ServiceDrainingError(
+                    "service is draining and no longer accepts jobs",
+                    hint="retry against another instance, or wait for restart",
+                )
+            existing = self._jobs.get(spec.job_id)
+            if existing is not None:
+                existing.submissions += 1
+                existing.priority = max(existing.priority, spec.priority)
+                self.telemetry.incr("jobs_submitted")
+                self.telemetry.incr("jobs_deduplicated")
+                return existing, True
+            job = Job(spec)
+            self._jobs[job.id] = job
+            self._seq += 1
+            # PriorityQueue pops the smallest tuple: higher priority first,
+            # then submission order.
+            self._queue.put((-job.priority, self._seq, job.id))
+            self.telemetry.incr("jobs_submitted")
+            return job, False
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(
+                f"unknown job {job_id!r}",
+                hint="job ids are returned by POST /v1/jobs",
+            )
+        return job
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    # ------------------------------------------------------------------
+    # Worker pool
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spin up the worker threads (idempotent)."""
+        if self._threads:
+            return
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-job-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                _, _, job_id = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            try:
+                self._run_job(self.get(job_id))
+            finally:
+                self._queue.task_done()
+
+    def _engine_lock(self, engine) -> threading.Lock:
+        with self._lock:
+            return self._engine_locks.setdefault(id(engine), threading.Lock())
+
+    def _job_config(self, spec: JobSpec) -> CampaignConfig:
+        """The spec's config with the service-level cache dir defaulted in."""
+        config = spec.config
+        if config.cache_dir is None and self.cache_dir is not None:
+            import dataclasses
+
+            config = dataclasses.replace(config, cache_dir=self.cache_dir)
+        return config
+
+    def _run_job(self, job: Job) -> None:
+        with self._lock:
+            if job.state != QUEUED:
+                return  # already handled (defensive; dedupe never re-queues)
+            job.state = RUNNING
+        try:
+            result = self._execute(job)
+        except BaseException as exc:  # noqa: BLE001 - every failure is reported
+            self.telemetry.incr("jobs_failed")
+            job.finish(None, error_payload(exc))
+        else:
+            self.telemetry.incr("jobs_completed")
+            job.finish(result, None)
+
+    # ------------------------------------------------------------------
+    # Execution — mirrors the repro.api facade exactly, so a job's result
+    # payload is byte-identical to the same query through api.analyze.
+    # ------------------------------------------------------------------
+    def _execute(self, job: Job) -> Dict[str, Any]:
+        spec = job.spec
+        config = self._job_config(spec)
+        if spec.kind == "sweep":
+            return self._execute_sweep(job, config)
+        engine = api.engine_for(
+            spec.benchmarks[0], ecc=spec.ecc, config=config
+        )
+        with self._engine_lock(engine):
+            before = engine.telemetry.snapshot()
+            if spec.kind == "savf":
+                result = SAVFEngine(engine.session).run_structure(
+                    spec.structures[0],
+                    max_bits=spec.bits,
+                    seed=spec.seed,
+                    progress=job.reporter,
+                )
+                job.telemetry = engine.telemetry.diff(before)
+                return result.to_payload()
+            if spec.target_half_width is not None:
+                result = engine.run_structure_adaptive(
+                    spec.structures[0],
+                    spec.target_half_width,
+                    confidence=spec.confidence,
+                    reporter=job.reporter,
+                )
+            else:
+                result = engine.run_structure(
+                    spec.structures[0], reporter=job.reporter
+                )
+            if result.telemetry is not None:
+                job.telemetry = result.telemetry.snapshot()
+            return result.to_payload()
+
+    def _execute_sweep(self, job: Job, config: CampaignConfig) -> Dict[str, Any]:
+        """Cross-product job: every engine's lock held, in sorted order.
+
+        A sweep spans several engines (one per workload); taking their run
+        locks in a stable order keyed by engine identity means two
+        overlapping sweeps always acquire in the same sequence and cannot
+        deadlock against each other.
+        """
+        import contextlib
+
+        engines = [
+            api.engine_for(benchmark, ecc=job.spec.ecc, config=config)
+            for benchmark in job.spec.benchmarks
+        ]
+        locks = sorted(
+            {id(e): self._engine_lock(e) for e in engines}.items()
+        )
+        before = {id(e): e.telemetry.snapshot() for e in engines}
+        with contextlib.ExitStack() as stack:
+            for _, lock in locks:
+                stack.enter_context(lock)
+            results = api.sweep(
+                list(job.spec.structures),
+                list(job.spec.benchmarks),
+                config=config,
+                ecc=job.spec.ecc,
+            )
+        merged = CampaignTelemetry()
+        for engine in {id(e): e for e in engines}.values():
+            merged.merge_snapshot(engine.telemetry.diff(before[id(engine)]))
+        job.telemetry = merged.snapshot()
+        return envelope(
+            "sweep",
+            {
+                "results": [
+                    {
+                        "structure": structure,
+                        "benchmark": benchmark,
+                        "result": result.to_payload(),
+                    }
+                    for (structure, benchmark), result in sorted(results.items())
+                ]
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop accepting jobs, finish the queued/running ones, shut down.
+
+        Returns ``True`` when every accepted job reached a terminal state
+        within *timeout* (``None`` waits indefinitely).  Engines are closed
+        through :func:`repro.api.shutdown` — worker pools stop, verdict
+        caches flush — exactly the existing graceful path.
+        """
+        with self._lock:
+            self.draining = True
+        deadline = None if timeout is None else time.monotonic() + timeout
+        clean = True
+        for job in self.jobs():
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            if not job.wait(remaining):
+                clean = False
+                break
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads = []
+        api.shutdown()
+        return clean

@@ -113,7 +113,7 @@ def test_adaptive_reaches_target(system, tinyfib):
         assert len(keys) == result.sampled_wires * len(result.sampled_cycles)
 
     # The refined estimate agrees with the refined interval's payload.
-    summary = result.to_payload()["by_delay"][0]["summary"]
+    summary = result.to_payload()["result"]["by_delay"][0]["summary"]
     assert summary["delay_avf_ci"]["samples"] == result.by_delay[DELAY].samples
     assert summary["delay_avf_ci"]["half_width"] <= target
 

@@ -147,6 +147,50 @@ def test_engine_cache_keyed_by_program_content():
     assert len(api._ENGINES) == 2
 
 
+def test_engine_cache_is_thread_safe():
+    """Racing threads asking for the same engine build it exactly once."""
+    import threading
+
+    program = load_benchmark("libstrstr")
+    before = api.engine_cache_stats()
+    engines = []
+    barrier = threading.Barrier(4)
+
+    def grab():
+        barrier.wait()
+        engines.append(api.engine_for(program, config=TINY))
+
+    threads = [threading.Thread(target=grab) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert len(engines) == 4
+    assert all(engine is engines[0] for engine in engines)
+    assert len(api._ENGINES) == 1
+    stats = api.engine_cache_stats()
+    assert stats["size"] == 1
+    assert stats["misses"] - before["misses"] == 1
+    assert stats["hits"] - before["hits"] == 3
+
+
+def test_engine_cache_key_ignores_reporting_channels(tmp_path):
+    """progress/metrics_out/stats must not fragment the engine cache."""
+    program = load_benchmark("libstrstr")
+    base = api.engine_for(program, config=TINY)
+    import dataclasses
+
+    noisy = dataclasses.replace(
+        TINY,
+        progress=True,
+        metrics_out=str(tmp_path / "metrics.prom"),
+        stats=True,
+    )
+    assert api.engine_for(program, config=noisy) is base
+    assert len(api._ENGINES) == 1
+
+
 def test_atexit_hook_drains_engines():
     """Interpreter exit drains the facade's cached engines (no leaked pools).
 
@@ -192,13 +236,20 @@ print("engines-before-exit", len(api._ENGINES), flush=True)
 
 
 # ----------------------------------------------------------------------
-# Deprecation of the hand-wired session path
+# End of the hand-wired session path's deprecation cycle
 # ----------------------------------------------------------------------
-def test_direct_session_construction_warns():
+def test_direct_session_construction_raises():
     system = build_system()
     program = load_benchmark("libstrstr")
-    with pytest.warns(DeprecationWarning, match="repro.api"):
+    with pytest.raises(TypeError, match="repro.api"):
         CampaignSession(system, program, SMALL)
+
+
+def test_direct_session_construction_escape_hatch():
+    system = build_system()
+    program = load_benchmark("libstrstr")
+    session = CampaignSession(system, program, SMALL, allow_legacy=True)
+    assert session.config is SMALL
 
 
 def test_engine_construction_does_not_warn():
@@ -230,10 +281,11 @@ def test_config_validation_rejects_bad_knobs():
         CampaignConfig(lanes=0)
     with pytest.raises(ValueError, match="lanes"):
         CampaignConfig(lanes=65)
-    with pytest.raises(ValueError, match="batch_lanes"):
+    # The removed alias is a hard error that names its replacement.
+    with pytest.raises(ValueError, match="batch_lanes was removed"):
         CampaignConfig(batch_lanes=65)
-    # The deprecated alias overrides the new knob when explicitly set.
-    assert CampaignConfig(batch_lanes=8).lane_width == 8
+    with pytest.raises(ValueError, match="pass lanes=8"):
+        CampaignConfig(batch_lanes=8)
     assert CampaignConfig(lanes=32).lane_width == 32
     assert CampaignConfig().lane_width == 64
     with pytest.raises(ValueError, match="jobs"):

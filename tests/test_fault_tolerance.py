@@ -350,7 +350,7 @@ def test_cli_resume_round_trip(tmp_path, capsys):
     ]
     assert main(base) == 0
     first = json.loads(capsys.readouterr().out)
-    assert first["degraded"] is False
+    assert first["result"]["degraded"] is False
     assert main(base + ["--resume"]) == 0
     second = json.loads(capsys.readouterr().out)
     assert second == first
@@ -365,7 +365,8 @@ def test_degraded_flag_round_trips(clean_result):
     flagged = dataclasses.replace(clean_result, degraded=True)
     assert flagged == clean_result  # execution metadata: never in equality
     payload = flagged.to_payload()
-    assert payload["degraded"] is True
+    assert payload["schema"] == "repro/v1"
+    assert payload["result"]["degraded"] is True
     rebuilt = StructureCampaignResult.from_payload(payload)
     assert rebuilt.degraded is True
     assert rebuilt.to_payload() == payload

@@ -9,6 +9,7 @@ from repro.core.metrics import (
     heartbeat_path,
     metrics_payload,
     render_prometheus,
+    render_prometheus_sections,
     write_metrics,
 )
 from repro.core.progress import Heartbeat, ProgressReporter
@@ -39,6 +40,25 @@ def test_render_prometheus_families_and_kinds():
     assert 'kind="wall",name="campaign"' in text
     assert 'kind="wall",name="waveforms"' not in text
     assert text.endswith("\n")
+
+
+def test_render_prometheus_sections_keeps_families_contiguous():
+    """Several labeled slices merge into one valid exposition document:
+    each family's samples stay contiguous under a single HELP/TYPE header
+    (the text format forbids interleaving families)."""
+    service = CampaignTelemetry()
+    service.incr("jobs_completed", 2)
+    text = render_prometheus_sections([
+        (service, {"scope": "service"}),
+        (_telemetry(), {"scope": "job", "job": "job-abc"}),
+    ])
+    assert text.count("# TYPE repro_campaign_counter counter") == 1
+    assert 'name="jobs_completed",scope="service"} 2' in text
+    assert 'job="job-abc",name="injections",scope="job"} 120' in text
+    counters = [l for l in text.splitlines() if l.startswith("repro_campaign_counter")]
+    header_at = text.splitlines().index("# TYPE repro_campaign_counter counter")
+    block = text.splitlines()[header_at + 1 : header_at + 1 + len(counters)]
+    assert block == counters  # every counter sample directly follows its header
 
 
 def test_prometheus_label_escaping():
@@ -158,3 +178,13 @@ def test_reporter_drives_heartbeat(tmp_path):
     assert payload["label"] == "lib/alu"
     assert payload["state"] == "degraded"
     assert payload["shards_done"] == 1
+
+
+def test_progress_snapshot_sequence_increments():
+    """Each snapshot is distinguishable: pollers (the service's job-status
+    endpoint, heartbeat watchers) detect freshness via the sequence field."""
+    reporter = ProgressReporter(stream=io.StringIO(), enabled=False)
+    first = reporter.snapshot()
+    second = reporter.snapshot()
+    assert second["sequence"] == first["sequence"] + 1
+    assert first["state"] == "idle"

@@ -138,7 +138,7 @@ def test_savf_batched_equals_scalar(system, strstr_program):
     results = []
     for lanes in (1, 8):
         engine = DelayAVFEngine(
-            system, strstr_program, CampaignConfig(batch_lanes=lanes, **base)
+            system, strstr_program, CampaignConfig(lanes=lanes, **base)
         )
         results.append(
             SAVFEngine(engine.session).run_structure("lsu", max_bits=20, seed=2)
@@ -154,10 +154,10 @@ def test_campaign_batched_equals_scalar(system, strstr_program):
         margin_cycles=400, seed=5,
     )
     scalar_engine = DelayAVFEngine(
-        system, strstr_program, CampaignConfig(batch_lanes=1, **base)
+        system, strstr_program, CampaignConfig(lanes=1, **base)
     )
     batched_engine = DelayAVFEngine(
-        system, strstr_program, CampaignConfig(batch_lanes=8, **base)
+        system, strstr_program, CampaignConfig(lanes=8, **base)
     )
     for structure in ("alu", "lsu"):
         scalar_result = scalar_engine.run_structure(structure)

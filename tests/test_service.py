@@ -1,0 +1,347 @@
+"""Campaign service: job model, dedupe, HTTP daemon, client, envelopes."""
+
+import json
+import threading
+
+import pytest
+
+from repro import api
+from repro.client import ServiceClient
+from repro.core.campaign import CampaignConfig
+from repro.core.results import (
+    PAYLOAD_SCHEMA,
+    envelope,
+    is_enveloped,
+    result_from_payload,
+    unwrap_payload,
+)
+from repro.errors import (
+    CacheError,
+    DuplicateJobError,
+    ERROR_TAXONOMY,
+    InputError,
+    ReproError,
+    ServiceDrainingError,
+    UnknownJobError,
+    error_from_payload,
+    error_payload,
+    exit_code_for,
+    http_status_for,
+)
+from repro.service import CampaignService, JobManager, JobSpec, ServiceConfig
+
+SMALL_CONFIG = {
+    "delay_fractions": [0.9],
+    "cycle_count": 2,
+    "max_wires": 3,
+    "seed": 0,
+}
+
+ANALYZE_SPEC = {
+    "kind": "analyze",
+    "structure": "lsu",
+    "benchmark": "libstrstr",
+    "config": SMALL_CONFIG,
+}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_facade():
+    yield
+    api.shutdown()
+
+
+# ----------------------------------------------------------------------
+# The versioned payload envelope (satellite: repro/v1)
+# ----------------------------------------------------------------------
+def test_envelope_round_trip():
+    wrapped = envelope("delayavf", {"x": 1})
+    assert wrapped["schema"] == PAYLOAD_SCHEMA
+    assert is_enveloped(wrapped)
+    kind, bare = unwrap_payload(wrapped)
+    assert kind == "delayavf" and bare == {"x": 1}
+
+
+def test_unwrap_accepts_legacy_bare_payloads():
+    kind, bare = unwrap_payload({"by_delay": []})
+    assert kind is None and bare == {"by_delay": []}
+
+
+def test_unwrap_rejects_foreign_schema_and_kind():
+    with pytest.raises(InputError, match="schema"):
+        unwrap_payload({"schema": "repro/v99", "kind": "x", "result": {}})
+    with pytest.raises(InputError, match="kind"):
+        unwrap_payload(envelope("savf", {}), expected_kind="delayavf")
+
+
+def test_result_from_payload_dispatches_on_kind():
+    result = api.analyze(
+        "lsu", "libstrstr", config=CampaignConfig(**{
+            "delay_fractions": (0.9,), "cycle_count": 2, "max_wires": 3,
+        })
+    )
+    rebuilt = result_from_payload(result.to_payload())
+    assert rebuilt == result
+    # Legacy bare payloads dispatch by shape.
+    assert result_from_payload(result.result_payload()) == result
+    savf = api.savf("lsu", "libstrstr", bits=4, config=CampaignConfig(
+        delay_fractions=(0.9,), cycle_count=2, max_wires=3,
+    ))
+    assert result_from_payload(savf.to_payload()) == savf
+    with pytest.raises(InputError, match="kind"):
+        result_from_payload(envelope("mystery", {}))
+
+
+# ----------------------------------------------------------------------
+# Error taxonomy (satellite: one table, two surfaces)
+# ----------------------------------------------------------------------
+def test_taxonomy_maps_every_code():
+    assert ERROR_TAXONOMY["input"] == (1, 400)
+    assert ERROR_TAXONOMY["unknown-job"] == (1, 404)
+    assert ERROR_TAXONOMY["duplicate-job"] == (1, 409)
+    assert ERROR_TAXONOMY["draining"] == (1, 503)
+    for exc in (
+        InputError("x"), CacheError("x"), UnknownJobError("x"),
+        DuplicateJobError("x"), ServiceDrainingError("x"),
+    ):
+        assert exit_code_for(exc) == ERROR_TAXONOMY[exc.code][0]
+        assert http_status_for(exc) == ERROR_TAXONOMY[exc.code][1]
+    # Non-ReproError escapes are internal faults: fatal exit, HTTP 500.
+    assert exit_code_for(RuntimeError("boom")) == 1
+    assert http_status_for(RuntimeError("boom")) == 500
+
+
+def test_error_payload_round_trips_typed():
+    original = UnknownJobError("no such job", hint="submit first")
+    rebuilt = error_from_payload(error_payload(original))
+    assert type(rebuilt) is UnknownJobError
+    assert str(rebuilt) == "no such job" and rebuilt.hint == "submit first"
+    internal = error_payload(RuntimeError("boom"))
+    assert internal["code"] == "internal"
+    assert type(error_from_payload(internal)) is ReproError
+
+
+# ----------------------------------------------------------------------
+# Job specs: validation and content-addressed identity
+# ----------------------------------------------------------------------
+def test_job_spec_identity_excludes_priority():
+    base = JobSpec.from_payload(ANALYZE_SPEC)
+    urgent = JobSpec.from_payload({**ANALYZE_SPEC, "priority": 9})
+    assert base.job_id == urgent.job_id
+    assert base.job_id.startswith("job-")
+    other = JobSpec.from_payload({**ANALYZE_SPEC, "structure": "decoder"})
+    assert other.job_id != base.job_id
+
+
+def test_job_spec_validation():
+    with pytest.raises(InputError, match="kind"):
+        JobSpec.from_payload({**ANALYZE_SPEC, "kind": "explode"})
+    with pytest.raises(InputError, match="structure"):
+        JobSpec.from_payload({**ANALYZE_SPEC, "structure": "warp-core"})
+    with pytest.raises(InputError, match="benchmark"):
+        JobSpec.from_payload({**ANALYZE_SPEC, "benchmark": "quicksort"})
+    with pytest.raises(InputError, match="unknown job field"):
+        JobSpec.from_payload({**ANALYZE_SPEC, "frobnicate": 1})
+    with pytest.raises(InputError, match="confidence"):
+        JobSpec.from_payload({**ANALYZE_SPEC, "confidence": 1.5})
+    with pytest.raises(InputError, match="target_half_width"):
+        JobSpec.from_payload(
+            {**ANALYZE_SPEC, "kind": "savf", "target_half_width": 0.1}
+        )
+    with pytest.raises(InputError, match="config"):
+        JobSpec.from_payload({**ANALYZE_SPEC, "config": {"warp": 9}})
+    with pytest.raises(InputError, match="structures"):
+        JobSpec.from_payload({"kind": "sweep", "benchmarks": ["libstrstr"]})
+
+
+# ----------------------------------------------------------------------
+# Tentpole: dedupe — two identical concurrent submissions, one simulation
+# ----------------------------------------------------------------------
+def test_concurrent_identical_submissions_share_one_run():
+    manager = JobManager(workers=2)
+    spec = JobSpec.from_payload(ANALYZE_SPEC)
+    outcomes = []
+    barrier = threading.Barrier(2)
+
+    def client():
+        barrier.wait()
+        job, deduped = manager.submit(spec)
+        job.wait(timeout=300)
+        outcomes.append((job, deduped, job.result))
+
+    stats_before = api.engine_cache_stats()
+    threads = [threading.Thread(target=client) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    manager.start()
+    for thread in threads:
+        thread.join()
+
+    assert len(outcomes) == 2
+    (job_a, dedup_a, result_a), (job_b, dedup_b, result_b) = outcomes
+    # Both clients landed on the same job; exactly one was flagged deduped.
+    assert job_a is job_b
+    assert sorted((dedup_a, dedup_b)) == [False, True]
+    # Two identical enveloped results...
+    assert result_a == result_b
+    assert result_a["schema"] == PAYLOAD_SCHEMA
+    assert result_a["kind"] == "delayavf"
+    # ...from one simulation: one engine built, one campaign's injections.
+    stats = api.engine_cache_stats()
+    assert stats["misses"] - stats_before["misses"] == 1
+    assert manager.telemetry.count("jobs_submitted") == 2
+    assert manager.telemetry.count("jobs_deduplicated") == 1
+    assert manager.telemetry.count("jobs_completed") == 1
+    assert job_a.telemetry["counters"]["injections"] > 0
+    assert result_a["result"]["by_delay"][0]["records"]
+    assert manager.drain(timeout=30)
+
+
+def test_resubmission_after_completion_serves_stored_result():
+    manager = JobManager(workers=1)
+    manager.start()
+    spec = JobSpec.from_payload(ANALYZE_SPEC)
+    job, deduped = manager.submit(spec)
+    assert not deduped
+    assert job.wait(timeout=300)
+    again, deduped = manager.submit(spec)
+    assert deduped and again is job and again.result is job.result
+    assert again.submissions == 2
+    assert manager.drain(timeout=30)
+
+
+def test_duplicate_submission_raises_queued_priority():
+    manager = JobManager(workers=1)  # never started: stays queued
+    job, _ = manager.submit(JobSpec.from_payload(ANALYZE_SPEC))
+    assert job.priority == 0
+    raised, deduped = manager.submit(
+        JobSpec.from_payload({**ANALYZE_SPEC, "priority": 7})
+    )
+    assert deduped and raised is job and job.priority == 7
+
+
+def test_draining_manager_rejects_submissions():
+    manager = JobManager(workers=1)
+    manager.start()
+    assert manager.drain(timeout=10)
+    with pytest.raises(ServiceDrainingError):
+        manager.submit(JobSpec.from_payload(ANALYZE_SPEC))
+
+
+def test_unknown_job_raises():
+    manager = JobManager(workers=1)
+    with pytest.raises(UnknownJobError, match="unknown job"):
+        manager.get("job-doesnotexist")
+
+
+# ----------------------------------------------------------------------
+# Warm path: a fresh manager over the same cache dir re-simulates nothing
+# ----------------------------------------------------------------------
+def test_repeat_query_on_shared_cache_runs_zero_injections(tmp_path):
+    spec = JobSpec.from_payload(ANALYZE_SPEC)
+
+    def run_once():
+        manager = JobManager(workers=1, cache_dir=str(tmp_path))
+        manager.start()
+        job, _ = manager.submit(spec)
+        assert job.wait(timeout=300)
+        assert job.state == "done", job.error
+        assert manager.drain(timeout=30)
+        return job
+
+    first = run_once()
+    assert first.telemetry["counters"].get("injections", 0) > 0
+    api.shutdown()  # cold process boundary: only the disk cache survives
+    second = run_once()
+    assert second.result == first.result
+    assert second.telemetry["counters"].get("injections", 0) == 0
+    assert second.telemetry["counters"].get("record_cache_hits", 0) > 0
+
+
+# ----------------------------------------------------------------------
+# The HTTP daemon end to end (tentpole)
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def service():
+    service = CampaignService(ServiceConfig(port=0, workers=2))
+    service.start()
+    yield service
+    service.stop()
+
+
+def test_service_http_round_trip_matches_direct_api(service):
+    # The reference result, straight through the facade.
+    direct = api.analyze(
+        "lsu", "libstrstr",
+        config=CampaignConfig(
+            delay_fractions=(0.9,), cycle_count=2, max_wires=3, seed=0
+        ),
+    )
+    client = ServiceClient(service.url)
+    assert client.healthz()["status"] == "ok"
+
+    info = client.submit_info(ANALYZE_SPEC)
+    assert info["deduplicated"] is False
+    payload = client.result(info["id"], wait=True, timeout=300)
+    # Byte-identical to the same query through repro.api.analyze.
+    assert json.dumps(payload, sort_keys=True) == json.dumps(
+        direct.to_payload(), sort_keys=True
+    )
+    assert result_from_payload(payload) == direct
+
+    # A repeat submission dedupes onto the stored result.
+    again = client.submit_info(ANALYZE_SPEC)
+    assert again["id"] == info["id"] and again["deduplicated"] is True
+
+    status = client.status(info["id"])
+    assert status["state"] == "done"
+    assert status["submissions"] == 2
+    assert status["progress"]["shards_done"] == status["progress"]["shards_total"]
+
+    metrics = client.metrics()
+    assert 'scope="service"' in metrics
+    assert "repro_campaign_counter{" in metrics
+    assert 'name="jobs_completed",scope="service"' in metrics
+    assert f'job="{info["id"]}"' in metrics
+
+
+def test_service_error_statuses(service):
+    client = ServiceClient(service.url)
+    with pytest.raises(UnknownJobError):
+        client.status("job-doesnotexist")
+    with pytest.raises(InputError):
+        client.submit({**ANALYZE_SPEC, "kind": "explode"})
+    with pytest.raises(InputError):
+        client._request("GET", "/v1/nope")
+    # Raw HTTP statuses come straight from the taxonomy table.
+    import urllib.error
+    import urllib.request
+
+    try:
+        urllib.request.urlopen(service.url + "/v1/jobs/job-doesnotexist")
+    except urllib.error.HTTPError as exc:
+        assert exc.code == 404
+    else:  # pragma: no cover
+        pytest.fail("expected HTTP 404")
+
+
+def test_service_failed_job_raises_typed_error(service):
+    # savf over a logic-only structure fails at run time, not at submit.
+    client = ServiceClient(service.url)
+    job_id = client.submit({
+        "kind": "savf", "structure": "alu", "benchmark": "libstrstr",
+        "bits": 4, "config": SMALL_CONFIG,
+    })
+    with pytest.raises(ReproError, match="state elements"):
+        client.result(job_id, wait=True, timeout=300)
+
+
+def test_service_graceful_stop_reports_draining():
+    service = CampaignService(ServiceConfig(port=0, workers=1))
+    service.start()
+    client = ServiceClient(service.url)
+    assert client.healthz()["draining"] is False
+    service.stop()
+    # Fully stopped: the listener is gone.
+    with pytest.raises(OSError):
+        client.healthz()
