@@ -163,8 +163,9 @@ def _observed_config(
     progress: Optional[bool],
     metrics_out: Optional[str],
     lanes: Optional[int] = None,
+    workers_from: Optional[str] = None,
 ) -> CampaignConfig:
-    """Fold per-call observability / lane-width overrides into a config."""
+    """Fold per-call observability / execution overrides into a config."""
     overrides = {}
     if trace:
         overrides["trace"] = True
@@ -174,6 +175,8 @@ def _observed_config(
         overrides["metrics_out"] = str(metrics_out)
     if lanes is not None:
         overrides["lanes"] = int(lanes)
+    if workers_from is not None:
+        overrides["workers_from"] = str(workers_from)
     return dataclasses.replace(config, **overrides) if overrides else config
 
 
@@ -210,6 +213,7 @@ def analyze(
     progress: Optional[bool] = None,
     metrics_out: Optional[str] = None,
     lanes: Optional[int] = None,
+    workers_from: Optional[str] = None,
 ) -> StructureCampaignResult:
     """Run (or resume) a DelayAVF campaign for one structure and workload.
 
@@ -245,9 +249,15 @@ def analyze(
     ``.heartbeat`` file while running).  Each maps onto the corresponding
     :class:`CampaignConfig` field — passing them here merely overrides the
     config for this call.
+
+    *workers_from* dispatches shards to remote ``repro worker`` processes
+    instead of running them locally: a ``HOST:PORT`` listen address (socket
+    transport) or ``queue:DIR`` (shared-filesystem queue) — see
+    :class:`repro.distrib.coordinator.RemoteExecutor`.
     """
     run_config = _observed_config(
-        config or CampaignConfig(), trace, progress, metrics_out, lanes
+        config or CampaignConfig(), trace, progress, metrics_out, lanes,
+        workers_from,
     )
     if trace:
         # Fresh buffer per traced call — engine construction below (probe /
@@ -385,6 +395,11 @@ def shutdown() -> None:
         _ENGINE_LOCKS.clear()
     for engine in engines:
         engine.close()
+    # Shared remote fleets are engine-independent (one per listen address);
+    # engine.close() intentionally leaves them up, so release them here.
+    from repro.distrib.coordinator import shutdown_shared_executors
+
+    shutdown_shared_executors()
 
 
 # Drain cached engines at interpreter exit: without this, a caller that used

@@ -15,6 +15,8 @@ Examples::
     python -m repro doctor md5 alu --cache-dir .verdicts
     python -m repro savf libstrstr regfile --bits 24 --ecc
     python -m repro serve --port 8321 --workers 2 --cache-dir .verdicts
+    python -m repro delayavf md5 alu --workers-from 127.0.0.1:8765
+    python -m repro worker --connect 127.0.0.1:8765
 
 ``doctor`` preflights inputs without running anything and exits 0 when every
 check passes, 1 on a fatal input error, and 2 when there are only warnings,
@@ -29,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -147,6 +150,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="additional attempts granted to a failing shard (default: 2)",
     )
     p.add_argument(
+        "--workers-from", default=None, dest="workers_from", metavar="ADDR",
+        help="dispatch shards to remote 'repro worker' processes: listen on "
+             "HOST:PORT (socket transport) or poll queue:DIR (shared "
+             "filesystem); falls back to serial when no worker joins",
+    )
+    p.add_argument(
         "--stats", action="store_true",
         help="print campaign telemetry (cache hits, skips, phase times)",
     )
@@ -228,6 +237,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None,
         help="default persistent verdict-cache directory applied to jobs "
              "that do not set one (repeat queries then warm-start from it)",
+    )
+    p.add_argument(
+        "--workers-from", default=None, dest="workers_from", metavar="ADDR",
+        help="default remote-worker listen address applied to jobs that do "
+             "not set one (HOST:PORT or queue:DIR; see 'repro worker')",
+    )
+
+    p = sub.add_parser(
+        "worker",
+        help="serve campaign shards to a remote coordinator "
+             "(the fleet side of --workers-from)",
+    )
+    p.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="coordinator socket address to connect to",
+    )
+    p.add_argument(
+        "--queue", default=None, metavar="DIR",
+        help="shared-filesystem queue directory to announce in "
+             "(alternative to --connect)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="worker-local verdict-cache directory override (use when the "
+             "worker does not share a filesystem with the coordinator)",
+    )
+    p.add_argument(
+        "--retry-seconds", type=float, default=30.0, dest="retry_seconds",
+        metavar="SECONDS",
+        help="how long to retry connecting while the coordinator comes up "
+             "(socket transport; default: 30)",
+    )
+    p.add_argument(
+        "--max-idle", type=float, default=None, dest="max_idle",
+        metavar="SECONDS",
+        help="exit after this long without a message from the coordinator "
+             "(default: wait forever)",
     )
 
     p = sub.add_parser(
@@ -489,6 +535,7 @@ def cmd_serve(args) -> int:
             port=args.port,
             workers=args.workers,
             cache_dir=args.cache_dir,
+            workers_from=args.workers_from,
         ))
     except (OSError, ValueError) as exc:
         print(f"error: cannot start service: {exc}", file=sys.stderr)
@@ -499,6 +546,49 @@ def cmd_serve(args) -> int:
     print(f"repro-service listening on http://{host}:{port}", flush=True)
     service.serve_forever()
     print("repro-service drained and stopped", flush=True)
+    return EXIT_OK
+
+
+def cmd_worker(args) -> int:
+    """``repro worker``: serve shards to a coordinator until shutdown."""
+    from repro.distrib import transport
+    from repro.distrib.worker import serve
+
+    if bool(args.connect) == bool(args.queue):
+        print(
+            "error: pass exactly one of --connect HOST:PORT / --queue DIR",
+            file=sys.stderr,
+        )
+        return EXIT_FATAL
+    try:
+        if args.connect:
+            kind, host, port = transport.parse_workers_from(args.connect)
+            if kind != "socket":
+                raise ValueError("--connect takes HOST:PORT (use --queue for "
+                                 "queue directories)")
+            channel = transport.connect(
+                host, port, retry_seconds=args.retry_seconds
+            )
+        else:
+            channel = transport.announce(args.queue)
+    except (transport.TransportError, ValueError, OSError) as exc:
+        print(f"error: cannot reach coordinator: {exc}", file=sys.stderr)
+        return EXIT_FATAL
+    print(
+        f"repro-worker serving "
+        f"{args.connect or 'queue:' + args.queue} (pid {os.getpid()})",
+        flush=True,
+    )
+    try:
+        served = serve(
+            channel, cache_dir=args.cache_dir, max_idle=args.max_idle
+        )
+    except transport.TransportError as exc:
+        print(f"repro-worker coordinator gone: {exc}", file=sys.stderr)
+        return EXIT_FATAL
+    finally:
+        channel.close()
+    print(f"repro-worker done after {served} shard(s)", flush=True)
     return EXIT_OK
 
 
@@ -546,6 +636,7 @@ _COMMANDS = {
     "doctor": cmd_doctor,
     "savf": cmd_savf,
     "serve": cmd_serve,
+    "worker": cmd_worker,
     "trace": cmd_trace,
 }
 

@@ -32,17 +32,38 @@ import urllib.request
 from typing import Any, Dict, Optional
 
 from repro.core.results import unwrap_payload
-from repro.errors import ReproError, error_from_payload
+from repro.errors import (
+    JobTimeoutError,
+    ReproError,
+    ServiceUnavailableError,
+    error_from_payload,
+)
 
 __all__ = ["ServiceClient"]
 
 
 class ServiceClient:
-    """One service endpoint, addressed by base URL (``http://host:port``)."""
+    """One service endpoint, addressed by base URL (``http://host:port``).
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    Transport-level failures — connection refused, DNS failure, socket
+    timeouts — raise :class:`repro.errors.ServiceUnavailableError` (HTTP 503
+    in the taxonomy), never raw ``URLError``/``TimeoutError``.  ``submit``
+    and ``status`` additionally retry transient connect failures up to
+    *connect_retries* times with exponential backoff (both are safe to
+    retry: submission is content-addressed and deduplicates server-side).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        connect_retries: int = 2,
+        retry_backoff: float = 0.1,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.connect_retries = max(0, int(connect_retries))
+        self.retry_backoff = max(0.0, float(retry_backoff))
 
     # ------------------------------------------------------------------
     def _request(
@@ -65,6 +86,8 @@ class ServiceClient:
                 raw = resp.read()
                 content_type = resp.headers.get("Content-Type", "")
         except urllib.error.HTTPError as exc:
+            # The service answered: map its error envelope back to the typed
+            # error.  (HTTPError subclasses URLError, so this arm runs first.)
             raw = exc.read()
             try:
                 _, error = unwrap_payload(json.loads(raw))
@@ -73,9 +96,44 @@ class ServiceClient:
                     f"service answered HTTP {exc.code}: {raw[:200]!r}"
                 ) from exc
             raise error_from_payload(error) from exc
+        except urllib.error.URLError as exc:
+            # The service never answered: connection refused, DNS failure,
+            # or a socket timeout urllib wrapped (exc.reason carries it).
+            raise ServiceUnavailableError(
+                f"cannot reach service at {self.base_url}: {exc.reason}",
+                hint="is the daemon running? check the URL and port",
+            ) from exc
+        except (TimeoutError, ConnectionError, OSError) as exc:
+            # Timeouts mid-read (and stray socket errors) escape urllib
+            # unwrapped on some paths; same category, same typed error.
+            raise ServiceUnavailableError(
+                f"cannot reach service at {self.base_url}: {exc}",
+                hint="is the daemon running? check the URL and port",
+            ) from exc
         if content_type.startswith("text/plain"):
             return raw.decode("utf-8")
         return json.loads(raw)
+
+    def _request_retrying(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        """Like :meth:`_request`, with bounded retry on *transport* failures.
+
+        Only :class:`ServiceUnavailableError` is retried — an error the
+        service itself answered with is definitive and re-raised at once.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._request(method, path, body)
+            except ServiceUnavailableError:
+                if attempt >= self.connect_retries:
+                    raise
+                time.sleep(min(2.0, self.retry_backoff * (2 ** attempt)))
+                attempt += 1
 
     # ------------------------------------------------------------------
     def submit(self, spec: Dict[str, Any]) -> str:
@@ -86,14 +144,16 @@ class ServiceClient:
         """Like :meth:`submit` but returns the full acceptance document
         (``{"id", "state", "deduplicated", "label"}``)."""
         _, body = unwrap_payload(
-            self._request("POST", "/v1/jobs", spec), expected_kind="job-accepted"
+            self._request_retrying("POST", "/v1/jobs", spec),
+            expected_kind="job-accepted",
         )
         return dict(body)
 
     def status(self, job_id: str) -> Dict[str, Any]:
         """The job's bare status document (state, progress, telemetry)."""
         _, body = unwrap_payload(
-            self._request("GET", f"/v1/jobs/{job_id}"), expected_kind="job"
+            self._request_retrying("GET", f"/v1/jobs/{job_id}"),
+            expected_kind="job",
         )
         return dict(body)
 
@@ -107,9 +167,12 @@ class ServiceClient:
         """The job's enveloped result payload.
 
         With ``wait`` (the default) polls the status endpoint until the job
-        reaches a terminal state (at most *timeout* seconds).  A failed job
+        reaches a terminal state (at most *timeout* seconds — the final
+        sleep is clipped to the remaining budget, so the wait never
+        overshoots the deadline by a full *poll_seconds*).  A failed job
         raises the same typed :class:`repro.errors.ReproError` the campaign
-        raised inside the service.
+        raised inside the service; an expired wait raises
+        :class:`repro.errors.JobTimeoutError` (the job itself keeps running).
         """
         if wait:
             deadline = None if timeout is None else time.monotonic() + timeout
@@ -117,12 +180,18 @@ class ServiceClient:
                 status = self.status(job_id)
                 if status["state"] in ("done", "failed"):
                     break
-                if deadline is not None and time.monotonic() > deadline:
-                    raise TimeoutError(
+                if deadline is None:
+                    time.sleep(poll_seconds)
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise JobTimeoutError(
                         f"job {job_id} still {status['state']!r} after "
-                        f"{timeout} seconds"
+                        f"{timeout} seconds",
+                        hint="raise the timeout, or poll GET /v1/jobs/<id> "
+                             "yourself — the job keeps running server-side",
                     )
-                time.sleep(poll_seconds)
+                time.sleep(min(poll_seconds, remaining))
         return self._request("GET", f"/v1/jobs/{job_id}/result")
 
     def metrics(self) -> str:

@@ -152,6 +152,13 @@ class CampaignConfig:
     metrics_out: Optional[str] = None
     #: minimum seconds between heartbeat-file rewrites
     heartbeat_seconds: float = 2.0
+    #: distributed execution: the listen address remote ``repro worker``
+    #: processes join — ``HOST:PORT`` (socket transport) or ``queue:DIR``
+    #: (shared-filesystem queue); None keeps every shard on this host
+    workers_from: Optional[str] = None
+    #: seconds the remote coordinator waits for (more) workers once the
+    #: fleet is empty before the remaining shards fall back to serial
+    worker_wait_seconds: float = 30.0
 
     def __post_init__(self):
         if not self.delay_fractions:
@@ -203,6 +210,12 @@ class CampaignConfig:
             raise ValueError("refine_growth must be > 1.0")
         if self.heartbeat_seconds <= 0:
             raise ValueError("heartbeat_seconds must be > 0")
+        if self.workers_from is not None:
+            from repro.distrib.transport import parse_workers_from
+
+            parse_workers_from(self.workers_from)  # raises ValueError
+        if self.worker_wait_seconds < 0:
+            raise ValueError("worker_wait_seconds must be >= 0")
 
     @property
     def lane_width(self) -> int:
@@ -241,6 +254,7 @@ class CampaignConfig:
             trace=bool(getattr(args, "trace", None)),
             progress=bool(getattr(args, "progress", False)),
             metrics_out=getattr(args, "metrics_out", None),
+            workers_from=getattr(args, "workers_from", None),
         )
 
     def neutral(self) -> "CampaignConfig":
@@ -656,9 +670,25 @@ class DelayAVFEngine:
 
     # ------------------------------------------------------------------
     def default_executor(self) -> Executor:
-        """The executor selected by ``config.jobs`` (kept across campaigns)."""
+        """The executor selected by the config (kept across campaigns).
+
+        ``workers_from`` wins over ``jobs``: a distributed fleet subsumes a
+        local pool.  The remote executor is the process-wide shared instance
+        for its address (one listener per address, however many engines), so
+        ``close()`` on this engine leaves the fleet up for its siblings.
+        """
         if self._executor is None:
-            if self.config.jobs > 1:
+            if self.config.workers_from:
+                from repro.distrib.coordinator import shared_remote_executor
+
+                self._executor = shared_remote_executor(
+                    self.config.workers_from,
+                    shard_timeout=self.config.shard_timeout,
+                    max_retries=self.config.max_retries,
+                    retry_backoff=self.config.retry_backoff,
+                    worker_wait_seconds=self.config.worker_wait_seconds,
+                )
+            elif self.config.jobs > 1:
                 self._executor = ParallelExecutor(
                     self.config.jobs,
                     shard_timeout=self.config.shard_timeout,
@@ -757,7 +787,11 @@ class DelayAVFEngine:
         per structure.
         """
         structures = list(structures)
-        if self.config.lane_width <= 1 or self.config.jobs > 1:
+        if (
+            self.config.lane_width <= 1
+            or self.config.jobs > 1
+            or self.config.workers_from
+        ):
             return {
                 structure: self.run_structure(
                     structure,
@@ -1185,7 +1219,12 @@ class DelayAVFEngine:
         )
         result.degraded = any(
             result.telemetry.count(counter)
-            for counter in ("shard_timeouts", "pool_rebuilds", "serial_fallbacks")
+            for counter in (
+                "shard_timeouts",
+                "pool_rebuilds",
+                "serial_fallbacks",
+                "remote_workers_evicted",
+            )
         )
         if self.config.metrics_out:
             write_metrics(
@@ -1310,7 +1349,11 @@ def run_structures_spanning(
         None
     ] * len(runs)
     for index, (engine, structures) in enumerate(runs):
-        if engine.config.lane_width <= 1 or engine.config.jobs > 1:
+        if (
+            engine.config.lane_width <= 1
+            or engine.config.jobs > 1
+            or engine.config.workers_from
+        ):
             results[index] = engine.run_structures(structures)
         else:
             packed.append((index, engine, list(structures)))

@@ -34,6 +34,8 @@ from __future__ import annotations
 
 import abc
 import atexit
+import base64
+import importlib
 import os
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
@@ -84,6 +86,68 @@ class SessionSpec:
             _internal=True,
         )
 
+    # ------------------------------------------------------------------
+    # Wire round-trip: the JSON-safe twin of the picklable form, used by
+    # the distributed coordinator to ship specs to remote workers that
+    # share no process ancestry (and possibly no machine).
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        """A JSON-safe dict :meth:`from_payload` rebuilds exactly.
+
+        The factory travels by dotted reference (``module:qualname``) — the
+        same by-reference contract pickling already imposes — the program
+        image as base64, the config through its own payload round-trip.
+        Factory kwarg values must be JSON-representable primitives (the
+        existing specs only carry booleans).
+        """
+        factory = self.system_factory
+        return {
+            "system_factory": f"{factory.__module__}:{factory.__qualname__}",
+            "program": {
+                "name": self.program.name,
+                "image": base64.b64encode(self.program.image).decode("ascii"),
+                "entry": self.program.entry,
+                "symbols": dict(self.program.symbols),
+            },
+            "config": self.config.to_payload(),
+            "factory_kwargs": [[name, value] for name, value in self.factory_kwargs],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "SessionSpec":
+        """Rebuild a spec from its wire form (inverse of :meth:`to_payload`).
+
+        Trusts its coordinator: the factory reference is imported and
+        resolved, exactly as unpickling would.  Workers only ever deserialize
+        specs from the coordinator they explicitly connected to.
+        """
+        from repro.core.campaign import CampaignConfig
+        from repro.isa.assembler import Program
+
+        module_name, _, qualname = str(payload["system_factory"]).partition(":")
+        factory: Any = importlib.import_module(module_name)
+        for part in qualname.split("."):
+            factory = getattr(factory, part)
+        program_payload = payload["program"]
+        program = Program(
+            name=str(program_payload["name"]),
+            image=base64.b64decode(program_payload["image"]),
+            entry=int(program_payload.get("entry", 0)),
+            symbols={
+                str(name): int(addr)
+                for name, addr in (program_payload.get("symbols") or {}).items()
+            },
+        )
+        return cls(
+            system_factory=factory,
+            program=program,
+            config=CampaignConfig.from_payload(payload["config"]),
+            factory_kwargs=tuple(
+                (str(name), value)
+                for name, value in payload.get("factory_kwargs") or ()
+            ),
+        )
+
 
 def open_configured_cache(system, program, config):
     """The :class:`VerdictCache` named by ``config.cache_dir`` (or ``None``)."""
@@ -102,6 +166,63 @@ class ShardResult:
     by_delay: Dict[float, List[InjectionRecord]]
     telemetry: Optional[Dict[str, Dict]] = None  #: telemetry snapshot delta
     spans: Optional[List[Dict]] = None  #: trace spans drained from the worker
+
+
+def shard_result_to_payload(result: ShardResult) -> Dict[str, Any]:
+    """The JSON-safe wire form of one executed shard (remote workers).
+
+    Records compress to their derived-field payloads
+    (:func:`repro.core.cache.record_to_payload`); identity — wire index,
+    cycle, delay — is *not* shipped because the coordinator re-supplies it
+    from the shard it dispatched.  Record lists ride in evaluation order
+    (wire-outer within each delay), which is exactly the order
+    ``shard.wire_indices`` enumerates, so the round-trip is positional and
+    lossless.  Telemetry deltas and drained spans are plain dicts already.
+    """
+    return {
+        "shard_index": result.shard_index,
+        "records": [
+            [record_to_payload(record) for record in records]
+            for records in result.by_delay.values()
+        ],
+        "telemetry": result.telemetry,
+        "spans": result.spans,
+    }
+
+
+def shard_result_from_payload(
+    payload: Dict[str, Any], shard: WorkShard
+) -> ShardResult:
+    """Rebuild a :class:`ShardResult` against the shard it answers.
+
+    The inverse of :func:`shard_result_to_payload`: per-delay record lists
+    are re-keyed by ``shard.delay_fractions`` (payload order follows the
+    shard's declaration order) and each record regains its identity from
+    ``shard.wire_indices`` position, the shard's cycle, and its delay.
+    """
+    record_lists = payload["records"]
+    if len(record_lists) != len(shard.delay_fractions):
+        raise ValueError(
+            f"shard {shard.index}: expected {len(shard.delay_fractions)} "
+            f"delay record lists, got {len(record_lists)}"
+        )
+    by_delay: Dict[float, List[InjectionRecord]] = {}
+    for delay, records in zip(shard.delay_fractions, record_lists):
+        if len(records) != len(shard.wire_indices):
+            raise ValueError(
+                f"shard {shard.index}: expected {len(shard.wire_indices)} "
+                f"records for delay {delay}, got {len(records)}"
+            )
+        by_delay[delay] = [
+            record_from_payload(record, wire_index, shard.cycle, delay)
+            for wire_index, record in zip(shard.wire_indices, records)
+        ]
+    return ShardResult(
+        shard_index=int(payload["shard_index"]),
+        by_delay=by_delay,
+        telemetry=payload.get("telemetry"),
+        spans=payload.get("spans"),
+    )
 
 
 # ----------------------------------------------------------------------

@@ -17,7 +17,7 @@ resolve against its own rebuilt session.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.core import tracing
 from repro.core.sampling import sample_wires
@@ -53,6 +53,34 @@ class WorkShard:
             if (index, delay) not in skip
         ]
 
+    # ------------------------------------------------------------------
+    # Wire round-trip (the distributed coordinator ships shards as JSON)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        """A JSON-safe dict :meth:`from_payload` rebuilds exactly.
+
+        Every field is already a primitive (indices, a cycle, floats), so
+        the payload is lossless — a remote worker resolves the same wires
+        against its own rebuilt session and executes the identical shard.
+        """
+        return {
+            "index": self.index,
+            "cycle": self.cycle,
+            "wire_indices": list(self.wire_indices),
+            "delay_fractions": list(self.delay_fractions),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "WorkShard":
+        return cls(
+            index=int(payload["index"]),
+            cycle=int(payload["cycle"]),
+            wire_indices=tuple(int(i) for i in payload["wire_indices"]),
+            delay_fractions=tuple(
+                float(d) for d in payload["delay_fractions"]
+            ),
+        )
+
 
 @dataclass(frozen=True)
 class CampaignPlan:
@@ -75,6 +103,39 @@ class CampaignPlan:
     @property
     def total_injections(self) -> int:
         return sum(shard.injections for shard in self.shards)
+
+    # ------------------------------------------------------------------
+    # Wire round-trip (the distributed coordinator ships plans as JSON)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        """A JSON-safe dict :meth:`from_payload` rebuilds exactly."""
+        return {
+            "structure": self.structure,
+            "benchmark": self.benchmark,
+            "wire_count": self.wire_count,
+            "wire_indices": list(self.wire_indices),
+            "delay_fractions": list(self.delay_fractions),
+            "sampled_cycles": list(self.sampled_cycles),
+            "shards": [shard.to_payload() for shard in self.shards],
+            "lane_width": self.lane_width,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "CampaignPlan":
+        return cls(
+            structure=str(payload["structure"]),
+            benchmark=str(payload["benchmark"]),
+            wire_count=int(payload["wire_count"]),
+            wire_indices=tuple(int(i) for i in payload["wire_indices"]),
+            delay_fractions=tuple(
+                float(d) for d in payload["delay_fractions"]
+            ),
+            sampled_cycles=tuple(int(c) for c in payload["sampled_cycles"]),
+            shards=tuple(
+                WorkShard.from_payload(shard) for shard in payload["shards"]
+            ),
+            lane_width=int(payload.get("lane_width", 64)),
+        )
 
 
 def build_plan(

@@ -80,6 +80,12 @@ COUNTER_ORDER = (
     "pool_rebuilds",
     "serial_fallbacks",
     "shards_resumed",
+    # Remote-worker fleet lifecycle (counted by the distributed coordinator,
+    # repro.distrib.coordinator.RemoteExecutor; an eviction also raises the
+    # campaign's degraded flag, like pool rebuilds do for the process pool).
+    "remote_workers_joined",
+    "remote_workers_evicted",
+    "remote_shards_completed",
     "refinement_rounds",
     "extra_shards",
     "guard_violations",
@@ -89,6 +95,7 @@ COUNTER_ORDER = (
     "jobs_deduplicated",
     "jobs_completed",
     "jobs_failed",
+    "client_disconnects",
 )
 
 #: Presentation order for the known phases.

@@ -205,6 +205,35 @@ def extend(spans: Optional[Sequence[Dict[str, Any]]]) -> None:
         _TRACER.extend(spans)
 
 
+def stitch_remote_spans(
+    spans: Sequence[Dict[str, Any]],
+    *,
+    pid: Optional[int] = None,
+    parent: Optional[int] = None,
+    parent_pid: Optional[int] = None,
+) -> List[Dict[str, Any]]:
+    """Re-home spans drained from a remote worker into the coordinator trace.
+
+    Mutates and returns *spans*: every span is relabelled to the worker's
+    track (*pid*, used for both ``pid`` and ``tid`` so each remote worker
+    renders as its own Perfetto process), and each *root* span — one with no
+    parent in the worker's own buffer — is parent-linked to the
+    coordinator-side dispatch span (*parent*, with ``parent_pid`` recording
+    which process that id belongs to, since span ids are only unique per
+    process).  Only bookkeeping fields change: :func:`span_identity` ignores
+    pids, ids, and parents, so serial/remote span-set parity is preserved.
+    """
+    for entry in spans:
+        if pid is not None:
+            entry["pid"] = pid
+            entry["tid"] = pid
+        if parent is not None and entry.get("parent") is None:
+            entry["parent"] = parent
+            if parent_pid is not None:
+                entry["parent_pid"] = parent_pid
+    return list(spans)
+
+
 def span_identity(span_dict: Dict[str, Any]) -> Tuple:
     """Execution-shape identity of a span: ``(name, cat, sorted attrs)``.
 

@@ -1,0 +1,377 @@
+"""Stdlib-only message channels for distributed campaign execution.
+
+Two transports, one contract.  A :class:`MessageChannel` carries JSON
+messages (plain dicts) between the coordinator and one worker:
+
+- **Socket** (:class:`SocketChannel`) — newline-delimited JSON over TCP.
+  The coordinator listens (:class:`SocketListener`), workers connect
+  (:func:`connect`, with a retry window so start order does not matter).
+  Disconnects surface eagerly as :class:`TransportError`, which is what the
+  coordinator's dead-worker eviction keys on.
+- **File queue** (:class:`FileQueueChannel`) — a directory on a shared
+  filesystem.  Workers announce themselves with a hello file
+  (:func:`announce`); each direction is a spool of sequence-numbered JSON
+  files written atomically (temp file + ``os.replace``) so a reader never
+  observes a torn message.  There is no connection to break, so worker
+  death is only detected by the coordinator's per-shard timeout — the fault
+  model is documented in DESIGN.md §12.
+
+Messages are whole JSON objects; framing (newlines / one file per message)
+is the transport's business.  Neither transport authenticates: the socket
+listener should bind loopback or a trusted network, and the queue directory
+carries the filesystem's own permissions — the worker protocol rebuilds
+sessions by importing a factory the coordinator names, so a fleet trusts
+its coordinator exactly as much as a pickle-based process pool trusts its
+parent.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import select
+import socket
+import tempfile
+import time
+import uuid
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class TransportError(RuntimeError):
+    """The peer is gone or the channel broke mid-message."""
+
+
+def parse_workers_from(value: str) -> Tuple:
+    """Parse a ``workers_from`` address into ``("socket", host, port)`` or
+    ``("queue", directory)``.
+
+    ``HOST:PORT`` names a socket listen address (``HOST`` may be empty for
+    loopback; ``PORT`` 0 binds an ephemeral port); ``queue:DIR`` names a
+    shared-filesystem queue directory.  Raises ``ValueError`` on anything
+    else, so configs fail fast at validation time.
+    """
+    if not isinstance(value, str) or not value:
+        raise ValueError("workers_from must be 'HOST:PORT' or 'queue:DIR'")
+    if value.startswith("queue:"):
+        directory = value[len("queue:"):]
+        if not directory:
+            raise ValueError("workers_from queue transport needs a directory")
+        return ("queue", directory)
+    host, sep, port = value.rpartition(":")
+    if not sep or not port.lstrip("-").isdigit():
+        raise ValueError(
+            f"workers_from must be 'HOST:PORT' or 'queue:DIR', got {value!r}"
+        )
+    port_number = int(port)
+    if not 0 <= port_number <= 65535:
+        raise ValueError(f"workers_from port out of range: {port_number}")
+    return ("socket", host or "127.0.0.1", port_number)
+
+
+class MessageChannel:
+    """One bidirectional JSON-message channel to a single peer."""
+
+    def send(self, message: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def poll(self) -> List[Dict[str, Any]]:
+        """Every message that has fully arrived; never blocks."""
+        raise NotImplementedError
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        """The next message, waiting up to *timeout* seconds (None = forever)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Socket transport: newline-delimited JSON over TCP
+# ----------------------------------------------------------------------
+class SocketChannel(MessageChannel):
+    """JSON-lines over one connected TCP socket (blocking sends, buffered
+    non-blocking receives)."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._sock.setblocking(True)
+        self._buffer = b""
+        self._pending: List[Dict[str, Any]] = []
+        self._closed = False
+
+    def send(self, message: Dict[str, Any]) -> None:
+        data = json.dumps(message, sort_keys=True).encode("utf-8") + b"\n"
+        try:
+            self._sock.sendall(data)
+        except OSError as exc:
+            raise TransportError(f"peer gone while sending: {exc}") from exc
+
+    def _readable(self, timeout: float) -> bool:
+        try:
+            ready, _, _ = select.select([self._sock], [], [], timeout)
+        except OSError as exc:
+            raise TransportError(f"socket unusable: {exc}") from exc
+        return bool(ready)
+
+    def _fill(self) -> None:
+        """One non-blocking read into the buffer (caller checked readability)."""
+        try:
+            chunk = self._sock.recv(1 << 16)
+        except OSError as exc:
+            if exc.errno in (errno.EAGAIN, errno.EWOULDBLOCK):
+                return
+            raise TransportError(f"peer gone while reading: {exc}") from exc
+        if not chunk:
+            raise TransportError("peer closed the connection")
+        self._buffer += chunk
+
+    def _drain_lines(self) -> None:
+        while b"\n" in self._buffer:
+            line, self._buffer = self._buffer.split(b"\n", 1)
+            if line.strip():
+                self._pending.append(json.loads(line))
+
+    def poll(self) -> List[Dict[str, Any]]:
+        while self._readable(0.0):
+            self._fill()
+        self._drain_lines()
+        messages, self._pending = self._pending, []
+        return messages
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            self._drain_lines()
+            if self._pending:
+                return self._pending.pop(0)
+            wait = 0.25
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                wait = min(wait, remaining)
+            if self._readable(wait):
+                self._fill()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class SocketListener:
+    """The coordinator's accept loop: non-blocking, one channel per worker."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, backlog: int = 16):
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(backlog)
+        self._sock.setblocking(False)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The actually bound ``(host, port)`` (resolves ephemeral ports)."""
+        host, port = self._sock.getsockname()[:2]
+        return host, port
+
+    def accept(self) -> List[SocketChannel]:
+        """Every connection waiting right now (possibly none)."""
+        channels = []
+        while True:
+            try:
+                sock, _ = self._sock.accept()
+            except BlockingIOError:
+                break
+            except OSError:
+                break
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            channels.append(SocketChannel(sock))
+        return channels
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+def connect(
+    host: str,
+    port: int,
+    retry_seconds: float = 30.0,
+    retry_interval: float = 0.25,
+) -> SocketChannel:
+    """Connect to a coordinator, retrying while it comes up.
+
+    Workers and coordinator start in arbitrary order (CI starts the workers
+    first); retrying connection-refused for *retry_seconds* makes the order
+    irrelevant.  Raises :class:`TransportError` once the window closes.
+    """
+    deadline = time.monotonic() + max(0.0, retry_seconds)
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=10.0)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return SocketChannel(sock)
+        except OSError as exc:
+            if time.monotonic() >= deadline:
+                raise TransportError(
+                    f"cannot connect to coordinator at {host}:{port}: {exc}"
+                ) from exc
+            time.sleep(retry_interval)
+
+
+# ----------------------------------------------------------------------
+# File-queue transport: sequence-numbered JSON spool files on a shared dir
+# ----------------------------------------------------------------------
+#
+# Layout under the queue directory:
+#
+#     workers/<worker-id>.json      worker announce (hello payload)
+#     to/<worker-id>/NNNNNNNN.json  coordinator -> worker spool
+#     from/<worker-id>/NNNNNNNN.json worker -> coordinator spool
+#
+# Writers publish with temp-file + os.replace (atomic on POSIX), readers
+# consume in sequence order and unlink behind themselves, so the spool stays
+# small and a torn message can never be observed.
+def _atomic_write_json(directory: str, name: str, payload: Dict[str, Any]) -> None:
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(prefix=name, suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(tmp_path, os.path.join(directory, name))
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def _spool_messages(directory: str) -> List[Dict[str, Any]]:
+    """Consume (read + unlink) every complete spool file, in sequence order."""
+    try:
+        names = sorted(
+            name for name in os.listdir(directory) if name.endswith(".json")
+        )
+    except FileNotFoundError:
+        return []
+    messages = []
+    for name in names:
+        path = os.path.join(directory, name)
+        try:
+            with open(path) as handle:
+                messages.append(json.load(handle))
+        except (OSError, ValueError):
+            continue  # replaced-but-not-yet-visible races resolve next poll
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    return messages
+
+
+class FileQueueChannel(MessageChannel):
+    """One worker's spool pair under a shared queue directory."""
+
+    def __init__(self, directory: str, worker_id: str, side: str):
+        if side not in ("coordinator", "worker"):
+            raise ValueError(f"side must be coordinator/worker, got {side!r}")
+        self.worker_id = worker_id
+        to_dir = os.path.join(directory, "to", worker_id)
+        from_dir = os.path.join(directory, "from", worker_id)
+        if side == "coordinator":
+            self._send_dir, self._recv_dir = to_dir, from_dir
+        else:
+            self._send_dir, self._recv_dir = from_dir, to_dir
+        os.makedirs(self._send_dir, exist_ok=True)
+        os.makedirs(self._recv_dir, exist_ok=True)
+        self._seq = 0
+        self._pending: List[Dict[str, Any]] = []
+
+    def send(self, message: Dict[str, Any]) -> None:
+        self._seq += 1
+        try:
+            _atomic_write_json(
+                self._send_dir, f"{self._seq:08d}.json", message
+            )
+        except OSError as exc:
+            raise TransportError(f"queue directory unusable: {exc}") from exc
+
+    def poll(self) -> List[Dict[str, Any]]:
+        messages, self._pending = self._pending, []
+        messages.extend(_spool_messages(self._recv_dir))
+        return messages
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if self._pending:
+                return self._pending.pop(0)
+            self._pending = _spool_messages(self._recv_dir)
+            if self._pending:
+                continue
+            if deadline is not None and time.monotonic() >= deadline:
+                return None
+            time.sleep(0.05)
+
+    def close(self) -> None:
+        pass  # nothing to tear down: the spool is plain files
+
+
+class FileQueueListener:
+    """Coordinator side of the queue transport: watch for worker announces."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(os.path.join(directory, "workers"), exist_ok=True)
+        self._seen: set = set()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (f"queue:{self.directory}", 0)
+
+    def accept(self) -> List[FileQueueChannel]:
+        """A channel for every worker announce not yet claimed."""
+        workers_dir = os.path.join(self.directory, "workers")
+        try:
+            names = sorted(os.listdir(workers_dir))
+        except FileNotFoundError:
+            return []
+        channels = []
+        for name in names:
+            if not name.endswith(".json") or name in self._seen:
+                continue
+            self._seen.add(name)
+            worker_id = name[: -len(".json")]
+            channels.append(
+                FileQueueChannel(self.directory, worker_id, side="coordinator")
+            )
+        return channels
+
+    def close(self) -> None:
+        pass
+
+
+def announce(directory: str, worker_id: Optional[str] = None) -> FileQueueChannel:
+    """Worker side: create the spool pair, then publish the hello file.
+
+    The announce file is written *last* so the coordinator never claims a
+    worker whose spool directories do not exist yet.
+    """
+    worker_id = worker_id or uuid.uuid4().hex[:12]
+    channel = FileQueueChannel(directory, worker_id, side="worker")
+    _atomic_write_json(
+        os.path.join(directory, "workers"),
+        f"{worker_id}.json",
+        {"worker_id": worker_id, "pid": os.getpid()},
+    )
+    return channel

@@ -39,6 +39,8 @@ __all__ = [
     "UnknownJobError",
     "DuplicateJobError",
     "ServiceDrainingError",
+    "ServiceUnavailableError",
+    "JobTimeoutError",
     "EXIT_OK",
     "EXIT_FATAL",
     "EXIT_WARNINGS",
@@ -122,6 +124,21 @@ class ServiceDrainingError(ReproError):
     code = "draining"
 
 
+class ServiceUnavailableError(ReproError):
+    """The campaign service could not be reached at all — connection
+    refused, DNS failure, or a network-level timeout (as opposed to the
+    service itself answering with an error envelope)."""
+
+    code = "unavailable"
+
+
+class JobTimeoutError(ReproError):
+    """A client-side wait on a job outlived its polling deadline.  The job
+    itself may still be running; only the wait gave up."""
+
+    code = "timeout"
+
+
 #: ``code -> (CLI exit code, HTTP status)``: the one table both surfaces
 #: report from.  Validation failures are client errors (400); a job id the
 #: service does not know is 404; refusing to double-run in-flight work is a
@@ -135,6 +152,8 @@ ERROR_TAXONOMY: Dict[str, Tuple[int, int]] = {
     "unknown-job": (EXIT_FATAL, 404),
     "duplicate-job": (EXIT_FATAL, 409),
     "draining": (EXIT_FATAL, 503),
+    "unavailable": (EXIT_FATAL, 503),
+    "timeout": (EXIT_FATAL, 504),
 }
 
 #: ``code -> class`` registry used to rebuild typed errors from payloads.
@@ -149,6 +168,8 @@ _ERROR_CLASSES: Dict[str, Type[ReproError]] = {
         UnknownJobError,
         DuplicateJobError,
         ServiceDrainingError,
+        ServiceUnavailableError,
+        JobTimeoutError,
     )
 }
 

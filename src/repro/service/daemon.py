@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import signal
+import socket
 import threading
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -41,6 +42,7 @@ from repro.core.telemetry import CampaignTelemetry
 from repro.errors import (
     ERROR_TAXONOMY,
     InputError,
+    UnknownJobError,
     error_payload,
     http_status_for,
 )
@@ -59,6 +61,9 @@ class ServiceConfig:
     workers: int = 2  #: concurrent job-executing threads
     cache_dir: Optional[str] = None  #: default verdict-cache dir for jobs
     drain_timeout: Optional[float] = None  #: max seconds drain may take
+    #: default remote-worker fleet applied to jobs that do not set one
+    #: (``HOST:PORT`` listen address or ``queue:DIR``; see ``repro worker``)
+    workers_from: Optional[str] = None
 
 
 class CampaignService:
@@ -67,7 +72,9 @@ class CampaignService:
     def __init__(self, config: Optional[ServiceConfig] = None):
         self.config = config or ServiceConfig()
         self.manager = JobManager(
-            workers=self.config.workers, cache_dir=self.config.cache_dir
+            workers=self.config.workers,
+            cache_dir=self.config.cache_dir,
+            workers_from=self.config.workers_from,
         )
         service = self
 
@@ -91,7 +98,17 @@ class CampaignService:
 
     @property
     def url(self) -> str:
+        """A *usable* base URL: wildcard binds report a routable address.
+
+        ``0.0.0.0`` / ``::`` accept connections on every interface but are
+        not themselves connectable, so clients handed the literal bind host
+        would fail; substitute this host's resolvable address instead.
+        """
         host, port = self.address
+        if host in ("0.0.0.0", "::"):
+            host = _routable_host()
+        if ":" in host:  # bare IPv6 literals need brackets in URLs
+            host = f"[{host}]"
         return f"http://{host}:{port}"
 
     # ------------------------------------------------------------------
@@ -138,6 +155,15 @@ class CampaignService:
         self.server.server_close()
 
 
+def _routable_host() -> str:
+    """This host's best connectable address (loopback when resolution fails)."""
+    try:
+        host = socket.gethostbyname(socket.gethostname())
+    except OSError:
+        return "127.0.0.1"
+    return host or "127.0.0.1"
+
+
 class _ServiceHandler(BaseHTTPRequestHandler):
     """Routes ``/v1/*`` onto the bound :class:`JobManager`."""
 
@@ -151,19 +177,28 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
         body = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        self._send_body(status, body, "application/json")
 
     def _send_text(self, status: int, text: str, content_type: str) -> None:
-        body = text.encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        self._send_body(status, text.encode("utf-8"), content_type)
+
+    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
+        """Write one response; a client gone mid-write is counted, not thrown.
+
+        ``BrokenPipeError``/``ConnectionResetError`` escaping here would be
+        dumped as a traceback to stderr by ``ThreadingHTTPServer`` — the
+        client already hung up, so there is nobody to answer; swallow the
+        error, bump ``client_disconnects``, and drop the connection.
+        """
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError, ConnectionAbortedError):
+            self.manager.telemetry.incr("client_disconnects")
+            self.close_connection = True
 
     def _send_error_payload(self, exc: BaseException) -> None:
         self._send_json(
@@ -226,6 +261,13 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                     200, self._render_metrics(), "text/plain; version=0.0.4"
                 )
                 return
+            if path == "/v1/jobs":
+                # GET /v1/jobs/ (empty id) normalizes here: an *unknown job*
+                # (404), not a malformed request (400) or a crash (500).
+                raise UnknownJobError(
+                    "no job id given",
+                    hint="GET /v1/jobs/<id>; ids are returned by POST /v1/jobs",
+                )
             if path.startswith("/v1/jobs/"):
                 rest = path[len("/v1/jobs/"):]
                 if rest.endswith("/result"):

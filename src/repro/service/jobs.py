@@ -279,11 +279,21 @@ class JobManager:
     queued.  All public methods are thread-safe.
     """
 
-    def __init__(self, workers: int = 2, cache_dir: Optional[str] = None):
+    def __init__(
+        self,
+        workers: int = 2,
+        cache_dir: Optional[str] = None,
+        workers_from: Optional[str] = None,
+    ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = int(workers)
         self.cache_dir = cache_dir
+        #: default remote-worker fleet address (``HOST:PORT`` / ``queue:DIR``)
+        #: applied to jobs whose config does not set one; the engines those
+        #: jobs build then run their shards on the shared fleet through
+        #: :class:`repro.distrib.coordinator.RemoteExecutor`.
+        self.workers_from = workers_from
         self.telemetry = CampaignTelemetry()
         self.draining = False
         self._jobs: Dict[str, Job] = {}
@@ -321,7 +331,16 @@ class JobManager:
             existing = self._jobs.get(spec.job_id)
             if existing is not None:
                 existing.submissions += 1
-                existing.priority = max(existing.priority, spec.priority)
+                if spec.priority > existing.priority:
+                    existing.priority = spec.priority
+                    if existing.state == QUEUED:
+                        # Re-push at the new priority so escalation actually
+                        # changes dequeue order; the stale lower-priority
+                        # entry is harmless (_run_job no-ops on non-QUEUED).
+                        self._seq += 1
+                        self._queue.put(
+                            (-existing.priority, self._seq, existing.id)
+                        )
                 self.telemetry.incr("jobs_submitted")
                 self.telemetry.incr("jobs_deduplicated")
                 return existing, True
@@ -380,12 +399,17 @@ class JobManager:
             return self._engine_locks.setdefault(id(engine), threading.Lock())
 
     def _job_config(self, spec: JobSpec) -> CampaignConfig:
-        """The spec's config with the service-level cache dir defaulted in."""
+        """The spec's config with service-level defaults folded in (the
+        shared cache dir, and the remote-worker fleet when one is mounted)."""
+        import dataclasses
+
         config = spec.config
         if config.cache_dir is None and self.cache_dir is not None:
-            import dataclasses
-
             config = dataclasses.replace(config, cache_dir=self.cache_dir)
+        if config.workers_from is None and self.workers_from is not None:
+            config = dataclasses.replace(
+                config, workers_from=self.workers_from
+            )
         return config
 
     def _run_job(self, job: Job) -> None:

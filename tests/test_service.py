@@ -20,8 +20,10 @@ from repro.errors import (
     DuplicateJobError,
     ERROR_TAXONOMY,
     InputError,
+    JobTimeoutError,
     ReproError,
     ServiceDrainingError,
+    ServiceUnavailableError,
     UnknownJobError,
     error_from_payload,
     error_payload,
@@ -342,6 +344,114 @@ def test_service_graceful_stop_reports_draining():
     client = ServiceClient(service.url)
     assert client.healthz()["draining"] is False
     service.stop()
-    # Fully stopped: the listener is gone.
-    with pytest.raises(OSError):
+    # Fully stopped: the listener is gone, surfaced as the typed
+    # connection-level error (taxonomy-mapped, not a raw OSError).
+    with pytest.raises(ServiceUnavailableError):
         client.healthz()
+
+
+# ----------------------------------------------------------------------
+# Transport hardening satellites: escalation, empty ids, routable URLs,
+# typed connection failures, deadline-respecting result waits
+# ----------------------------------------------------------------------
+def test_priority_escalation_requeues_at_new_priority():
+    manager = JobManager(workers=1)  # never started: entries stay queued
+    low, _ = manager.submit(JobSpec.from_payload(ANALYZE_SPEC))
+    high, _ = manager.submit(
+        JobSpec.from_payload({**ANALYZE_SPEC, "structure": "alu", "priority": 5})
+    )
+    raised, deduped = manager.submit(
+        JobSpec.from_payload({**ANALYZE_SPEC, "priority": 9})
+    )
+    assert deduped and raised is low and low.priority == 9
+    # The escalation re-pushed a queue entry at the new priority, so the
+    # dequeue order actually changes; the stale original entry drains last
+    # and no-ops (the job is no longer QUEUED by then).
+    order = [
+        manager._queue.get_nowait() for _ in range(manager._queue.qsize())
+    ]
+    assert [job_id for _, _, job_id in order] == [low.id, high.id, low.id]
+    assert [priority for priority, _, _ in order] == [-9, -5, 0]
+
+
+def test_get_jobs_without_id_is_not_found(service):
+    import urllib.error
+    import urllib.request
+
+    for suffix in ("/v1/jobs", "/v1/jobs/"):
+        try:
+            urllib.request.urlopen(service.url + suffix)
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 404, suffix
+        else:  # pragma: no cover
+            pytest.fail(f"expected HTTP 404 for GET {suffix}")
+
+
+def test_wildcard_bind_reports_routable_url():
+    service = CampaignService(
+        ServiceConfig(host="0.0.0.0", port=0, workers=1)
+    )
+    service.start()
+    try:
+        assert "0.0.0.0" not in service.url
+        # The substituted host actually routes to this daemon.
+        assert ServiceClient(service.url).healthz()["status"] == "ok"
+    finally:
+        service.stop()
+
+
+def test_client_wraps_connection_refused_as_unavailable():
+    import socket
+
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()  # nothing listens here any more
+    client = ServiceClient(
+        f"http://127.0.0.1:{port}", timeout=2.0, connect_retries=0
+    )
+    with pytest.raises(ServiceUnavailableError) as exc_info:
+        client.healthz()
+    assert http_status_for(exc_info.value) == 503
+    assert exc_info.value.hint  # points the operator at the daemon
+
+
+def test_client_retries_connection_refused_before_raising(monkeypatch):
+    client = ServiceClient(
+        "http://127.0.0.1:1", connect_retries=2, retry_backoff=0.0
+    )
+    calls = []
+
+    def refused(method, path, body=None):
+        calls.append(path)
+        raise ServiceUnavailableError("cannot reach service")
+
+    monkeypatch.setattr(client, "_request", refused)
+    with pytest.raises(ServiceUnavailableError):
+        client.status("job-x")
+    assert len(calls) == 3  # initial attempt + connect_retries
+
+
+def test_result_wait_raises_typed_timeout_without_overshoot():
+    import time as time_mod
+
+    service = CampaignService(ServiceConfig(port=0, workers=1))
+    # Keep the job threads parked so the submitted job stays QUEUED.
+    service.manager.start = lambda: None
+    service.start()
+    try:
+        client = ServiceClient(service.url)
+        job_id = client.submit(ANALYZE_SPEC)
+        started = time_mod.monotonic()
+        with pytest.raises(JobTimeoutError) as exc_info:
+            client.result(job_id, wait=True, timeout=1.0, poll_seconds=30.0)
+        elapsed = time_mod.monotonic() - started
+        # The final sleep is clipped to the remaining budget: a 30 s poll
+        # interval must not stretch a 1 s deadline into half a minute.
+        assert elapsed < 5.0
+        assert http_status_for(exc_info.value) == 504
+    finally:
+        # Un-park the workers so the queued job drains and stop() returns.
+        del service.manager.start
+        service.manager.start()
+        service.stop()
