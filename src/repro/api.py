@@ -59,6 +59,7 @@ __all__ = [
     "analyze",
     "sweep",
     "savf",
+    "fsck",
     "engine_for",
     "engine_cache_stats",
     "shutdown",
@@ -380,6 +381,20 @@ def savf(
     if trace:
         tracing.write_trace(trace, tracing.drain())
     return result
+
+
+def fsck(cache_dir, quarantine: bool = False) -> Dict[str, list]:
+    """Verify every verdict-cache scope file in *cache_dir*.
+
+    Returns the :func:`repro.core.cache.verify_cache_dir` report:
+    ``{"ok" | "legacy" | "foreign" | "corrupt": [(path, detail), ...],
+    "quarantined": [(path, new_path), ...]}``.  With *quarantine* true,
+    corrupt files are renamed aside exactly as a live campaign load would,
+    so the next run rebuilds them from simulation.
+    """
+    from repro.core.cache import verify_cache_dir
+
+    return verify_cache_dir(cache_dir, quarantine=quarantine)
 
 
 def shutdown() -> None:

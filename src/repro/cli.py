@@ -13,6 +13,7 @@ Examples::
     python -m repro delayavf md5 alu --format json
     python -m repro delayavf md5 alu --target-half-width 0.02
     python -m repro doctor md5 alu --cache-dir .verdicts
+    python -m repro fsck .verdicts --quarantine
     python -m repro savf libstrstr regfile --bits 24 --ecc
     python -m repro serve --port 8321 --workers 2 --cache-dir .verdicts
     python -m repro delayavf md5 alu --workers-from 127.0.0.1:8765
@@ -242,6 +243,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers-from", default=None, dest="workers_from", metavar="ADDR",
         help="default remote-worker listen address applied to jobs that do "
              "not set one (HOST:PORT or queue:DIR; see 'repro worker')",
+    )
+    p.add_argument(
+        "--journal-dir", default=None, dest="journal_dir", metavar="DIR",
+        help="write-ahead job journal directory: accepted jobs survive "
+             "daemon crashes (incomplete jobs re-run on restart, finished "
+             "ones are served from the journal's result store)",
+    )
+    p.add_argument(
+        "--journal-fsync", default="always", dest="journal_fsync",
+        choices=("always", "interval", "never"),
+        help="journal durability: fsync every event (always, default), "
+             "at most every few seconds (interval), or leave flushing to "
+             "the OS (never)",
+    )
+    p.add_argument(
+        "--max-queued", type=int, default=None, dest="max_queued",
+        metavar="N",
+        help="reject new submissions with 429 + Retry-After once this many "
+             "jobs are queued or running (default: unbounded)",
+    )
+
+    p = sub.add_parser(
+        "fsck",
+        help="verify verdict-cache file integrity "
+             "(exit 0 clean, 1 corrupt files, 2 warnings only)",
+    )
+    p.add_argument(
+        "cache_dir", metavar="CACHE_DIR",
+        help="verdict-cache directory to scan (every verdicts-*.json)",
+    )
+    p.add_argument(
+        "--quarantine", action="store_true",
+        help="rename corrupt files to <name>.corrupt-<timestamp> so the "
+             "next campaign rebuilds them instead of tripping on them",
     )
 
     p = sub.add_parser(
@@ -536,6 +571,9 @@ def cmd_serve(args) -> int:
             workers=args.workers,
             cache_dir=args.cache_dir,
             workers_from=args.workers_from,
+            journal_dir=args.journal_dir,
+            journal_fsync=args.journal_fsync,
+            max_queued=args.max_queued,
         ))
     except (OSError, ValueError) as exc:
         print(f"error: cannot start service: {exc}", file=sys.stderr)
@@ -547,6 +585,47 @@ def cmd_serve(args) -> int:
     service.serve_forever()
     print("repro-service drained and stopped", flush=True)
     return EXIT_OK
+
+
+def cmd_fsck(args) -> int:
+    """``repro fsck``: verdict-cache integrity scan, doctor exit contract.
+
+    Exit 0 when every scope file verifies clean, 1 when any file is corrupt
+    (torn write, bit rot, checksum mismatch), 2 when there are only
+    warnings (legacy pre-checksum files, foreign schema versions).
+    """
+    report = api.fsck(args.cache_dir, quarantine=args.quarantine)
+    if not os.path.isdir(args.cache_dir):
+        print(f"error: {args.cache_dir!r} is not a directory", file=sys.stderr)
+        return EXIT_FATAL
+    for path, detail in report["ok"]:
+        print(f"ok       {path}: {detail}")
+    for path, detail in report["legacy"]:
+        print(f"legacy   {path}: {detail}")
+    for path, detail in report["foreign"]:
+        print(f"foreign  {path}: {detail}")
+    for path, detail in report["corrupt"]:
+        print(f"CORRUPT  {path}: {detail}")
+    for path, target in report["quarantined"]:
+        print(f"         quarantined -> {target}")
+    scanned = sum(
+        len(report[key]) for key in ("ok", "legacy", "foreign", "corrupt")
+    )
+    corrupt = len(report["corrupt"])
+    warns = len(report["legacy"]) + len(report["foreign"])
+    summary = (
+        f"fsck: {scanned} file(s) scanned, {corrupt} corrupt, "
+        f"{warns} warning(s)"
+    )
+    if corrupt:
+        if report["quarantined"]:
+            summary += f", {len(report['quarantined'])} quarantined"
+        elif not args.quarantine:
+            summary += " (re-run with --quarantine to move them aside)"
+        print(summary)
+        return EXIT_FATAL
+    print(summary)
+    return EXIT_WARNINGS if warns else EXIT_OK
 
 
 def cmd_worker(args) -> int:
@@ -636,6 +715,7 @@ _COMMANDS = {
     "doctor": cmd_doctor,
     "savf": cmd_savf,
     "serve": cmd_serve,
+    "fsck": cmd_fsck,
     "worker": cmd_worker,
     "trace": cmd_trace,
 }

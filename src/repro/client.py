@@ -25,7 +25,9 @@ Quickstart::
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -35,6 +37,7 @@ from repro.core.results import unwrap_payload
 from repro.errors import (
     JobTimeoutError,
     ReproError,
+    ServiceOverloadedError,
     ServiceUnavailableError,
     error_from_payload,
 )
@@ -50,7 +53,9 @@ class ServiceClient:
     in the taxonomy), never raw ``URLError``/``TimeoutError``.  ``submit``
     and ``status`` additionally retry transient connect failures up to
     *connect_retries* times with exponential backoff (both are safe to
-    retry: submission is content-addressed and deduplicates server-side).
+    retry: submission is content-addressed and deduplicates server-side),
+    and honor 429 backpressure by sleeping the service's ``Retry-After``
+    interval (with jitter) up to *overload_retries* times.
     """
 
     def __init__(
@@ -59,11 +64,13 @@ class ServiceClient:
         timeout: float = 30.0,
         connect_retries: int = 2,
         retry_backoff: float = 0.1,
+        overload_retries: int = 3,
     ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.connect_retries = max(0, int(connect_retries))
         self.retry_backoff = max(0.0, float(retry_backoff))
+        self.overload_retries = max(0, int(overload_retries))
 
     # ------------------------------------------------------------------
     def _request(
@@ -110,6 +117,16 @@ class ServiceClient:
                 f"cannot reach service at {self.base_url}: {exc}",
                 hint="is the daemon running? check the URL and port",
             ) from exc
+        except http.client.HTTPException as exc:
+            # The daemon died mid-response (e.g. IncompleteRead after a
+            # crash): the connection is gone, same category as never
+            # answering.  Retrying a submit is safe — it deduplicates.
+            raise ServiceUnavailableError(
+                f"service at {self.base_url} dropped the connection "
+                f"mid-response: {exc}",
+                hint="the daemon may have crashed; with --journal-dir it "
+                     "recovers accepted jobs on restart",
+            ) from exc
         if content_type.startswith("text/plain"):
             return raw.decode("utf-8")
         return json.loads(raw)
@@ -120,12 +137,20 @@ class ServiceClient:
         path: str,
         body: Optional[Dict[str, Any]] = None,
     ) -> Any:
-        """Like :meth:`_request`, with bounded retry on *transport* failures.
+        """Like :meth:`_request`, with bounded retry on *recoverable* failures.
 
-        Only :class:`ServiceUnavailableError` is retried — an error the
-        service itself answered with is definitive and re-raised at once.
+        Two categories retry, on separate budgets; every other service-side
+        error is definitive and re-raised at once:
+
+        - :class:`ServiceUnavailableError` (transport never answered) —
+          exponential backoff, up to *connect_retries* times.
+        - :class:`ServiceOverloadedError` (HTTP 429 backpressure) — sleeps
+          the server's advertised ``retry_after`` plus up to 25% random
+          jitter (so a herd of rejected clients does not return in lockstep),
+          up to *overload_retries* times.
         """
         attempt = 0
+        overload_attempt = 0
         while True:
             try:
                 return self._request(method, path, body)
@@ -134,6 +159,12 @@ class ServiceClient:
                     raise
                 time.sleep(min(2.0, self.retry_backoff * (2 ** attempt)))
                 attempt += 1
+            except ServiceOverloadedError as exc:
+                if overload_attempt >= self.overload_retries:
+                    raise
+                pause = max(0.05, float(exc.retry_after))
+                time.sleep(pause * (1.0 + random.uniform(0.0, 0.25)))
+                overload_attempt += 1
 
     # ------------------------------------------------------------------
     def submit(self, spec: Dict[str, Any]) -> str:

@@ -38,8 +38,16 @@ executors mark a shard complete only after every one of its records has been
 put, so an interrupted campaign (Ctrl-C, an OOM-killed worker host) can
 ``resume``: shards found complete in the store are reassembled from the
 record table without executing anything, and a shard whose completion mark
-survived but whose records did not is simply re-run.  Torn or truncated
-store files deliberately load as an empty (cold) scope rather than erroring.
+survived but whose records did not is simply re-run.
+
+Every flush records a ``payload_sha256`` over the data body, so torn writes
+and bit rot are *detected*, not just tolerated: a file that fails
+verification (unparseable, truncated, or checksum-mismatched) is quarantined
+to ``<name>.corrupt-<ts>`` with a stderr warning and a ``cache_quarantines``
+telemetry tick, and the scope loads as cold — the campaign rebuilds it by
+resimulation instead of crashing or silently reusing damaged verdicts.
+``repro fsck`` (backed by :func:`verify_cache_dir`) audits a cache directory
+offline.
 """
 
 from __future__ import annotations
@@ -48,6 +56,7 @@ import contextlib
 import hashlib
 import json
 import os
+import sys
 import tempfile
 import threading
 import time
@@ -57,9 +66,51 @@ from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.core import tracing
 from repro.core.group_ace import Outcome
+from repro.testing import chaos
 
 #: Bump when the on-disk layout or key derivation changes.
 CACHE_FORMAT = 1
+
+#: Keys of the envelope covered by ``payload_sha256`` (sorted, canonical).
+_CHECKSUMMED_KEYS = ("meta", "records", "scope", "shards", "verdicts")
+
+
+def compute_payload_sha256(payload: Dict[str, object]) -> str:
+    """Checksum of a scope file's data body (not the envelope fields).
+
+    Canonical form: the data keys in sorted order, compact separators — so
+    the digest is stable across json serializers and key insertion order.
+    """
+    body = {key: payload.get(key) for key in _CHECKSUMMED_KEYS}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def quarantine_scope_file(path: Path) -> Optional[Path]:
+    """Move a damaged scope file aside to ``<name>.corrupt-<ts>``.
+
+    Returns the quarantine path, or ``None`` when the file vanished first
+    (another process quarantined or replaced it — both fine).  The original
+    name is freed so the next flush rebuilds a clean checksummed file by
+    resimulation; the damaged bytes are preserved for post-mortems.
+    """
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+    base = f"{path.name}.corrupt-{stamp}-{os.getpid()}"
+    for attempt in range(100):
+        suffix = f"-{attempt}" if attempt else ""
+        target = path.with_name(base + suffix)
+        if target.exists():
+            continue
+        try:
+            os.replace(path, target)
+        except FileNotFoundError:
+            return None
+        except OSError:
+            # Read-only directory etc.: leave it in place; loads keep
+            # treating the scope as cold, which is safe (just slow).
+            return None
+        return target
+    return None
 
 
 def _sha256(*parts: str) -> str:
@@ -198,6 +249,91 @@ def record_from_payload(payload, wire_index: int, cycle: int, delay_fraction: fl
     )
 
 
+def _read_scope_payload(path: Path) -> Tuple[Dict[str, object], Optional[str]]:
+    """``(payload, damage)`` for one scope file.
+
+    A missing file is a cold scope: ``({}, None)``.  ``damage`` is a
+    human-readable reason whenever the file exists but cannot be trusted —
+    unreadable, unparseable (torn write), wrong shape, or a
+    ``payload_sha256`` that no longer matches its body.  Files written
+    before checksums existed (no ``payload_sha256`` field) still load; the
+    next flush upgrades them.
+    """
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        return {}, None
+    except OSError as exc:
+        return {}, f"unreadable: {exc}"
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return {}, "unparseable JSON (torn or corrupted write)"
+    if not isinstance(payload, dict):
+        return {}, "not a JSON object"
+    stored_sha = payload.get("payload_sha256")
+    if stored_sha is not None and stored_sha != compute_payload_sha256(payload):
+        return {}, "payload_sha256 mismatch (bit rot or partial overwrite)"
+    return payload, None
+
+
+def verify_scope_file(path) -> Tuple[str, str]:
+    """Classify one ``verdicts-*.json`` without loading it into a cache.
+
+    Returns ``(status, detail)`` with status one of:
+
+    - ``"ok"``       — parseable, this schema, checksum verified.
+    - ``"legacy"``   — valid but written before checksums existed.
+    - ``"foreign"``  — a different schema version (loaders ignore it).
+    - ``"corrupt"``  — torn, unparseable, or checksum-mismatched.
+    """
+    path = Path(path)
+    payload, damage = _read_scope_payload(path)
+    if damage is not None:
+        return "corrupt", damage
+    if not payload:
+        if not path.exists():
+            return "corrupt", "file vanished during verification"
+        return "corrupt", "empty payload"
+    stored_version = payload.get("schema_version", payload.get("format"))
+    if stored_version != CACHE_FORMAT:
+        return (
+            "foreign",
+            f"schema_version {stored_version!r} (this build reads {CACHE_FORMAT})",
+        )
+    counts = (
+        f"{len(payload.get('verdicts', {}))} verdicts, "
+        f"{len(payload.get('records', {}))} records, "
+        f"{len(payload.get('shards', {}))} shards"
+    )
+    if payload.get("payload_sha256") is None:
+        return "legacy", f"no payload_sha256 (pre-integrity file); {counts}"
+    return "ok", counts
+
+
+def verify_cache_dir(directory, quarantine: bool = False) -> Dict[str, list]:
+    """Verify every scope file in *directory* (the ``repro fsck`` core).
+
+    Returns ``{"ok" | "legacy" | "foreign" | "corrupt": [(path, detail)...],
+    "quarantined": [(path, quarantine_path)...]}``.  With *quarantine* true,
+    corrupt files are moved aside the same way a live load would move them.
+    """
+    report: Dict[str, list] = {
+        "ok": [], "legacy": [], "foreign": [], "corrupt": [], "quarantined": [],
+    }
+    directory = Path(directory)
+    if not directory.is_dir():
+        return report
+    for path in sorted(directory.glob("verdicts-*.json")):
+        status, detail = verify_scope_file(path)
+        report[status].append((str(path), detail))
+        if status == "corrupt" and quarantine:
+            target = quarantine_scope_file(path)
+            if target is not None:
+                report["quarantined"].append((str(path), str(target)))
+    return report
+
+
 @contextlib.contextmanager
 def _flush_lock(path: Path):
     """Advisory inter-process lock serializing read-merge-write flushes.
@@ -241,7 +377,35 @@ class VerdictCache:
         # this lock makes in-memory mutation + flush safe within a process.)
         # Reentrant because flush() is called from guarded mutators' callers.
         self._lock = threading.RLock()
+        #: Damaged scope files moved aside by this instance (telemetry feed).
+        self.quarantines = 0
+        #: Optional CampaignTelemetry sink; see :meth:`attach_telemetry`.
+        self.telemetry = None
         self._load(self.path, replace=True)
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Route quarantine events into *telemetry* (``cache_quarantines``).
+
+        Quarantines that happened before attachment (the constructor's
+        initial load) are folded in, so the counter is complete regardless
+        of construction order.
+        """
+        with self._lock:
+            self.telemetry = telemetry
+            if telemetry is not None and self.quarantines:
+                telemetry.incr("cache_quarantines", self.quarantines)
+
+    def _note_quarantine(self, original: Path, target: Optional[Path]) -> None:
+        self.quarantines += 1
+        if self.telemetry is not None:
+            self.telemetry.incr("cache_quarantines")
+        where = f" (moved to {target.name})" if target is not None else ""
+        print(
+            f"repro: verdict cache file {original} failed integrity "
+            f"verification; quarantined{where} and rebuilding by "
+            f"resimulation",
+            file=sys.stderr,
+        )
 
     @classmethod
     def open(cls, directory, netlist, program, config) -> "VerdictCache":
@@ -250,9 +414,14 @@ class VerdictCache:
 
     # ------------------------------------------------------------------
     def _load(self, path: Path, replace: bool) -> None:
-        try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+        payload, damage = _read_scope_payload(path)
+        if damage is not None:
+            # Detected corruption (torn write, bit rot, checksum mismatch):
+            # move the damaged file aside and treat the scope as cold.  The
+            # campaign resimulates instead of crashing or silently reusing
+            # bytes that failed verification.
+            target = quarantine_scope_file(path)
+            self._note_quarantine(path, target)
             payload = {}
         stored_version = payload.get("schema_version", payload.get("format"))
         if payload and stored_version != CACHE_FORMAT:
@@ -417,12 +586,14 @@ class VerdictCache:
                     "records": self._records,
                     "shards": self._shards,
                 }
+                payload["payload_sha256"] = compute_payload_sha256(payload)
                 fd, tmp_name = tempfile.mkstemp(
                     prefix=self.path.name, suffix=".tmp", dir=self.directory
                 )
                 try:
                     with os.fdopen(fd, "w") as handle:
                         json.dump(payload, handle)
+                    chaos.fire("cache.flush", path=tmp_name)
                     os.replace(tmp_name, self.path)
                 except BaseException:
                     try:

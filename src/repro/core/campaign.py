@@ -159,6 +159,11 @@ class CampaignConfig:
     #: seconds the remote coordinator waits for (more) workers once the
     #: fleet is empty before the remaining shards fall back to serial
     worker_wait_seconds: float = 30.0
+    #: consecutive worker evictions (deaths, timeouts, corrupt frames) that
+    #: trip the fleet circuit breaker into serial fallback
+    breaker_threshold: int = 3
+    #: cool-down seconds before a tripped breaker admits a half-open probe
+    breaker_reset_seconds: float = 60.0
 
     def __post_init__(self):
         if not self.delay_fractions:
@@ -216,6 +221,10 @@ class CampaignConfig:
             parse_workers_from(self.workers_from)  # raises ValueError
         if self.worker_wait_seconds < 0:
             raise ValueError("worker_wait_seconds must be >= 0")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.breaker_reset_seconds < 0:
+            raise ValueError("breaker_reset_seconds must be >= 0")
 
     @property
     def lane_width(self) -> int:
@@ -355,6 +364,8 @@ class CampaignSession:
         self.config = config
         self.telemetry = telemetry if telemetry is not None else CampaignTelemetry()
         self.verdict_cache = verdict_cache
+        if verdict_cache is not None:
+            verdict_cache.attach_telemetry(self.telemetry)
 
         memo = getattr(system, "_workload_memo", None)
         if memo is None:
@@ -687,6 +698,8 @@ class DelayAVFEngine:
                     max_retries=self.config.max_retries,
                     retry_backoff=self.config.retry_backoff,
                     worker_wait_seconds=self.config.worker_wait_seconds,
+                    breaker_threshold=self.config.breaker_threshold,
+                    breaker_reset_seconds=self.config.breaker_reset_seconds,
                 )
             elif self.config.jobs > 1:
                 self._executor = ParallelExecutor(

@@ -416,7 +416,15 @@ def preflight_workload(system, program, config) -> List[Finding]:
 
 
 def preflight_cache_dir(cache_dir: Optional[str]) -> List[Finding]:
-    """Validate that the verdict-cache directory is usable (when enabled)."""
+    """Validate that the verdict-cache directory is usable (when enabled).
+
+    Beyond writability, every existing scope file is integrity-checked
+    (payload checksum, parseability): a corrupt file is a warning, not an
+    error, because the campaign will quarantine it and rebuild from
+    simulation — but the operator should know resume state was lost.
+    """
+    from repro.core.cache import verify_cache_dir
+
     if not cache_dir:
         return []
     probe = os.path.join(cache_dir, f".doctor-{uuid.uuid4().hex}.tmp")
@@ -435,7 +443,28 @@ def preflight_cache_dir(cache_dir: Optional[str]) -> List[Finding]:
                 )
             )
         ]
-    return []
+    findings: List[Finding] = []
+    report = verify_cache_dir(cache_dir)
+    for path, detail in report["corrupt"]:
+        findings.append(
+            _warning(
+                "cache.corrupt",
+                f"verdict cache file {path} fails integrity verification: "
+                f"{detail}",
+                hint="the campaign will quarantine it and re-simulate; run "
+                "'repro fsck --quarantine' to move it aside now",
+            )
+        )
+    for path, detail in report["foreign"]:
+        findings.append(
+            _warning(
+                "cache.foreign",
+                f"verdict cache file {path} has a foreign schema: {detail}",
+                hint="written by a different build; it will be ignored, "
+                "not resumed from",
+            )
+        )
+    return findings
 
 
 def preflight_structure(

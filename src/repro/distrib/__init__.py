@@ -25,11 +25,16 @@ runs — shard execution is deterministic and the merge is order-independent —
 so a fleet only ever changes wall-clock time and telemetry.
 """
 
-from repro.distrib.coordinator import RemoteExecutor, shared_remote_executor
+from repro.distrib.coordinator import (
+    RemoteExecutor,
+    breaker_states,
+    shared_remote_executor,
+)
 from repro.distrib.transport import parse_workers_from
 
 __all__ = [
     "RemoteExecutor",
+    "breaker_states",
     "shared_remote_executor",
     "parse_workers_from",
 ]

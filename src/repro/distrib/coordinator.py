@@ -54,6 +54,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set
 
 from repro.core import tracing
+from repro.core.breaker import HALF_OPEN, OPEN, CircuitBreaker
 from repro.core.executor import (
     Executor,
     SessionSpec,
@@ -65,11 +66,15 @@ from repro.core.executor import (
 from repro.core.plan import CampaignPlan, WorkShard
 from repro.core.telemetry import CampaignTelemetry
 from repro.distrib.transport import (
+    CorruptFrameError,
     FileQueueListener,
     SocketListener,
     TransportError,
     parse_workers_from,
 )
+
+#: Seconds between file-queue spool GC sweeps (see ``sweep_stale_files``).
+_SWEEP_INTERVAL = 30.0
 
 
 @dataclass
@@ -108,12 +113,25 @@ class RemoteExecutor(Executor):
         max_retries: int = 2,
         retry_backoff: float = 0.05,
         worker_wait_seconds: float = 30.0,
+        breaker_threshold: int = 3,
+        breaker_reset_seconds: float = 60.0,
     ):
         self.workers_from = workers_from
         self.shard_timeout = shard_timeout
         self.max_retries = max(0, int(max_retries))
         self.retry_backoff = max(0.0, float(retry_backoff))
         self.worker_wait_seconds = max(0.0, float(worker_wait_seconds))
+        #: Fleet circuit breaker: consecutive evictions (worker deaths,
+        #: shard timeouts, corrupt frames) trip it; while open, campaigns
+        #: short-circuit to the in-process serial path instead of paying
+        #: dispatch-timeout-evict cycles, and after the cool-down a single
+        #: half-open probe campaign decides whether the fleet is back.
+        self.breaker = CircuitBreaker(
+            failure_threshold=breaker_threshold,
+            reset_seconds=breaker_reset_seconds,
+        )
+        self._run_evictions = 0
+        self._last_sweep = time.monotonic()
         parsed = parse_workers_from(workers_from)
         if parsed[0] == "queue":
             self._listener = FileQueueListener(parsed[1])
@@ -149,17 +167,25 @@ class RemoteExecutor(Executor):
         telemetry = (
             session.telemetry if session is not None else CampaignTelemetry()
         )
+        shards: Dict[int, WorkShard] = {s.index: s for s in plan.shards}
+        pending: List[int] = sorted(shards)
+        done: Dict[int, ShardResult] = {}
+        if not self._admit_fleet(telemetry, progress):
+            # Breaker open and still cooling down: do not even wait for
+            # workers — short-circuit the whole campaign to the serial path.
+            self._serial_finish(
+                pending, shards, plan, session, spec, done, telemetry, progress
+            )
+            return [done[index] for index in sorted(done)]
         spec_payload, digest = self._wire_spec(spec)
         self._plan_seq += 1
         plan_id = f"{digest[:8]}:{self._plan_seq}"
         plan_payload = plan.to_payload()
-        shards: Dict[int, WorkShard] = {s.index: s for s in plan.shards}
-        pending: List[int] = sorted(shards)
         inflight: Dict[int, str] = {}  #: shard index -> worker key
-        done: Dict[int, ShardResult] = {}
         attempts: Dict[int, int] = {index: 0 for index in shards}
         retry_rounds = 0
         fleet_empty_since = None
+        self._run_evictions = 0
         with tracing.span(
             "executor.remote", cat="executor",
             shards=len(shards), transport=self.workers_from,
@@ -170,6 +196,15 @@ class RemoteExecutor(Executor):
                     pending, inflight, spec_payload, digest, plan_id,
                     plan_payload, shards, telemetry, progress,
                 )
+                if self.breaker.state == OPEN:
+                    # Evictions during this run tripped the breaker: stop
+                    # feeding the sick fleet and limp home in-process.
+                    self._requeue_inflight(inflight, pending)
+                    self._serial_finish(
+                        pending, shards, plan, session, spec, done,
+                        telemetry, progress,
+                    )
+                    break
                 if not self._workers:
                     now = time.monotonic()
                     if fleet_empty_since is None:
@@ -199,7 +234,39 @@ class RemoteExecutor(Executor):
                     )
                 elif len(done) < len(shards):
                     time.sleep(0.02)
+        if self._run_evictions == 0 and self.breaker.record_success():
+            # A clean run through a previously tripped breaker: the fleet
+            # (or lack of one) is healthy again.
+            telemetry.incr("breaker_recoveries")
+            tracing.instant("executor.breaker_recovered", cat="executor")
+            if progress is not None:
+                progress.note("breaker_recoveries")
         return [done[index] for index in sorted(done)]
+
+    def _admit_fleet(self, telemetry, progress) -> bool:
+        """Consult the breaker; True means the fleet may be used this run."""
+        probing = self.breaker.state == HALF_OPEN
+        if not self.breaker.allow():
+            telemetry.incr("breaker_short_circuits")
+            tracing.instant(
+                "executor.breaker_short_circuit", cat="executor",
+                transport=self.workers_from,
+            )
+            if progress is not None:
+                progress.note("breaker_short_circuits")
+            return False
+        if probing:
+            telemetry.incr("breaker_probes")
+            tracing.instant(
+                "executor.breaker_probe", cat="executor",
+                transport=self.workers_from,
+            )
+        return True
+
+    @property
+    def breaker_state(self) -> str:
+        """``closed`` / ``open`` / ``half_open`` (health endpoints read this)."""
+        return self.breaker.state
 
     # ------------------------------------------------------------------
     # Wire forms
@@ -229,6 +296,7 @@ class RemoteExecutor(Executor):
     # Fleet management
     # ------------------------------------------------------------------
     def _accept_new_workers(self, telemetry, progress) -> None:
+        self._sweep_spool(telemetry)
         for channel in self._listener.accept():
             self._worker_seq += 1
             key = str(
@@ -239,6 +307,33 @@ class RemoteExecutor(Executor):
             tracing.instant("executor.worker_joined", cat="executor", worker=key)
             if progress is not None:
                 progress.note("workers_joined")
+
+    def _sweep_spool(self, telemetry) -> None:
+        """Throttled GC of the file-queue spool (no-op on socket fleets)."""
+        sweep = getattr(self._listener, "sweep", None)
+        if sweep is None:
+            return
+        now = time.monotonic()
+        if now - self._last_sweep < _SWEEP_INTERVAL:
+            return
+        self._last_sweep = now
+        try:
+            swept = sweep()
+        except OSError:
+            return
+        if swept:
+            telemetry.incr("spool_files_swept", swept)
+            tracing.instant(
+                "executor.spool_swept", cat="executor", files=swept
+            )
+
+    def _note_transport_error(self, exc: TransportError, telemetry) -> None:
+        """Corrupt frames get their own counter on top of the eviction."""
+        if isinstance(exc, CorruptFrameError):
+            telemetry.incr("corrupt_frames")
+            tracing.instant(
+                "executor.corrupt_frame", cat="executor", detail=str(exc)
+            )
 
     def _evict(
         self, worker: _WorkerState, inflight, pending, telemetry, progress
@@ -264,6 +359,15 @@ class RemoteExecutor(Executor):
             inflight.pop(worker.busy)
             pending.append(worker.busy)
         worker.busy = None
+        self._run_evictions += 1
+        if self.breaker.record_failure():
+            telemetry.incr("breaker_trips")
+            tracing.instant(
+                "executor.breaker_tripped", cat="executor",
+                transport=self.workers_from,
+            )
+            if progress is not None:
+                progress.note("breaker_trips")
 
     def _dispatch(
         self, pending, inflight, spec_payload, digest, plan_id, plan_payload,
@@ -295,7 +399,8 @@ class RemoteExecutor(Executor):
                     {"type": "shard", "plan_id": plan_id,
                      "shard": shards[index].to_payload()}
                 )
-            except TransportError:
+            except TransportError as exc:
+                self._note_transport_error(exc, telemetry)
                 self._evict(worker, inflight, pending, telemetry, progress)
                 continue
             pending.remove(index)
@@ -318,7 +423,8 @@ class RemoteExecutor(Executor):
         for worker in list(self._workers.values()):
             try:
                 messages = worker.channel.poll()
-            except TransportError:
+            except TransportError as exc:
+                self._note_transport_error(exc, telemetry)
                 self._evict(worker, inflight, pending, telemetry, progress)
                 continue
             for message in messages:
@@ -492,6 +598,16 @@ def shared_remote_executor(workers_from: str, **kwargs) -> RemoteExecutor:
             executor._shared = True
             _SHARED[workers_from] = executor
         return executor
+
+
+def breaker_states() -> Dict[str, Dict[str, Any]]:
+    """Breaker snapshot per live shared fleet (``/v1/healthz`` reads this)."""
+    with _SHARED_LOCK:
+        return {
+            address: executor.breaker.snapshot()
+            for address, executor in _SHARED.items()
+            if not executor._closed
+        }
 
 
 def shutdown_shared_executors() -> None:

@@ -17,7 +17,17 @@ messages (plain dicts) between the coordinator and one worker:
   model is documented in DESIGN.md §12.
 
 Messages are whole JSON objects; framing (newlines / one file per message)
-is the transport's business.  Neither transport authenticates: the socket
+is the transport's business.  Every message travels inside a
+``<length> <sha256[:12]> <body>`` envelope (:func:`frame_message` /
+:func:`parse_frame`), so a truncated or bit-flipped message is *detected* —
+the receiver raises :class:`CorruptFrameError` (a :class:`TransportError`),
+which the coordinator treats exactly like a worker death: evict the channel
+and requeue the in-flight shard uncharged, never crash on a JSON decode
+error.  Bare ``{...`` JSON lines from pre-framing peers still parse, so a
+mixed-version fleet degrades to the old undetected-corruption behaviour
+instead of breaking.
+
+Neither transport authenticates: the socket
 listener should bind loopback or a trusted network, and the queue directory
 carries the filesystem's own permissions — the worker protocol rebuilds
 sessions by importing a factory the coordinator names, so a fleet trusts
@@ -28,6 +38,7 @@ parent.
 from __future__ import annotations
 
 import errno
+import hashlib
 import json
 import os
 import select
@@ -37,9 +48,63 @@ import time
 import uuid
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.testing import chaos
+
 
 class TransportError(RuntimeError):
     """The peer is gone or the channel broke mid-message."""
+
+
+class CorruptFrameError(TransportError):
+    """A message arrived complete but failed its length/checksum envelope."""
+
+
+#: Hex digits of the body sha256 carried in each frame header.  12 (48 bits)
+#: makes an undetected corruption vanishingly unlikely while keeping the
+#: per-message overhead to ~20 bytes.
+_FRAME_DIGEST_LEN = 12
+
+
+def frame_message(message: Dict[str, Any]) -> bytes:
+    """``b"<len> <sha256(body)[:12]> <body>\\n"`` for one JSON message.
+
+    ``json.dumps`` with default ``ensure_ascii`` never emits a raw newline,
+    so the trailing ``\\n`` stays an unambiguous message delimiter.
+    """
+    body = json.dumps(message, sort_keys=True).encode("utf-8")
+    digest = hashlib.sha256(body).hexdigest()[:_FRAME_DIGEST_LEN]
+    return b"%d %s %s\n" % (len(body), digest.encode("ascii"), body)
+
+
+def parse_frame(line: bytes) -> Dict[str, Any]:
+    """Verify and decode one frame (without its trailing newline).
+
+    Raises :class:`CorruptFrameError` on any mismatch — malformed header,
+    declared-length disagreement (truncation), checksum failure (bit rot),
+    or an unparseable body.  A line opening with ``{`` is accepted as a
+    legacy unframed message for mixed-version fleets.
+    """
+    if line.startswith(b"{"):
+        try:
+            return json.loads(line)
+        except ValueError as exc:
+            raise CorruptFrameError(f"corrupt legacy message: {exc}") from exc
+    try:
+        length_bytes, digest, body = line.split(b" ", 2)
+        length = int(length_bytes)
+    except ValueError as exc:
+        raise CorruptFrameError("corrupt frame: malformed header") from exc
+    if len(body) != length:
+        raise CorruptFrameError(
+            f"corrupt frame: header declares {length} body bytes, got {len(body)}"
+        )
+    expected = hashlib.sha256(body).hexdigest()[:_FRAME_DIGEST_LEN]
+    if digest != expected.encode("ascii"):
+        raise CorruptFrameError("corrupt frame: checksum mismatch")
+    try:
+        return json.loads(body)
+    except ValueError as exc:
+        raise CorruptFrameError(f"corrupt frame: unparseable body: {exc}") from exc
 
 
 def parse_workers_from(value: str) -> Tuple:
@@ -102,7 +167,7 @@ class SocketChannel(MessageChannel):
         self._closed = False
 
     def send(self, message: Dict[str, Any]) -> None:
-        data = json.dumps(message, sort_keys=True).encode("utf-8") + b"\n"
+        data = chaos.fire("transport.send", data=frame_message(message))
         try:
             self._sock.sendall(data)
         except OSError as exc:
@@ -131,7 +196,10 @@ class SocketChannel(MessageChannel):
         while b"\n" in self._buffer:
             line, self._buffer = self._buffer.split(b"\n", 1)
             if line.strip():
-                self._pending.append(json.loads(line))
+                # CorruptFrameError propagates to poll()/recv() callers; the
+                # coordinator handles it like a dead worker (evict + requeue
+                # uncharged) instead of crashing on a decode error.
+                self._pending.append(parse_frame(line))
 
     def poll(self) -> List[Dict[str, Any]]:
         while self._readable(0.0):
@@ -256,27 +324,113 @@ def _atomic_write_json(directory: str, name: str, payload: Dict[str, Any]) -> No
         raise
 
 
-def _spool_messages(directory: str) -> List[Dict[str, Any]]:
-    """Consume (read + unlink) every complete spool file, in sequence order."""
+def _atomic_write_bytes(directory: str, name: str, data: bytes) -> None:
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(prefix=name, suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_path, os.path.join(directory, name))
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def _spool_messages(directory: str) -> Tuple[List[Dict[str, Any]], int]:
+    """Consume every complete spool file, in order: ``(messages, corrupt)``.
+
+    Spool files are published atomically, so a file that fails frame
+    verification is genuinely damaged (bit rot, a faulty shared FS), not a
+    half-written race: it is unlinked and counted in ``corrupt`` rather
+    than retried forever.  Legacy bare-JSON files that fail to parse are
+    left in place for the next poll (the old visibility-race tolerance).
+    """
     try:
         names = sorted(
             name for name in os.listdir(directory) if name.endswith(".json")
         )
     except FileNotFoundError:
-        return []
+        return [], 0
     messages = []
+    corrupt = 0
     for name in names:
         path = os.path.join(directory, name)
         try:
-            with open(path) as handle:
-                messages.append(json.load(handle))
-        except (OSError, ValueError):
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except OSError:
             continue  # replaced-but-not-yet-visible races resolve next poll
+        stripped = raw.strip()
+        if not stripped:
+            continue
+        if stripped.startswith(b"{"):
+            try:
+                message = json.loads(stripped)
+            except ValueError:
+                continue
+        else:
+            try:
+                message = parse_frame(stripped)
+            except CorruptFrameError:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                corrupt += 1
+                continue
+        messages.append(message)
         try:
             os.unlink(path)
         except OSError:
             pass
-    return messages
+    return messages, corrupt
+
+
+def sweep_stale_files(
+    directory: str,
+    max_age_seconds: float = 3600.0,
+    tmp_age_seconds: float = 60.0,
+) -> int:
+    """Age-based GC for a shared queue directory; returns files removed.
+
+    Two kinds of garbage accumulate when workers crash: ``.tmp`` files from
+    a writer killed between ``mkstemp`` and ``os.replace`` (dead after
+    *tmp_age_seconds* — live publishes take milliseconds), and spool
+    ``*.json`` messages whose reader died and will never consume them (dead
+    after *max_age_seconds*).  Worker announce files under ``workers/`` are
+    deliberately left alone: a fresh coordinator discovers existing fleets
+    through them, so only their age-less ``.tmp`` orphans are swept.
+    """
+    removed = 0
+    now = time.time()
+    workers_dir = os.path.join(directory, "workers")
+    for root, _dirs, files in os.walk(directory):
+        for name in files:
+            if name.endswith(".tmp"):
+                limit = tmp_age_seconds
+            elif (
+                name.endswith(".json")
+                and root != directory
+                and os.path.normpath(root) != os.path.normpath(workers_dir)
+            ):
+                limit = max_age_seconds
+            else:
+                continue
+            path = os.path.join(root, name)
+            try:
+                age = now - os.path.getmtime(path)
+            except OSError:
+                continue
+            if age >= limit:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
+                removed += 1
+    return removed
 
 
 class FileQueueChannel(MessageChannel):
@@ -299,16 +453,26 @@ class FileQueueChannel(MessageChannel):
 
     def send(self, message: Dict[str, Any]) -> None:
         self._seq += 1
+        data = chaos.fire("transport.send", data=frame_message(message))
         try:
-            _atomic_write_json(
-                self._send_dir, f"{self._seq:08d}.json", message
-            )
+            _atomic_write_bytes(self._send_dir, f"{self._seq:08d}.json", data)
         except OSError as exc:
             raise TransportError(f"queue directory unusable: {exc}") from exc
 
+    def _corrupt_error(self, corrupt: int) -> CorruptFrameError:
+        return CorruptFrameError(
+            f"{corrupt} corrupt spool message(s) under {self._recv_dir}"
+        )
+
     def poll(self) -> List[Dict[str, Any]]:
         messages, self._pending = self._pending, []
-        messages.extend(_spool_messages(self._recv_dir))
+        fresh, corrupt = _spool_messages(self._recv_dir)
+        messages.extend(fresh)
+        if corrupt:
+            # Bank the clean messages before surfacing: the caller treats a
+            # corrupt frame like a broken channel (evict + requeue uncharged).
+            self._pending = messages
+            raise self._corrupt_error(corrupt)
         return messages
 
     def recv(self, timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
@@ -316,7 +480,10 @@ class FileQueueChannel(MessageChannel):
         while True:
             if self._pending:
                 return self._pending.pop(0)
-            self._pending = _spool_messages(self._recv_dir)
+            fresh, corrupt = _spool_messages(self._recv_dir)
+            self._pending.extend(fresh)
+            if corrupt:
+                raise self._corrupt_error(corrupt)
             if self._pending:
                 continue
             if deadline is not None and time.monotonic() >= deadline:
@@ -356,6 +523,18 @@ class FileQueueListener:
                 FileQueueChannel(self.directory, worker_id, side="coordinator")
             )
         return channels
+
+    def sweep(
+        self,
+        max_age_seconds: float = 3600.0,
+        tmp_age_seconds: float = 60.0,
+    ) -> int:
+        """GC orphaned ``.tmp`` / stale spool files; returns files removed."""
+        return sweep_stale_files(
+            self.directory,
+            max_age_seconds=max_age_seconds,
+            tmp_age_seconds=tmp_age_seconds,
+        )
 
     def close(self) -> None:
         pass

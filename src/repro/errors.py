@@ -40,6 +40,7 @@ __all__ = [
     "DuplicateJobError",
     "ServiceDrainingError",
     "ServiceUnavailableError",
+    "ServiceOverloadedError",
     "JobTimeoutError",
     "EXIT_OK",
     "EXIT_FATAL",
@@ -132,6 +133,28 @@ class ServiceUnavailableError(ReproError):
     code = "unavailable"
 
 
+class ServiceOverloadedError(ReproError):
+    """The campaign service's bounded job queue is full (backpressure).
+
+    Unlike :class:`ServiceDrainingError` this is transient by design: the
+    service answers HTTP 429 with a ``Retry-After`` header, and
+    :class:`repro.client.ServiceClient` retries submissions with jittered
+    backoff.  :attr:`retry_after` is the server's suggested wait in seconds.
+    """
+
+    code = "overloaded"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        hint: Optional[str] = None,
+        retry_after: float = 1.0,
+    ):
+        super().__init__(message, hint=hint)
+        self.retry_after = float(retry_after)
+
+
 class JobTimeoutError(ReproError):
     """A client-side wait on a job outlived its polling deadline.  The job
     itself may still be running; only the wait gave up."""
@@ -153,6 +176,7 @@ ERROR_TAXONOMY: Dict[str, Tuple[int, int]] = {
     "duplicate-job": (EXIT_FATAL, 409),
     "draining": (EXIT_FATAL, 503),
     "unavailable": (EXIT_FATAL, 503),
+    "overloaded": (EXIT_FATAL, 429),
     "timeout": (EXIT_FATAL, 504),
 }
 
@@ -169,6 +193,7 @@ _ERROR_CLASSES: Dict[str, Type[ReproError]] = {
         DuplicateJobError,
         ServiceDrainingError,
         ServiceUnavailableError,
+        ServiceOverloadedError,
         JobTimeoutError,
     )
 }
@@ -194,7 +219,7 @@ def http_status_for(exc: BaseException) -> int:
     return _taxonomy_row(exc)[1]
 
 
-def error_payload(exc: BaseException) -> Dict[str, Optional[str]]:
+def error_payload(exc: BaseException) -> Dict[str, object]:
     """The wire form of an error (what the service's error envelope carries).
 
     ``code`` is the taxonomy category (``"internal"`` for non-
@@ -202,7 +227,15 @@ def error_payload(exc: BaseException) -> Dict[str, Optional[str]]:
     the human-readable description, ``hint`` the optional remedy.
     """
     if isinstance(exc, ReproError):
-        return {"code": exc.code, "message": str(exc), "hint": exc.hint}
+        payload: Dict[str, object] = {
+            "code": exc.code,
+            "message": str(exc),
+            "hint": exc.hint,
+        }
+        retry_after = getattr(exc, "retry_after", None)
+        if retry_after is not None:
+            payload["retry_after"] = retry_after
+        return payload
     return {
         "code": "internal",
         "message": f"{type(exc).__name__}: {exc}",
@@ -217,7 +250,10 @@ def error_from_payload(payload: Mapping) -> ReproError:
     :class:`ReproError`, so clients always get the one catchable type.
     """
     cls = _ERROR_CLASSES.get(str(payload.get("code")), ReproError)
-    return cls(
-        str(payload.get("message", "unknown error")),
-        hint=payload.get("hint") or None,
-    )
+    kwargs = {"hint": payload.get("hint") or None}
+    if cls is ServiceOverloadedError:
+        try:
+            kwargs["retry_after"] = float(payload.get("retry_after", 1.0))
+        except (TypeError, ValueError):
+            pass
+    return cls(str(payload.get("message", "unknown error")), **kwargs)

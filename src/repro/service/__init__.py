@@ -17,11 +17,13 @@ CampaignService` programmatically) and talk to it with
 """
 
 from repro.service.jobs import Job, JobManager, JobSpec
+from repro.service.journal import JobJournal
 from repro.service.daemon import CampaignService, ServiceConfig
 
 __all__ = [
     "CampaignService",
     "Job",
+    "JobJournal",
     "JobManager",
     "JobSpec",
     "ServiceConfig",

@@ -39,6 +39,7 @@ from typing import Any, Dict, Optional, Tuple
 from repro.core.metrics import render_prometheus_sections
 from repro.core.results import PAYLOAD_SCHEMA, envelope
 from repro.core.telemetry import CampaignTelemetry
+from repro.distrib import breaker_states
 from repro.errors import (
     ERROR_TAXONOMY,
     InputError,
@@ -46,7 +47,8 @@ from repro.errors import (
     error_payload,
     http_status_for,
 )
-from repro.service.jobs import DONE, FAILED, JobManager, JobSpec
+from repro.service.jobs import DONE, FAILED, QUEUED, RUNNING, JobManager, JobSpec
+from repro.service.journal import JobJournal
 
 #: Submission size cap: job specs are small; anything bigger is a mistake.
 MAX_BODY_BYTES = 1 << 20
@@ -64,6 +66,12 @@ class ServiceConfig:
     #: default remote-worker fleet applied to jobs that do not set one
     #: (``HOST:PORT`` listen address or ``queue:DIR``; see ``repro worker``)
     workers_from: Optional[str] = None
+    #: write-ahead job journal directory; None disables durability
+    journal_dir: Optional[str] = None
+    #: journal fsync policy: "always", "interval", or "never"
+    journal_fsync: str = "always"
+    #: reject submissions once this many jobs are queued or running
+    max_queued: Optional[int] = None
 
 
 class CampaignService:
@@ -71,10 +79,18 @@ class CampaignService:
 
     def __init__(self, config: Optional[ServiceConfig] = None):
         self.config = config or ServiceConfig()
+        journal = None
+        if self.config.journal_dir:
+            journal = JobJournal(
+                self.config.journal_dir,
+                fsync_policy=self.config.journal_fsync,
+            )
         self.manager = JobManager(
             workers=self.config.workers,
             cache_dir=self.config.cache_dir,
             workers_from=self.config.workers_from,
+            journal=journal,
+            max_queued=self.config.max_queued,
         )
         service = self
 
@@ -88,6 +104,7 @@ class CampaignService:
         self.server.daemon_threads = True
         self._serve_thread: Optional[threading.Thread] = None
         self._drained = threading.Event()
+        self._recovered = False
         del service  # handler binds the manager, not the service
 
     # ------------------------------------------------------------------
@@ -112,8 +129,29 @@ class CampaignService:
         return f"http://{host}:{port}"
 
     # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Replay the job journal once, before workers start executing.
+
+        Recovery must precede :meth:`JobManager.start`: re-enqueued jobs
+        belong at the front of history (their submit order is preserved by
+        the journal), and completed jobs must be servable the moment the
+        listener accepts its first request.
+        """
+        if self._recovered:
+            return
+        self._recovered = True
+        if self.manager.journal is None:
+            return
+        report = self.manager.recover()
+        if any(report.values()):
+            print(
+                "repro-service: journal recovery — "
+                + ", ".join(f"{k}={v}" for k, v in sorted(report.items()))
+            )
+
     def start(self) -> None:
         """Start workers and the listener on a background thread."""
+        self._recover()
         self.manager.start()
         self._serve_thread = threading.Thread(
             target=self.server.serve_forever,
@@ -127,6 +165,7 @@ class CampaignService:
         if install_signal_handlers:
             signal.signal(signal.SIGTERM, self._signal_shutdown)
             signal.signal(signal.SIGINT, self._signal_shutdown)
+        self._recover()
         self.manager.start()
         try:
             self.server.serve_forever()
@@ -175,14 +214,25 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass  # the service reports through /v1/metrics, not an access log
 
-    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
-        self._send_body(status, body, "application/json")
+        self._send_body(status, body, "application/json", extra_headers)
 
     def _send_text(self, status: int, text: str, content_type: str) -> None:
         self._send_body(status, text.encode("utf-8"), content_type)
 
-    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
+    def _send_body(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         """Write one response; a client gone mid-write is counted, not thrown.
 
         ``BrokenPipeError``/``ConnectionResetError`` escaping here would be
@@ -194,6 +244,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (extra_headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
         except (BrokenPipeError, ConnectionResetError, ConnectionAbortedError):
@@ -201,8 +253,14 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self.close_connection = True
 
     def _send_error_payload(self, exc: BaseException) -> None:
+        # Overload rejections carry a Retry-After so well-behaved clients
+        # (ours does — see ServiceClient) back off rather than hammering.
+        headers = None
+        retry_after = getattr(exc, "retry_after", None)
+        if retry_after is not None:
+            headers = {"Retry-After": str(max(1, int(round(retry_after))))}
         self._send_json(
-            http_status_for(exc), envelope("error", error_payload(exc))
+            http_status_for(exc), envelope("error", error_payload(exc)), headers
         )
 
     # ------------------------------------------------------------------
@@ -242,19 +300,25 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         try:
             path = self.path.rstrip("/") or "/"
             if path == "/v1/healthz":
-                self._send_json(
-                    200,
-                    envelope(
-                        "health",
-                        {
-                            "status": "draining"
-                            if self.manager.draining
-                            else "ok",
-                            "draining": self.manager.draining,
-                            "schema": PAYLOAD_SCHEMA,
-                        },
-                    ),
+                backlog = sum(
+                    1
+                    for job in self.manager.jobs()
+                    if job.state in (QUEUED, RUNNING)
                 )
+                payload: Dict[str, Any] = {
+                    "status": "draining" if self.manager.draining else "ok",
+                    "draining": self.manager.draining,
+                    "schema": PAYLOAD_SCHEMA,
+                    "queue": {
+                        "backlog": backlog,
+                        "limit": self.manager.max_queued,
+                    },
+                    "journal": self.manager.journal is not None,
+                }
+                breakers = breaker_states()
+                if breakers:  # only worth reporting when something tripped
+                    payload["breakers"] = breakers
+                self._send_json(200, envelope("health", payload))
                 return
             if path == "/v1/metrics":
                 self._send_text(

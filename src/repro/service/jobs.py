@@ -28,6 +28,7 @@ from __future__ import annotations
 import hashlib
 import json
 import queue
+import sys
 import threading
 import time
 from dataclasses import dataclass, field
@@ -42,10 +43,13 @@ from repro.core.telemetry import CampaignTelemetry
 from repro.errors import (
     InputError,
     ServiceDrainingError,
+    ServiceOverloadedError,
     UnknownJobError,
     error_payload,
 )
+from repro.service.journal import JobJournal
 from repro.soc.core import STRUCTURE_SCOPES
+from repro.testing import chaos
 from repro.workloads.beebs import BENCHMARK_NAMES
 
 JOB_KINDS = ("analyze", "sweep", "savf")
@@ -188,6 +192,36 @@ class JobSpec:
             priority=priority,
         )
 
+    @classmethod
+    def from_canonical(
+        cls, payload: Dict[str, Any], priority: int = 0
+    ) -> "JobSpec":
+        """Rebuild a spec from its own :meth:`canonical` form (journal replay).
+
+        The canonical form always uses the plural ``structures`` /
+        ``benchmarks`` keys (:meth:`from_payload` only accepts those for
+        sweeps), so replay needs this direct constructor.  Validation still
+        runs — a journal written against a different structure/benchmark
+        registry fails here, and recovery skips the job instead of crashing.
+        """
+        target = payload.get("target_half_width")
+        return cls(
+            kind=payload["kind"],
+            structures=tuple(
+                _valid_structure(s) for s in payload["structures"]
+            ),
+            benchmarks=tuple(
+                _valid_benchmark(b) for b in payload["benchmarks"]
+            ),
+            config=CampaignConfig.from_payload(payload.get("config") or {}),
+            ecc=bool(payload.get("ecc", False)),
+            bits=int(payload.get("bits", 24)),
+            seed=int(payload.get("seed", 0)),
+            target_half_width=None if target is None else float(target),
+            confidence=float(payload.get("confidence", 0.95)),
+            priority=int(priority),
+        )
+
     def canonical(self) -> Dict[str, Any]:
         """The identity-bearing wire form (priority excluded by design)."""
         return {
@@ -284,9 +318,13 @@ class JobManager:
         workers: int = 2,
         cache_dir: Optional[str] = None,
         workers_from: Optional[str] = None,
+        journal: Optional[JobJournal] = None,
+        max_queued: Optional[int] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if max_queued is not None and max_queued < 1:
+            raise ValueError("max_queued must be >= 1 (or None for unbounded)")
         self.workers = int(workers)
         self.cache_dir = cache_dir
         #: default remote-worker fleet address (``HOST:PORT`` / ``queue:DIR``)
@@ -294,6 +332,12 @@ class JobManager:
         #: jobs build then run their shards on the shared fleet through
         #: :class:`repro.distrib.coordinator.RemoteExecutor`.
         self.workers_from = workers_from
+        #: write-ahead journal making restarts lossless (None = ephemeral)
+        self.journal = journal
+        #: bound on not-yet-finished jobs; beyond it, *new* submissions are
+        #: rejected with :class:`ServiceOverloadedError` (HTTP 429) — dedupe
+        #: hits are always admitted, they cost nothing
+        self.max_queued = max_queued
         self.telemetry = CampaignTelemetry()
         self.draining = False
         self._jobs: Dict[str, Job] = {}
@@ -344,6 +388,19 @@ class JobManager:
                 self.telemetry.incr("jobs_submitted")
                 self.telemetry.incr("jobs_deduplicated")
                 return existing, True
+            backlog = sum(
+                1 for j in self._jobs.values() if j.state in (QUEUED, RUNNING)
+            )
+            if self.max_queued is not None and backlog >= self.max_queued:
+                self.telemetry.incr("jobs_rejected_overloaded")
+                retry_after = max(1.0, min(30.0, 0.5 * backlog))
+                raise ServiceOverloadedError(
+                    f"job queue is full ({backlog} jobs pending, "
+                    f"limit {self.max_queued})",
+                    hint="retry after the Retry-After interval, or raise "
+                    "--max-queued",
+                    retry_after=retry_after,
+                )
             job = Job(spec)
             self._jobs[job.id] = job
             self._seq += 1
@@ -351,7 +408,124 @@ class JobManager:
             # then submission order.
             self._queue.put((-job.priority, self._seq, job.id))
             self.telemetry.incr("jobs_submitted")
+            if self.journal is not None:
+                self.journal.record_submitted(
+                    job.id, spec.canonical(), spec.priority
+                )
             return job, False
+
+    def recover(self) -> Dict[str, int]:
+        """Replay the journal into live jobs; call before :meth:`start`.
+
+        Three outcomes per journaled job, mirroring the journal's promise
+        semantics:
+
+        - ``finished`` with a digest-verified stored result (or an inline
+          error): rebuilt as a terminal job served straight from the store —
+          zero re-simulation (``jobs_recovered``).
+        - ``submitted``/``started`` without ``finished`` (the crash window),
+          or a finished job whose stored result fails its digest: re-built
+          as QUEUED and re-enqueued (``jobs_requeued``).
+        - A spec that no longer validates, or whose recomputed content
+          address disagrees with the journaled id (a foreign or tampered
+          journal): skipped with a stderr warning — recovery must never
+          crash the daemon.
+
+        Returns the counts: ``{"recovered", "requeued", "skipped",
+        "torn_tails"}``.
+        """
+        counts = {"recovered": 0, "requeued": 0, "skipped": 0, "torn_tails": 0}
+        if self.journal is None:
+            return counts
+        events = self.journal.replay()
+        counts["torn_tails"] = self.journal.torn_tails
+        if self.journal.torn_tails:
+            self.telemetry.incr(
+                "journal_torn_tails", self.journal.torn_tails
+            )
+        # Fold events into per-job latest state, preserving submission order.
+        order: List[str] = []
+        submitted: Dict[str, Dict[str, Any]] = {}
+        finished: Dict[str, Dict[str, Any]] = {}
+        for event in events:
+            job_id = event.get("job_id")
+            kind = event.get("event")
+            if not isinstance(job_id, str):
+                continue
+            if kind == "submitted":
+                if job_id not in submitted:
+                    order.append(job_id)
+                    submitted[job_id] = event
+                else:
+                    prev = submitted[job_id]
+                    prev["priority"] = max(
+                        prev.get("priority", 0), event.get("priority", 0)
+                    )
+            elif kind == "finished":
+                finished[job_id] = event
+        with self._lock:
+            for job_id in order:
+                if job_id in self._jobs:
+                    continue  # live submission already owns this identity
+                event = submitted[job_id]
+                try:
+                    spec = JobSpec.from_canonical(
+                        event.get("spec") or {},
+                        priority=int(event.get("priority", 0)),
+                    )
+                except Exception as exc:  # noqa: BLE001 - skip, never crash
+                    counts["skipped"] += 1
+                    print(
+                        f"repro: journal replay skipping {job_id}: "
+                        f"spec no longer validates ({exc})",
+                        file=sys.stderr,
+                    )
+                    continue
+                if spec.job_id != job_id:
+                    counts["skipped"] += 1
+                    print(
+                        f"repro: journal replay skipping {job_id}: content "
+                        f"address mismatch (journal names {job_id}, spec "
+                        f"hashes to {spec.job_id})",
+                        file=sys.stderr,
+                    )
+                    continue
+                job = Job(spec)
+                job.submitted_at = float(event.get("ts", job.submitted_at))
+                terminal = finished.get(job_id)
+                if terminal is not None:
+                    restored = self._restore_terminal(job, terminal)
+                    if restored:
+                        self._jobs[job.id] = job
+                        counts["recovered"] += 1
+                        self.telemetry.incr("jobs_recovered")
+                        continue
+                self._jobs[job.id] = job
+                self._seq += 1
+                self._queue.put((-job.priority, self._seq, job.id))
+                counts["requeued"] += 1
+                self.telemetry.incr("jobs_requeued")
+        return counts
+
+    def _restore_terminal(self, job: Job, event: Dict[str, Any]) -> bool:
+        """Rebuild a finished job from its journal event; False = re-run."""
+        telemetry = event.get("telemetry")
+        if isinstance(telemetry, dict):
+            job.telemetry = telemetry
+        error = event.get("error")
+        if error is not None:
+            job.finish(None, dict(error))
+            job.finished_at = float(event.get("ts", job.finished_at or 0.0))
+            return True
+        digest = event.get("result_sha256")
+        if not isinstance(digest, str):
+            return False
+        result = self.journal.load_result(job.id, digest)
+        if result is None:
+            return False
+        job.finish(result, None)
+        job.finished_at = float(event.get("ts", job.finished_at or 0.0))
+        return True
 
     def get(self, job_id: str) -> Job:
         with self._lock:
@@ -417,13 +591,27 @@ class JobManager:
             if job.state != QUEUED:
                 return  # already handled (defensive; dedupe never re-queues)
             job.state = RUNNING
+        if self.journal is not None:
+            self.journal.record_started(job.id)
+        # Chaos hook: a `kill` action here is a daemon SIGKILL mid-job —
+        # the crash the journal's submitted-without-finished replay covers.
+        chaos.fire("service.job")
         try:
             result = self._execute(job)
         except BaseException as exc:  # noqa: BLE001 - every failure is reported
             self.telemetry.incr("jobs_failed")
-            job.finish(None, error_payload(exc))
+            error = error_payload(exc)
+            if self.journal is not None:
+                self.journal.record_finished(
+                    job.id, error=error, telemetry=job.telemetry
+                )
+            job.finish(None, error)
         else:
             self.telemetry.incr("jobs_completed")
+            if self.journal is not None:
+                self.journal.record_finished(
+                    job.id, result=result, telemetry=job.telemetry
+                )
             job.finish(result, None)
 
     # ------------------------------------------------------------------
@@ -536,4 +724,6 @@ class JobManager:
             thread.join(timeout=5.0)
         self._threads = []
         api.shutdown()
+        if self.journal is not None:
+            self.journal.close()
         return clean

@@ -14,7 +14,13 @@ import json
 
 import pytest
 
-from repro.core.cache import VerdictCache, record_key, record_to_payload, shard_key
+from repro.core.cache import (
+    VerdictCache,
+    compute_payload_sha256,
+    record_key,
+    record_to_payload,
+    shard_key,
+)
 from repro.core.campaign import CampaignConfig, DelayAVFEngine
 from repro.core.executor import (
     ParallelExecutor,
@@ -204,6 +210,9 @@ def test_resume_requires_complete_records(tmp_path, system, strstr_program):
     )
     payload = json.loads(cache.path.read_text())
     assert payload["records"].pop(key) is not None
+    # Re-sign the edited payload: this simulates a record that was genuinely
+    # lost (never written), not file corruption — which would be quarantined.
+    payload["payload_sha256"] = compute_payload_sha256(payload)
     cache.path.write_text(json.dumps(payload))
 
     resumed = DelayAVFEngine(system, strstr_program, config)

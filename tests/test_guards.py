@@ -334,6 +334,13 @@ def test_corrupted_cache_record_marks_result_suspect(
         if rec[2] == 0 and rec[3] == "masked"
     )
     payload["records"][key][3] = "sdc"
+    # Re-sign so the integrity layer accepts the file: the point here is a
+    # *semantically* impossible record sneaking past loading, which only the
+    # post-merge invariant guards can catch (checksum-corrupt files are
+    # quarantined long before the guards run).
+    from repro.core.cache import compute_payload_sha256
+
+    payload["payload_sha256"] = compute_payload_sha256(payload)
     cache_file.write_text(json.dumps(payload))
 
     warm = DelayAVFEngine(system, strstr_program, config).run_structure("alu")
