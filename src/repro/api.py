@@ -44,6 +44,12 @@ from repro.core.campaign import (
     DelayAVFEngine,
     run_structures_spanning,
 )
+from repro.core.coverage import (
+    WorkloadSelection,
+    coverage_from_result,
+    select_workloads,
+    union_coverage,
+)
 from repro.core.executor import SessionSpec
 from repro.core.metrics import heartbeat_path, write_metrics
 from repro.core.progress import Heartbeat, ProgressReporter
@@ -53,13 +59,15 @@ from repro.core.stats import DEFAULT_CONFIDENCE
 from repro.core.telemetry import CampaignTelemetry
 from repro.isa.assembler import Program
 from repro.soc.system import build_system
-from repro.workloads.beebs import load_benchmark
+from repro.workloads.generator import GeneratorKnobs, format_gen_spec
+from repro.workloads.registry import resolve_program
 
 __all__ = [
     "analyze",
     "sweep",
     "savf",
     "fsck",
+    "generate_workloads",
     "engine_for",
     "engine_cache_stats",
     "shutdown",
@@ -80,7 +88,10 @@ _CACHE_STATS = {"hits": 0, "misses": 0}
 def _resolve_program(workload: Union[str, Program]) -> Program:
     if isinstance(workload, Program):
         return workload
-    return load_benchmark(workload)
+    # Bundled benchmark names and gen:<seed>[:knobs] specs both resolve
+    # here; generated specs are canonicalized so equivalent spellings share
+    # one signature (and hence one cached engine).
+    return resolve_program(workload)
 
 
 def _engine(
@@ -218,7 +229,8 @@ def analyze(
 ) -> StructureCampaignResult:
     """Run (or resume) a DelayAVF campaign for one structure and workload.
 
-    *workload* is a bundled benchmark name (``"md5"``) or a loaded
+    *workload* is a bundled benchmark name (``"md5"``), a generated
+    workload spec (``"gen:7"``, ``"gen:7:pattern=chase"``), or a loaded
     :class:`~repro.isa.assembler.Program`.  *config* defaults to
     ``CampaignConfig()``; pass one explicitly to control the delay sweep,
     sampling, parallelism, fault tolerance, or the persistent verdict
@@ -381,6 +393,82 @@ def savf(
     if trace:
         tracing.write_trace(trace, tracing.drain())
     return result
+
+
+#: Default probe-campaign shape for coverage-directed selection: a small
+#: single-delay sample, oracle analysis off — enough traffic diversity
+#: signal to rank candidates without paying for a full sweep per seed.
+#: The probe uses the deepest delay (0.9): it intrudes furthest into the
+#: cycle, so it maximizes each injection's dynamic reach and hence the
+#: coverage signal (shallow delays propagate almost nothing on logic-deep
+#: structures like the decoder).
+_GENWORK_PROBE = CampaignConfig(
+    delay_fractions=(0.9,),
+    max_wires=12,
+    cycle_count=3,
+    compute_orace=False,
+)
+
+
+def generate_workloads(
+    count: int,
+    *,
+    target_structure: str = "decoder",
+    pool: Optional[int] = None,
+    base_seed: int = 0,
+    knobs: Optional[GeneratorKnobs] = None,
+    config: Optional[CampaignConfig] = None,
+    ecc: bool = False,
+) -> WorkloadSelection:
+    """Propose *count* generated workloads maximizing structure coverage.
+
+    Builds a candidate pool of constrained-random workloads (seeds
+    ``base_seed .. base_seed + pool - 1`` under *knobs*; *pool* defaults to
+    ``max(2 * count, count + 4)``), runs a small probe campaign for each on
+    *target_structure* (a lighter single-delay :data:`_GENWORK_PROBE`
+    config unless *config* is given), extracts a
+    :class:`~repro.core.coverage.CoverageVector` per candidate, and picks
+    *count* of them greedily by marginal wire coverage.
+
+    The returned :class:`~repro.core.coverage.WorkloadSelection` carries
+    the selected specs (usable directly as workload names in
+    :func:`analyze` / :func:`sweep` / the CLI / the service), the per-step
+    marginal gains, every candidate's vector, the selection's combined
+    coverage, and the sequential-seed baseline (the first *count*
+    candidates) it is measured against.  With ``config.cache_dir`` set the
+    probe campaigns persist verdicts and coverage vectors, so re-proposing
+    from a warm cache runs no simulation.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    pool_size = max(2 * count, count + 4) if pool is None else int(pool)
+    if pool_size < count:
+        raise ValueError(
+            f"candidate pool ({pool_size}) smaller than count ({count})"
+        )
+    knobs = knobs or GeneratorKnobs()
+    probe_config = config or _GENWORK_PROBE
+    candidates = tuple(
+        format_gen_spec(base_seed + index, knobs) for index in range(pool_size)
+    )
+    vectors = {}
+    for spec in candidates:
+        result = analyze(
+            target_structure, spec, config=probe_config, ecc=ecc
+        )
+        vectors[spec] = coverage_from_result(result)
+    selected, gains = select_workloads(vectors, count)
+    return WorkloadSelection(
+        structure=target_structure,
+        selected=tuple(selected),
+        gains=tuple(gains),
+        candidates=candidates,
+        vectors=vectors,
+        union=union_coverage([vectors[name] for name in selected]),
+        baseline=union_coverage(
+            [vectors[name] for name in candidates[: len(selected)]]
+        ),
+    )
 
 
 def fsck(cache_dir, quarantine: bool = False) -> Dict[str, list]:

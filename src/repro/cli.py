@@ -15,6 +15,8 @@ Examples::
     python -m repro doctor md5 alu --cache-dir .verdicts
     python -m repro fsck .verdicts --quarantine
     python -m repro savf libstrstr regfile --bits 24 --ecc
+    python -m repro delayavf gen:7:pattern=chase alu --delays 0.5
+    python -m repro genwork 10 --structure decoder --pool 24 --cache-dir .verdicts
     python -m repro serve --port 8321 --workers 2 --cache-dir .verdicts
     python -m repro delayavf md5 alu --workers-from 127.0.0.1:8765
     python -m repro worker --connect 127.0.0.1:8765
@@ -60,7 +62,20 @@ from repro.isa.disasm import disassemble
 from repro.netlist.stats import structure_stats
 from repro.soc.system import build_system
 from repro.timing.paths import path_length_distribution
-from repro.workloads.beebs import BENCHMARK_NAMES, expected_output, load_benchmark
+from repro.workloads.beebs import BENCHMARK_NAMES
+from repro.workloads.generator import GeneratorKnobs
+from repro.workloads.registry import (
+    resolve_expected_output,
+    resolve_program,
+    workload_name_hint,
+)
+
+
+_WORKLOAD_HELP = (
+    "bundled benchmark (" + ", ".join(BENCHMARK_NAMES)
+    + ") or a generated-workload spec like gen:7 or "
+    "gen:7:pattern=chase,blocks=3"
+)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -100,13 +115,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("structures", help="list analyzable structures (Table I)")
     _add_common(p)
 
-    p = sub.add_parser("run", help="run a benchmark on the gate-level core")
-    p.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    p = sub.add_parser("run", help="run a workload on the gate-level core")
+    p.add_argument("benchmark", metavar="WORKLOAD", help=_WORKLOAD_HELP)
     p.add_argument("--max-cycles", type=int, default=60_000)
     _add_common(p)
 
-    p = sub.add_parser("disasm", help="disassemble a benchmark image")
-    p.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    p = sub.add_parser("disasm", help="disassemble a workload image")
+    p.add_argument("benchmark", metavar="WORKLOAD", help=_WORKLOAD_HELP)
     p.add_argument("--limit", type=int, default=None, help="max instructions")
 
     p = sub.add_parser("paths", help="path-length distribution (Fig. 6)")
@@ -115,7 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
 
     p = sub.add_parser("delayavf", help="run a DelayAVF campaign")
-    p.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    p.add_argument("benchmark", metavar="WORKLOAD", help=_WORKLOAD_HELP)
     p.add_argument("structure")
     p.add_argument("--delays", type=float, nargs="+", default=[0.5, 0.9])
     p.add_argument("--wires", type=int, default=24)
@@ -208,7 +223,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
 
     p = sub.add_parser("savf", help="run a particle-strike sAVF campaign")
-    p.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    p.add_argument("benchmark", metavar="WORKLOAD", help=_WORKLOAD_HELP)
     p.add_argument("structure")
     p.add_argument("--bits", type=int, default=24)
     p.add_argument("--cycles", type=int, default=6)
@@ -218,6 +233,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (json emits a machine-readable payload)",
     )
     _add_observability(p)
+    _add_common(p)
+
+    p = sub.add_parser(
+        "genwork",
+        help="propose generated workloads maximizing structure coverage",
+    )
+    p.add_argument(
+        "count", nargs="?", type=int, default=10,
+        help="how many workloads to select (default: 10)",
+    )
+    p.add_argument(
+        "--structure", default="decoder",
+        help="structure whose wire coverage to maximize (default: decoder)",
+    )
+    p.add_argument(
+        "--pool", type=int, default=None,
+        help="candidate pool size (default: max(2*count, count+4))",
+    )
+    p.add_argument(
+        "--base-seed", type=int, default=0, dest="base_seed",
+        help="first candidate seed; candidates are consecutive seeds",
+    )
+    p.add_argument(
+        "--knobs", default=None,
+        help="generator knob overrides for every candidate, e.g. "
+             "pattern=chase,blocks=3 (see gen:<seed>:<knobs> specs)",
+    )
+    p.add_argument(
+        "--delays", type=float, nargs="+", default=None,
+        help="probe-campaign delay fractions (default: 0.5)",
+    )
+    p.add_argument(
+        "--wires", type=int, default=None,
+        help="probe-campaign wire sample per candidate (default: 12)",
+    )
+    p.add_argument(
+        "--cycles", type=int, default=None,
+        help="probe-campaign injection cycles per candidate (default: 3)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="persistent verdict cache for the probe campaigns (re-proposing "
+             "from a warm cache runs no simulation)",
+    )
+    p.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format (json emits the full selection payload)",
+    )
     _add_common(p)
 
     p = sub.add_parser(
@@ -341,20 +404,28 @@ def cmd_structures(args) -> int:
 
 def cmd_run(args) -> int:
     system = build_system(use_ecc=args.ecc)
-    result = system.run_program(
-        load_benchmark(args.benchmark), max_cycles=args.max_cycles
-    )
+    try:
+        program = resolve_program(args.benchmark)
+        expected = resolve_expected_output(args.benchmark)
+    except ReproError as exc:
+        print(f"error: {exc.describe()}", file=sys.stderr)
+        return exit_code_for(exc)
+    result = system.run_program(program, max_cycles=args.max_cycles)
     print(f"cycles:  {result.cycles}")
     print(f"halted:  {result.halted}")
     for event in result.observables:
         print(f"output:  {event}")
-    ok = result.observables == expected_output(args.benchmark)
+    ok = result.observables == expected
     print(f"matches expected output: {ok}")
     return 0 if (result.halted and ok) else 1
 
 
 def cmd_disasm(args) -> int:
-    program = load_benchmark(args.benchmark)
+    try:
+        program = resolve_program(args.benchmark)
+    except ReproError as exc:
+        print(f"error: {exc.describe()}", file=sys.stderr)
+        return exit_code_for(exc)
     count = program.size // 4 if args.limit is None else args.limit
     labels = {addr: name for name, addr in program.symbols.items()}
     for index in range(count):
@@ -495,16 +566,12 @@ def cmd_doctor(args) -> int:
         return EXIT_FATAL
     program = None
     if args.benchmark is not None:
-        if args.benchmark in BENCHMARK_NAMES:
-            program = load_benchmark(args.benchmark)
-        else:
-            exc = InputError(
-                f"unknown benchmark {args.benchmark!r}",
-                hint="known benchmarks: " + ", ".join(BENCHMARK_NAMES),
-            )
+        try:
+            program = resolve_program(args.benchmark)
+        except InputError as exc:
             findings.append(Finding(
                 severity="error", code=exc.code, message=str(exc),
-                hint=exc.hint, error=exc,
+                hint=exc.hint or workload_name_hint(), error=exc,
             ))
     if program is not None:
         findings.extend(preflight_campaign(system, program, config))
@@ -558,6 +625,83 @@ def cmd_savf(args) -> int:
               "(+/- at 95% confidence)",
     ))
     return 0
+
+
+def cmd_genwork(args) -> int:
+    """``repro genwork``: coverage-directed generated-workload proposal."""
+    import dataclasses
+
+    knobs = None
+    if args.knobs:
+        try:
+            knobs = GeneratorKnobs.from_spec(args.knobs)
+        except ValueError as exc:
+            print(f"error: invalid --knobs: {exc}", file=sys.stderr)
+            return EXIT_FATAL
+    overrides = {}
+    if args.delays is not None:
+        overrides["delay_fractions"] = tuple(args.delays)
+    if args.wires is not None:
+        overrides["max_wires"] = args.wires
+    if args.cycles is not None:
+        overrides["cycle_count"] = args.cycles
+    if args.cache_dir is not None:
+        overrides["cache_dir"] = args.cache_dir
+    try:
+        config = (
+            dataclasses.replace(api._GENWORK_PROBE, **overrides)
+            if overrides else None
+        )
+    except ValueError as exc:
+        print(f"error: invalid campaign configuration: {exc}", file=sys.stderr)
+        return EXIT_FATAL
+    try:
+        selection = api.generate_workloads(
+            args.count,
+            target_structure=args.structure,
+            pool=args.pool,
+            base_seed=args.base_seed,
+            knobs=knobs,
+            config=config,
+            ecc=args.ecc,
+        )
+    except ReproError as exc:
+        print(f"error: {exc.describe()}", file=sys.stderr)
+        return exit_code_for(exc)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FATAL
+    finally:
+        api.shutdown()
+    if args.format == "json":
+        print(json.dumps(selection.to_payload(), indent=2))
+        return EXIT_OK
+    rows = []
+    for step, spec in enumerate(selection.selected):
+        vector = selection.vectors[spec]
+        rows.append([
+            step + 1,
+            spec,
+            vector.num_covered_wires,
+            vector.num_covered_cycles,
+            f"+{selection.gains[step]}",
+        ])
+    union = selection.union
+    baseline = selection.baseline
+    title = (
+        f"{selection.structure}: {len(selection.selected)} of "
+        f"{len(selection.candidates)} candidates; union covers "
+        f"{union.num_covered_wires}/{union.wire_count} wires "
+        f"({union.wire_coverage:.1%})"
+    )
+    if baseline is not None:
+        title += (
+            f" vs {baseline.num_covered_wires} sequential-seed baseline"
+        )
+    print(render_table(
+        ["#", "workload", "wires", "cycles", "gain"], rows, title=title
+    ))
+    return EXIT_OK
 
 
 def cmd_serve(args) -> int:
@@ -714,6 +858,7 @@ _COMMANDS = {
     "delayavf": cmd_delayavf,
     "doctor": cmd_doctor,
     "savf": cmd_savf,
+    "genwork": cmd_genwork,
     "serve": cmd_serve,
     "fsck": cmd_fsck,
     "worker": cmd_worker,

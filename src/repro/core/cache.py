@@ -459,7 +459,17 @@ class VerdictCache:
             shards.update(self._shards)
             self._shards = shards
             meta = dict(payload.get("meta", {}))
+            stored_coverage = meta.get("coverage")
             meta.update(self._meta)
+            if isinstance(stored_coverage, dict):
+                # "coverage" is a nested table (key -> vector payload); a
+                # shallow update would drop stored vectors our in-memory
+                # table doesn't mention, so merge it entry-wise.
+                coverage = dict(stored_coverage)
+                ours = self._meta.get("coverage")
+                if isinstance(ours, dict):
+                    coverage.update(ours)
+                meta["coverage"] = coverage
             self._meta = meta
 
     # ------------------------------------------------------------------
@@ -537,6 +547,34 @@ class VerdictCache:
             if self.workload_meta() != (total_cycles, digest):
                 self._meta["total_cycles"] = total_cycles
                 self._meta["observables_sha"] = digest
+                self._dirty = True
+
+    def get_coverage(self, key: str) -> Optional[dict]:
+        """The stored coverage-vector payload for *key*, if any.
+
+        Coverage vectors live inside the checksummed ``meta`` table (under
+        a ``"coverage"`` sub-dict) rather than as a new top-level payload
+        key: the on-disk schema and its integrity envelope are unchanged,
+        so caches written before coverage existed stay readable and vice
+        versa.
+        """
+        with self._lock:
+            table = self._meta.get("coverage")
+            if isinstance(table, dict):
+                value = table.get(key)
+                if isinstance(value, dict):
+                    return dict(value)
+        return None
+
+    def put_coverage(self, key: str, payload: dict) -> None:
+        """Persist one coverage-vector payload under *key* (idempotent)."""
+        with self._lock:
+            table = self._meta.get("coverage")
+            if not isinstance(table, dict):
+                table = {}
+                self._meta["coverage"] = table
+            if table.get(key) != payload:
+                table[key] = dict(payload)
                 self._dirty = True
 
     # ------------------------------------------------------------------

@@ -73,7 +73,7 @@ from repro.isa.assembler import Program
 from repro.sim.cyclesim import Checkpoint, RunResult
 from repro.sim.eventsim import CycleWaveforms
 from repro.sim.packed import MAX_LANES, PackedCycleSimulator
-from repro.workloads.lengths import known_length
+from repro.workloads.lengths import LengthStore, known_length
 
 
 @dataclass(frozen=True)
@@ -373,6 +373,9 @@ class CampaignSession:
             system._workload_memo = memo
         self._memo = memo
         self._psig = program_signature(program)
+        self._lengths = (
+            LengthStore(config.cache_dir) if config.cache_dir else None
+        )
         self._total_cycles: Optional[int] = None
         self._sampled_cycles: Optional[List[int]] = None
         self._golden: Optional[RunResult] = None
@@ -389,10 +392,13 @@ class CampaignSession:
 
         Sources, most to least authoritative: the in-process memo
         (``"memo"``), a persistent verdict cache's workload metadata
-        (``"cache"``), and the bundled measured-length table
-        (``"hint"``, :mod:`repro.workloads.lengths`).  The first two are
-        measured on this exact setup and treated as invariants; a hint is
-        advisory and verified (with graceful fallback) by :attr:`golden`.
+        (``"cache"``), the cache directory's cross-scope length store
+        (``"store"``, :class:`repro.workloads.lengths.LengthStore`), and
+        the bundled measured-length table (``"hint"``,
+        :mod:`repro.workloads.lengths`).  The first two are measured on
+        this exact setup and treated as invariants; a store entry or hint
+        is advisory and verified (with graceful fallback) by
+        :attr:`golden`.
         """
         if self._psig in self._memo:
             cycles, observables = self._memo[self._psig]
@@ -401,6 +407,10 @@ class CampaignSession:
             meta = self.verdict_cache.workload_meta()
             if meta is not None and meta[0] <= self.config.max_run_cycles:
                 return meta[0], None, meta[1], "cache"
+        if self._lengths is not None:
+            stored = self._lengths.get(self._psig)
+            if stored is not None and stored[0] <= self.config.max_run_cycles:
+                return stored[0], None, stored[1], "store"
         hint = known_length(self._psig)
         if hint is not None and hint <= self.config.max_run_cycles:
             return hint, None, None, "hint"
@@ -410,6 +420,10 @@ class CampaignSession:
         self._memo[self._psig] = (run.cycles, run.observables)
         if self.verdict_cache is not None:
             self.verdict_cache.record_workload(run.cycles, run.observables)
+        if self._lengths is not None:
+            self._lengths.put(
+                self._psig, run.cycles, observables_digest(run.observables)
+            )
 
     def _halt_error(self) -> RuntimeError:
         return RuntimeError(
@@ -439,6 +453,8 @@ class CampaignSession:
                 self.telemetry.incr("probe_skips")
                 if source == "hint":
                     self.telemetry.incr("length_hint_hits")
+                elif source == "store":
+                    self.telemetry.incr("length_store_hits")
             self._total_cycles = known
         return self._total_cycles
 
@@ -464,11 +480,12 @@ class CampaignSession:
             _, known_observables, known_digest, source = self._known_length()
             # Pass 2: record fingerprints + checkpoints at the sampled cycles.
             golden = self._instrumented_run()
-            if golden.cycles != expected and source == "hint":
-                # Stale bundled hint: the instrumented run itself measured
-                # the true length, but its checkpoints sit at positions
-                # sampled from the wrong length.  Re-sample and re-run —
-                # a stale hint costs exactly what the probe used to.
+            if golden.cycles != expected and source in ("hint", "store"):
+                # Stale advisory length (bundled hint or cross-scope store
+                # entry): the instrumented run itself measured the true
+                # length, but its checkpoints sit at positions sampled from
+                # the wrong length.  Re-sample and re-run — a stale entry
+                # costs exactly what the probe used to.
                 self.telemetry.incr("stale_length_hints")
                 self._total_cycles = golden.cycles
                 self._sampled_cycles = None
@@ -1181,6 +1198,16 @@ class DelayAVFEngine:
                     shard.delay_fractions, with_orace, clock,
                 )
             )
+        # Coverage extraction is pure bookkeeping over the already-merged
+        # records; persist the vector alongside them so coverage-directed
+        # selection can read it back without re-running the campaign.
+        from repro.core.coverage import coverage_from_result, coverage_key_for_plan
+
+        vector = coverage_from_result(result)
+        self.verdict_cache.put_coverage(
+            coverage_key_for_plan(plan, clock), vector.to_payload()
+        )
+        self.telemetry.incr("coverage_vectors")
         self.verdict_cache.flush()
 
     def _finalize(

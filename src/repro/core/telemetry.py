@@ -50,6 +50,7 @@ COUNTER_ORDER = (
     "probe_runs",
     "probe_skips",
     "length_hint_hits",
+    "length_store_hits",
     "stale_length_hints",
     "golden_runs",
     "waveforms_built",
@@ -89,6 +90,8 @@ COUNTER_ORDER = (
     "refinement_rounds",
     "extra_shards",
     "guard_violations",
+    # Coverage-directed workload generation: vectors persisted after a merge.
+    "coverage_vectors",
     # Campaign-service job lifecycle (counted by repro.service, reported
     # through the same telemetry pipeline as everything else).
     "jobs_submitted",

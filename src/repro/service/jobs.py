@@ -1,8 +1,9 @@
 """Job model and shared worker pool for the campaign service.
 
 A *job* is one analysis question — ``analyze`` (one structure, one workload,
-the full delay sweep), ``sweep`` (a structure x workload cross-product), or
-``savf`` (the particle-strike baseline) — described entirely by a JSON spec.
+the full delay sweep), ``sweep`` (a structure x workload cross-product),
+``savf`` (the particle-strike baseline), or ``genwork`` (coverage-directed
+generated-workload proposal) — described entirely by a JSON spec.
 Jobs are identified by the SHA-256 of their canonical spec (priority
 excluded), so two clients asking the identical question submit the *same*
 job: the second submission deduplicates onto the first — onto its in-flight
@@ -50,9 +51,10 @@ from repro.errors import (
 from repro.service.journal import JobJournal
 from repro.soc.core import STRUCTURE_SCOPES
 from repro.testing import chaos
-from repro.workloads.beebs import BENCHMARK_NAMES
+from repro.workloads.generator import GeneratorKnobs
+from repro.workloads.registry import canonical_workload_name
 
-JOB_KINDS = ("analyze", "sweep", "savf")
+JOB_KINDS = ("analyze", "sweep", "savf", "genwork")
 
 #: Job lifecycle states (the status endpoint reports these verbatim).
 QUEUED = "queued"
@@ -76,12 +78,11 @@ def _valid_structure(name: Any) -> str:
 
 
 def _valid_benchmark(name: Any) -> str:
-    _require(
-        isinstance(name, str) and name in BENCHMARK_NAMES,
-        f"unknown benchmark {name!r}",
-        hint="known benchmarks: " + ", ".join(BENCHMARK_NAMES),
-    )
-    return name
+    _require(isinstance(name, str), f"benchmark must be a string, got {name!r}")
+    # Accepts bundled benchmark names and gen:<seed>[:knobs] specs; generated
+    # specs canonicalize (default knobs dropped), so equivalent spellings
+    # produce the same canonical form — and hence the same job id.
+    return canonical_workload_name(name)
 
 
 @dataclass(frozen=True)
@@ -100,10 +101,13 @@ class JobSpec:
     config: CampaignConfig
     ecc: bool = False
     bits: int = 24  #: savf only: state bits sampled per cycle
-    seed: int = 0  #: savf only: bit-sample seed
+    seed: int = 0  #: savf: bit-sample seed / genwork: first candidate seed
     target_half_width: Optional[float] = None  #: analyze only: adaptive CI
     confidence: float = 0.95
     priority: int = 0
+    count: int = 10  #: genwork only: workloads to select
+    pool: Optional[int] = None  #: genwork only: candidate pool size
+    knobs: Optional[str] = None  #: genwork only: generator knob overrides
 
     @classmethod
     def from_payload(cls, payload: Any) -> "JobSpec":
@@ -122,7 +126,7 @@ class JobSpec:
         known_keys = {
             "kind", "structure", "structures", "benchmark", "benchmarks",
             "config", "ecc", "bits", "seed", "target_half_width",
-            "confidence", "priority",
+            "confidence", "priority", "count", "pool", "knobs",
         }
         unknown = sorted(set(payload) - known_keys)
         _require(
@@ -130,7 +134,25 @@ class JobSpec:
             f"unknown job field(s): {', '.join(unknown)}",
             hint="known fields: " + ", ".join(sorted(known_keys)),
         )
-        if kind == "sweep":
+        for name in ("count", "pool", "knobs"):
+            _require(
+                kind == "genwork" or name not in payload,
+                f"{name!r} only applies to genwork jobs",
+            )
+        if kind == "genwork":
+            # Generation jobs name a target structure and *produce*
+            # workloads, so they carry no benchmarks of their own.
+            _require(
+                "structure" in payload,
+                "genwork jobs need a 'structure' (the coverage target)",
+            )
+            _require(
+                "benchmark" not in payload and "benchmarks" not in payload,
+                "genwork jobs take no benchmarks (they generate them)",
+            )
+            structures = [payload["structure"]]
+            benchmarks = []
+        elif kind == "sweep":
             structures = payload.get("structures")
             benchmarks = payload.get("benchmarks")
             _require(
@@ -173,12 +195,36 @@ class JobSpec:
         bits = payload.get("bits", 24)
         seed = payload.get("seed", 0)
         priority = payload.get("priority", 0)
-        for name, value in (("bits", bits), ("seed", seed), ("priority", priority)):
+        count = payload.get("count", 10)
+        for name, value in (
+            ("bits", bits), ("seed", seed), ("priority", priority),
+            ("count", count),
+        ):
             _require(
                 isinstance(value, int) and not isinstance(value, bool),
                 f"{name} must be an integer",
             )
         _require(bits >= 1, "bits must be >= 1")
+        _require(count >= 1, "count must be >= 1")
+        pool = payload.get("pool")
+        if pool is not None:
+            _require(
+                isinstance(pool, int) and not isinstance(pool, bool)
+                and pool >= count,
+                f"pool must be an integer >= count ({count})",
+            )
+        knobs = payload.get("knobs")
+        if knobs is not None:
+            _require(isinstance(knobs, str), "knobs must be a string")
+            try:
+                knobs = GeneratorKnobs.from_spec(knobs).to_spec()
+            except ValueError as exc:
+                raise InputError(
+                    f"invalid generator knobs: {exc}",
+                    hint="knobs look like pattern=chase,blocks=3; see "
+                    "repro.workloads.generator.GeneratorKnobs",
+                ) from None
+            knobs = knobs or None  # all-defaults canonicalizes to absent
         return cls(
             kind=kind,
             structures=structures,
@@ -190,6 +236,9 @@ class JobSpec:
             target_half_width=None if target is None else float(target),
             confidence=float(confidence),
             priority=priority,
+            count=count,
+            pool=pool,
+            knobs=knobs,
         )
 
     @classmethod
@@ -220,11 +269,20 @@ class JobSpec:
             target_half_width=None if target is None else float(target),
             confidence=float(payload.get("confidence", 0.95)),
             priority=int(priority),
+            count=int(payload.get("count", 10)),
+            pool=(
+                None if payload.get("pool") is None
+                else int(payload["pool"])
+            ),
+            knobs=(
+                None if payload.get("knobs") is None
+                else str(payload["knobs"])
+            ),
         )
 
     def canonical(self) -> Dict[str, Any]:
         """The identity-bearing wire form (priority excluded by design)."""
-        return {
+        payload = {
             "kind": self.kind,
             "structures": list(self.structures),
             "benchmarks": list(self.benchmarks),
@@ -235,6 +293,14 @@ class JobSpec:
             "target_half_width": self.target_half_width,
             "confidence": self.confidence,
         }
+        if self.kind == "genwork":
+            # Generation-only fields enter the identity only for genwork
+            # jobs, so pre-existing analyze/sweep/savf job ids (and any
+            # journals recording them) are unchanged by the new kind.
+            payload["count"] = self.count
+            payload["pool"] = self.pool
+            payload["knobs"] = self.knobs
+        return payload
 
     @property
     def job_id(self) -> str:
@@ -246,10 +312,8 @@ class JobSpec:
 
     @property
     def label(self) -> str:
-        return (
-            f"{'+'.join(self.benchmarks)}/{'+'.join(self.structures)}"
-            f":{self.kind}"
-        )
+        benchmarks = "+".join(self.benchmarks) or f"gen[{self.count}]"
+        return f"{benchmarks}/{'+'.join(self.structures)}:{self.kind}"
 
 
 class Job:
@@ -351,6 +415,9 @@ class JobManager:
         #: serializes campaign runs per engine (engines share mutable
         #: session state); keyed by engine identity
         self._engine_locks: Dict[int, threading.Lock] = {}
+        #: serializes genwork jobs: each one probes a whole candidate pool
+        #: of engines, so interleaving two would thrash the engine cache
+        self._genwork_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Submission / lookup
@@ -623,6 +690,8 @@ class JobManager:
         config = self._job_config(spec)
         if spec.kind == "sweep":
             return self._execute_sweep(job, config)
+        if spec.kind == "genwork":
+            return self._execute_genwork(job, config)
         engine = api.engine_for(
             spec.benchmarks[0], ecc=spec.ecc, config=config
         )
@@ -651,6 +720,45 @@ class JobManager:
             if result.telemetry is not None:
                 job.telemetry = result.telemetry.snapshot()
             return result.to_payload()
+
+    def _execute_genwork(
+        self, job: Job, config: CampaignConfig
+    ) -> Dict[str, Any]:
+        """Coverage-directed generation: the api facade under one big lock.
+
+        The probe campaigns build (or warm-hit) one engine per candidate
+        seed; serializing whole genwork jobs keeps that pool churn from
+        interleaving with another genwork job's.  Ordinary analyze/savf
+        jobs still run concurrently — they take per-engine locks, and
+        generated candidates get fresh engines of their own.
+        """
+        import dataclasses
+
+        spec = job.spec
+        knobs = (
+            GeneratorKnobs.from_spec(spec.knobs)
+            if spec.knobs is not None else None
+        )
+        if spec.config == CampaignConfig():
+            # No explicit config: probe candidates with the facade's light
+            # single-delay shape rather than a full default campaign each,
+            # keeping the service-level cache/fleet defaults.
+            config = dataclasses.replace(
+                api._GENWORK_PROBE,
+                cache_dir=config.cache_dir,
+                workers_from=config.workers_from,
+            )
+        with self._genwork_lock:
+            selection = api.generate_workloads(
+                spec.count,
+                target_structure=spec.structures[0],
+                pool=spec.pool,
+                base_seed=spec.seed,
+                knobs=knobs,
+                config=config,
+                ecc=spec.ecc,
+            )
+        return envelope("genwork", selection.to_payload())
 
     def _execute_sweep(self, job: Job, config: CampaignConfig) -> Dict[str, Any]:
         """Cross-product job: every engine's lock held, in sorted order.

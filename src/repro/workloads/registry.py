@@ -1,0 +1,116 @@
+"""Workload resolution by name: bundled benchmarks and generated specs.
+
+Every layer that accepts a workload *name* — the API facade, the CLI, the
+campaign service — resolves it here.  Two namespaces exist:
+
+- the five bundled BEEBS benchmarks (``md5``, ``bubblesort``, ...), and
+- constrained-random generated workloads, named by their generation spec
+  ``gen:<seed>[:knob=value,...]`` (:mod:`repro.workloads.generator`).
+
+Generated names are *canonicalized*: ``gen:7:alu=8`` (spelling out a
+default knob) resolves to a workload named ``gen:7``, so equivalent
+spellings assemble byte-identical programs with identical content
+signatures — the engine cache, verdict cache, and service job dedupe all
+key on content, never on spelling.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+from repro.errors import InputError
+from repro.isa.assembler import Program, assemble
+from repro.workloads.beebs import BENCHMARK_NAMES, load_benchmark, load_workload
+from repro.workloads.generator import (
+    GEN_PREFIX,
+    Workload,
+    format_gen_spec,
+    make_random,
+    parse_gen_spec,
+)
+
+__all__ = [
+    "is_generated",
+    "canonical_workload_name",
+    "resolve_workload",
+    "resolve_program",
+    "resolve_expected_output",
+    "workload_name_hint",
+]
+
+
+def is_generated(name) -> bool:
+    """Whether *name* is a generated-workload spec (``gen:...``)."""
+    return isinstance(name, str) and name.startswith(GEN_PREFIX)
+
+
+def workload_name_hint() -> str:
+    """The help text naming every acceptable workload spelling."""
+    return (
+        "known benchmarks: " + ", ".join(BENCHMARK_NAMES)
+        + "; or a generated spec like gen:7 / gen:7:pattern=chase,blocks=3"
+    )
+
+
+def canonical_workload_name(name: str) -> str:
+    """Canonicalize a workload name (default knobs dropped from specs)."""
+    if is_generated(name):
+        seed, knobs = _parse(name)
+        return format_gen_spec(seed, knobs)
+    _require_bundled(name)
+    return name
+
+
+def _parse(spec: str):
+    try:
+        return parse_gen_spec(spec)
+    except ValueError as exc:
+        raise InputError(
+            f"invalid generated-workload spec {spec!r}: {exc}",
+            hint="specs look like gen:<seed>[:knob=value,...]; see "
+            "repro.workloads.generator.GeneratorKnobs for the knobs",
+        ) from None
+
+
+def _require_bundled(name: str) -> None:
+    if name not in BENCHMARK_NAMES:
+        raise InputError(
+            f"unknown benchmark {name!r}",
+            hint=workload_name_hint(),
+        )
+
+
+@lru_cache(maxsize=256)
+def _generated_workload(spec: str) -> Workload:
+    seed, knobs = _parse(spec)
+    return make_random(seed, knobs)
+
+
+@lru_cache(maxsize=256)
+def _generated_program(spec: str) -> Program:
+    workload = _generated_workload(spec)
+    # The workload's own name is the canonical spec, so differently spelled
+    # but equivalent specs produce identical programs (and signatures).
+    return assemble(workload.source, name=workload.name)
+
+
+def resolve_workload(name: str) -> Workload:
+    """The :class:`Workload` (source + expected output) for *name*."""
+    if is_generated(name):
+        return _generated_workload(name)
+    _require_bundled(name)
+    return load_workload(name)
+
+
+def resolve_program(name: str) -> Program:
+    """The assembled :class:`Program` for *name* (bundled or generated)."""
+    if is_generated(name):
+        return _generated_program(name)
+    _require_bundled(name)
+    return load_benchmark(name)
+
+
+def resolve_expected_output(name: str) -> Tuple[Tuple, ...]:
+    """The expected program-visible output events for *name*."""
+    return resolve_workload(name).expected_output

@@ -79,3 +79,16 @@ def test_doctor_never_runs_a_campaign(extra, capsys):
     assert main(["doctor", *extra]) == 0
     out = capsys.readouterr().out
     assert "DelayAVF" not in out
+
+
+def test_doctor_accepts_generated_workload(capsys):
+    assert main([
+        "doctor", "gen:3:blocks=2,ops_per_block=4,loop_iters=2", "alu",
+    ]) == 0
+    assert "all checks passed" in capsys.readouterr().out
+
+
+def test_doctor_bad_gen_spec_is_a_finding_not_a_crash(capsys):
+    assert main(["doctor", "gen:3:warp=9"]) == 1
+    out = capsys.readouterr().out
+    assert "invalid generated-workload spec" in out

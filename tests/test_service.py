@@ -455,3 +455,77 @@ def test_result_wait_raises_typed_timeout_without_overshoot():
         del service.manager.start
         service.manager.start()
         service.stop()
+
+
+# ----------------------------------------------------------------------
+# genwork jobs (coverage-directed generated-workload proposal)
+# ----------------------------------------------------------------------
+GENWORK_SPEC = {
+    "kind": "genwork",
+    "structure": "alu",
+    "count": 2,
+    "pool": 3,
+    "knobs": "blocks=2,ops_per_block=4,loop_iters=2",
+}
+
+
+def test_genwork_spec_validation():
+    with pytest.raises(InputError):  # benchmarks are generated, not given
+        JobSpec.from_payload({**GENWORK_SPEC, "benchmark": "md5"})
+    with pytest.raises(InputError):
+        JobSpec.from_payload({**GENWORK_SPEC, "count": 0})
+    with pytest.raises(InputError):  # pool must cover count
+        JobSpec.from_payload({**GENWORK_SPEC, "count": 5, "pool": 3})
+    with pytest.raises(InputError):
+        JobSpec.from_payload({**GENWORK_SPEC, "knobs": "bogus=1"})
+    with pytest.raises(InputError):  # genwork-only fields stay genwork-only
+        JobSpec.from_payload({**ANALYZE_SPEC, "count": 3})
+    spec = JobSpec.from_payload(GENWORK_SPEC)
+    assert spec.benchmarks == ()
+    assert spec.label == "gen[2]/alu:genwork"
+    # Canonical form round-trips through journal replay.
+    assert JobSpec.from_canonical(spec.canonical()).job_id == spec.job_id
+
+
+def test_genwork_fields_do_not_perturb_existing_job_ids():
+    # Adding the genwork kind must not change analyze/sweep/savf content
+    # addresses, or every persisted journal would orphan its jobs.
+    assert "count" not in JobSpec.from_payload(ANALYZE_SPEC).canonical()
+
+
+def test_generated_spec_canonicalizes_in_job_identity():
+    plain = JobSpec.from_payload({**ANALYZE_SPEC, "benchmark": "gen:7"})
+    spelled = JobSpec.from_payload(
+        {**ANALYZE_SPEC, "benchmark": "gen:7:alu=8"}
+    )
+    assert plain.job_id == spelled.job_id
+    with pytest.raises(InputError):
+        JobSpec.from_payload({**ANALYZE_SPEC, "benchmark": "gen:oops"})
+
+
+def test_genwork_job_executes_and_dedupes(tmp_path):
+    manager = JobManager(workers=1, cache_dir=str(tmp_path))
+    manager.start()
+    spec = JobSpec.from_payload(GENWORK_SPEC)
+    job, deduped = manager.submit(spec)
+    assert not deduped
+    assert job.wait(timeout=300)
+    assert job.error is None, job.error
+    kind, body = unwrap_payload(job.result)
+    assert kind == "genwork"
+    assert body["structure"] == "alu"
+    assert len(body["selected"]) == 2
+    assert len(body["candidates"]) == 3
+    assert body["union"]["covered_wires"]
+    # Selected specs are ordinary workload names for analyze jobs.
+    follow_up = JobSpec.from_payload({
+        **ANALYZE_SPEC,
+        "structure": "alu",
+        "benchmark": body["selected"][0],
+    })
+    again, deduped = manager.submit(spec)
+    assert deduped and again is job
+    follow_job, _ = manager.submit(follow_up)
+    assert follow_job.wait(timeout=300)
+    assert follow_job.error is None, follow_job.error
+    assert manager.drain(timeout=60)
